@@ -1,0 +1,412 @@
+// Benchmarks wrapping each experiment's measured kernel (one Benchmark
+// per table/figure in DESIGN.md, E1–E12) so `go test -bench=.` tracks
+// the same operations the gamebench tables report.
+package gamedb_test
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gamedb/internal/bubble"
+	"gamedb/internal/combat"
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/persist"
+	"gamedb/internal/query"
+	"gamedb/internal/replica"
+	"gamedb/internal/schema"
+	"gamedb/internal/script"
+	"gamedb/internal/spatial"
+	"gamedb/internal/txn"
+	"gamedb/internal/workload"
+	"gamedb/internal/world"
+)
+
+func benchPoints(n int, side float64) []spatial.Point {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]spatial.Point, n)
+	for i := range pts {
+		pts[i] = spatial.Point{
+			ID:  spatial.ID(i + 1),
+			Pos: spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side},
+		}
+	}
+	return pts
+}
+
+// BenchmarkE1PairwiseInteractions: naive Ω(n²) loop vs grid band join.
+func BenchmarkE1PairwiseInteractions(b *testing.B) {
+	pts := benchPoints(4096, 400)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query.CountInteractionsNaive(pts, 10)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query.CountInteractions(pts, 10)
+		}
+	})
+}
+
+// BenchmarkE2RangeQueryIndices: circle queries per index structure.
+func BenchmarkE2RangeQueryIndices(b *testing.B) {
+	pts := benchPoints(16000, 1000)
+	indexes := map[string]spatial.Index{
+		"linear":   spatial.NewLinear(),
+		"grid":     spatial.NewGrid(25),
+		"quadtree": spatial.NewQuadTree(spatial.NewRect(0, 0, 1000, 1000)),
+		"kdtree":   spatial.NewKDTree(),
+	}
+	for _, ix := range indexes {
+		for _, p := range pts {
+			ix.Insert(p.ID, p.Pos)
+		}
+		if kd, ok := ix.(*spatial.KDTree); ok {
+			kd.Rebuild() // build outside the timed region
+		}
+	}
+	for _, name := range []string{"linear", "grid", "quadtree", "kdtree"} {
+		ix := indexes[name]
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				c := spatial.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+				n := 0
+				ix.QueryCircle(c, 40, func(spatial.ID, spatial.Vec2) bool {
+					n++
+					return true
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkE3KNN: 8-nearest-neighbor queries per index structure.
+func BenchmarkE3KNN(b *testing.B) {
+	pts := benchPoints(16000, 1000)
+	indexes := map[string]spatial.Index{
+		"linear":   spatial.NewLinear(),
+		"grid":     spatial.NewGrid(25),
+		"quadtree": spatial.NewQuadTree(spatial.NewRect(0, 0, 1000, 1000)),
+		"kdtree":   spatial.NewKDTree(),
+	}
+	for _, ix := range indexes {
+		for _, p := range pts {
+			ix.Insert(p.ID, p.Pos)
+		}
+		if kd, ok := ix.(*spatial.KDTree); ok {
+			kd.Rebuild() // build outside the timed region
+		}
+	}
+	for _, name := range []string{"linear", "grid", "quadtree", "kdtree"} {
+		ix := indexes[name]
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				c := spatial.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+				ix.KNN(c, 8)
+			}
+		})
+	}
+}
+
+// BenchmarkE4ConcurrencyControl: one tick's local-interaction txns under
+// each scheme.
+func BenchmarkE4ConcurrencyControl(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	move := workload.NewHotspot(rng, 1500, spatial.NewRect(0, 0, 3000, 3000), 20, 5)
+	for i := 0; i < 100; i++ {
+		move.Step(0.1)
+	}
+	txns := workload.LocalTxns(move, 4, 200)
+	part := bubble.Compute(move.BubbleEntities(), bubble.Config{Horizon: 0.5, InteractRange: 15})
+	groups := workload.GroupTxnsByBubble(part, txns)
+	workers := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name string
+		ex   txn.Executor
+	}{
+		{"serial", txn.Serial{}},
+		{"global-lock", txn.GlobalLock{}},
+		{"2pl", txn.TwoPL{}},
+		{"occ", txn.OCC{}},
+		{"bubbles", txn.Partitioned{Groups: groups}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			s := txn.NewStore(1500)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.ex.Run(s, txns, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkE5ConsistencyTiers: one replication flush across 16 clients.
+func BenchmarkE5ConsistencyTiers(b *testing.B) {
+	srv, err := replica.NewServer([]replica.FieldSpec{
+		{Name: "hp", Class: replica.Exact},
+		{Name: "x", Class: replica.Coarse, Epsilon: 2, MaxAge: 100},
+		{Name: "anim", Class: replica.Cosmetic, Period: 8},
+	}, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := spatial.ID(1); i <= 400; i++ {
+		srv.Spawn(i, spatial.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	for i := 0; i < 16; i++ {
+		srv.AddClient("c", spatial.Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, 400)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for id := spatial.ID(1); id <= 400; id++ {
+			srv.Set(id, "x", rng.NormFloat64()*10)
+			srv.Set(id, "anim", float64(i%16))
+		}
+		srv.FlushTick()
+	}
+}
+
+// BenchmarkE6Aggro: target selection per policy.
+func BenchmarkE6Aggro(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	b.Run("threat-table", func(b *testing.B) {
+		tt := combat.NewThreatTable()
+		for id := combat.ID(1); id <= 25; id++ {
+			tt.AddThreat(id, float64(id)*10)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tt.AddThreat(combat.ID(i%25+1), 5)
+			tt.Target(combat.MeleeSwitchFactor)
+		}
+	})
+	b.Run("nearest-enemy", func(b *testing.B) {
+		var np combat.NearestPolicy
+		pts := make([]spatial.Point, 25)
+		for i := range pts {
+			pts[i] = spatial.Point{ID: spatial.ID(i + 1),
+				Pos: spatial.Vec2{X: rng.Float64() * 20, Y: rng.Float64() * 20}}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pts[i%25].Pos.X += rng.NormFloat64() * 0.2
+			np.Target(spatial.Vec2{}, pts)
+		}
+	})
+}
+
+// benchState is a trivial persist.StateSource for E7.
+type benchState struct{ n int64 }
+
+func (s *benchState) Snapshot() ([]byte, error) { return make([]byte, 64*1024), nil }
+func (s *benchState) Restore([]byte) error      { return nil }
+func (s *benchState) Apply(persist.Action) error {
+	s.n++
+	return nil
+}
+func (s *benchState) Reset() { s.n = 0 }
+
+// BenchmarkE7Checkpointing: applying an action stream under each policy.
+func BenchmarkE7Checkpointing(b *testing.B) {
+	policies := []persist.Policy{
+		persist.Periodic{EveryTicks: 100},
+		persist.Periodic{EveryTicks: 6000},
+		persist.EventKeyed{MaxTicks: 1000},
+	}
+	for _, p := range policies {
+		b.Run(p.Name(), func(b *testing.B) {
+			m := persist.NewManager(&benchState{}, &persist.Backing{}, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				important := i%997 == 0
+				if _, err := m.Apply(int64(i), "act", important, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8SchemaEvolution: full-table scans, structured vs blob.
+func BenchmarkE8SchemaEvolution(b *testing.B) {
+	const rows = 20000
+	tab := entity.NewTable("p", entity.MustSchema(
+		entity.Column{Name: "hp", Kind: entity.KindInt},
+		entity.Column{Name: "name", Kind: entity.KindString},
+	))
+	blob := schema.NewBlobStore("p")
+	for i := 1; i <= rows; i++ {
+		tab.InsertRow(entity.ID(i), []entity.Value{entity.Int(int64(i)), entity.Str("player")})
+		blob.Insert(entity.ID(i), map[string]entity.Value{
+			"hp": entity.Int(int64(i)), "name": entity.Str("player"),
+		})
+	}
+	b.Run("structured-scan", func(b *testing.B) {
+		hp := tab.Schema().MustCol("hp")
+		for i := 0; i < b.N; i++ {
+			var total int64
+			tab.Scan(func(_ entity.ID, row []entity.Value) bool {
+				total += row[hp].Int()
+				return true
+			})
+		}
+	})
+	b.Run("blob-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total int64
+			blob.Scan(func(_ entity.ID, f map[string]entity.Value) bool {
+				total += f["hp"].Int()
+				return true
+			})
+		}
+	})
+}
+
+const benchRegroupPack = `
+<contentpack name="regroup">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="unit" table="units" script="regroup"/>
+  <script name="regroup">
+fn on_tick(self) {
+  let ns = nearby(self, 8.0);
+  let n = len(ns);
+  if n == 0 { return; }
+  let cx = 0.0;
+  let cy = 0.0;
+  for id in ns {
+    cx = cx + get(id, "x");
+    cy = cy + get(id, "y");
+  }
+  move_toward(self, cx / n, cy / n, 0.5);
+}
+  </script>
+</contentpack>`
+
+// BenchmarkE9SetAtATime: one behavior tick, scripted vs declarative.
+func BenchmarkE9SetAtATime(b *testing.B) {
+	const n = 2000
+	const radius = 8.0
+	c, errs := content.LoadAndCompile(strings.NewReader(benchRegroupPack))
+	if len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	w := world.New(world.Config{Seed: 42, CellSize: radius, ScriptFuel: 1 << 40})
+	if err := w.LoadPack(c); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	tab := entity.NewTable("units", entity.MustSchema(
+		entity.Column{Name: "x", Kind: entity.KindFloat},
+		entity.Column{Name: "y", Kind: entity.KindFloat},
+	))
+	for i := 0; i < n; i++ {
+		p := spatial.Vec2{X: rng.Float64() * 160, Y: rng.Float64() * 160}
+		if _, err := w.Spawn("unit", p); err != nil {
+			b.Fatal(err)
+		}
+		tab.InsertRow(entity.ID(i+1), []entity.Value{entity.Float(p.X), entity.Float(p.Y)})
+	}
+	b.Run("script", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("declarative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bj, err := query.NewBandJoin(
+				query.NewScanAs(tab, "a", []string{"x", "y"}),
+				query.NewScanAs(tab, "b", []string{"x", "y"}),
+				"a.x", "a.y", "b.x", "b.y", radius)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg, err := query.NewAggregate(bj, []string{"a.id"}, []query.AggSpec{
+				{Func: query.AggAvg, Expr: query.Col("b.x"), As: "cx"},
+				{Func: query.AggAvg, Expr: query.Col("b.y"), As: "cy"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := query.Run(agg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10ParallelJoin: band join across worker counts.
+func BenchmarkE10ParallelJoin(b *testing.B) {
+	pts := benchPoints(16000, 1500)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query.CountInteractionsParallel(pts, 10, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkE11RestrictedScripting: interpreter throughput (fuel/sec) and
+// restricted-check cost.
+func BenchmarkE11RestrictedScripting(b *testing.B) {
+	prog, err := script.Parse(`
+fn main() { let s = 0; let i = 0; while i < 1000 { s = s + i; i = i + 1; } return s; }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("interpret", func(b *testing.B) {
+		in := script.NewInterp(prog, script.Options{Fuel: 1 << 30})
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Call("main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			script.CheckRestricted(prog)
+		}
+	})
+}
+
+// BenchmarkE12NavMesh: pathfinding per representation plus BSP sight.
+func BenchmarkE12NavMesh(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	d := spatial.GenerateDungeon(rng, 150, 110, 12)
+	bsp := spatial.NewBSPTree(d.Walls)
+	qrng := rand.New(rand.NewSource(13))
+	pairs := make([][2]spatial.Vec2, 64)
+	for i := range pairs {
+		pairs[i] = [2]spatial.Vec2{d.RandomWalkable(qrng), d.RandomWalkable(qrng)}
+	}
+	b.Run("grid-astar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pq := pairs[i%len(pairs)]
+			d.Grid.FindPath(pq[0], pq[1])
+		}
+	})
+	b.Run("navmesh-astar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pq := pairs[i%len(pairs)]
+			d.Mesh.FindPath(pq[0], pq[1])
+		}
+	})
+	b.Run("bsp-line-of-sight", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pq := pairs[i%len(pairs)]
+			bsp.Blocked(pq[0], pq[1])
+		}
+	})
+}

@@ -1,0 +1,43 @@
+// Command gamebench regenerates every experiment table in DESIGN.md's
+// index (E1–E12), printing them in paper style. Use -quick for reduced
+// sizes and -only to run a single experiment.
+//
+//	gamebench            # full suite
+//	gamebench -quick     # CI-sized suite
+//	gamebench -only E7   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gamedb/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E7 or A1)")
+	flag.Parse()
+
+	drivers := experiment.All()
+	if *only != "" {
+		d, ok := experiment.ByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gamebench: unknown experiment %q; have E1..E12, A1..A3\n", *only)
+			os.Exit(2)
+		}
+		drivers = []experiment.Driver{d}
+	}
+
+	fmt.Printf("gamedb experiment suite — %d experiment(s), quick=%v\n\n", len(drivers), *quick)
+	start := time.Now()
+	for _, d := range drivers {
+		t0 := time.Now()
+		tbl := d.Run(*quick)
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  [%s in %s]\n\n", d.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,74 @@
+// Command gslrun parses and executes a GSL script file: the standalone
+// harness designers use to test behavior scripts outside the engine.
+//
+//	gslrun script.gsl              # run top-level statements, then main()
+//	gslrun -restricted script.gsl  # enforce the no-loop/no-recursion regime
+//	gslrun -check script.gsl       # parse + restricted check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gamedb/internal/script"
+)
+
+func main() {
+	restricted := flag.Bool("restricted", false, "enforce restricted mode (no loops, no recursion)")
+	checkOnly := flag.Bool("check", false, "only parse and run restricted-mode checks")
+	fuel := flag.Int64("fuel", script.DefaultFuel, "fuel budget per run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gslrun [-restricted] [-check] [-fuel N] <script.gsl>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gslrun: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := script.Parse(string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gslrun: %v\n", err)
+		os.Exit(1)
+	}
+	violations := script.CheckRestricted(prog)
+	if *checkOnly {
+		if len(violations) == 0 {
+			fmt.Println("ok: script is admissible in restricted mode")
+			return
+		}
+		for _, v := range violations {
+			fmt.Printf("restricted: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if *restricted && len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "gslrun: script rejected in restricted mode:")
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	in := script.NewInterp(prog, script.Options{
+		Fuel: *fuel,
+		Log:  func(s string) { fmt.Println(s) },
+	})
+	if err := in.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gslrun: %v\n", err)
+		os.Exit(1)
+	}
+	if _, ok := prog.Fns["main"]; ok {
+		v, err := in.Call("main")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gslrun: %v\n", err)
+			os.Exit(1)
+		}
+		if !v.IsNull() {
+			fmt.Printf("main() = %s\n", v)
+		}
+	}
+	fmt.Printf("fuel used: %d\n", in.FuelUsed())
+}

@@ -1,0 +1,109 @@
+// Command worldsim loads a content pack and runs the world server for a
+// number of ticks, printing per-tick statistics — the smallest end-to-end
+// demonstration of the data-driven pipeline: XML in, simulation out.
+//
+//	worldsim -pack game.xml -ticks 100
+//	worldsim                  # runs the embedded demo pack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gamedb/internal/content"
+	"gamedb/internal/world"
+)
+
+const demoPack = `
+<contentpack name="demo-skirmish">
+  <schema table="units">
+    <column name="hp" kind="int" default="100"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="faction" kind="string" default="neutral"/>
+    <column name="engaged" kind="int"/>
+  </schema>
+  <archetype name="wolf" table="units" script="hunt">
+    <set column="hp" value="35"/>
+    <set column="faction" value="wild"/>
+  </archetype>
+  <archetype name="sheep" table="units" script="graze">
+    <set column="hp" value="20"/>
+    <set column="faction" value="farm"/>
+  </archetype>
+  <script name="hunt" restricted="true">
+fn on_tick(self) {
+  let prey = nearby(self, 25.0);
+  if len(prey) > 0 { emit("contact", self, len(prey)); }
+}
+  </script>
+  <script name="graze">
+fn on_tick(self) {
+  let threats = nearby(self, 12.0);
+  for id in threats {
+    if get(id, "faction") == "wild" {
+      move_toward(self, pos_x(self) + (pos_x(self) - pos_x(id)),
+                  pos_y(self) + (pos_y(self) - pos_y(id)), 2.0);
+      return;
+    }
+  }
+}
+  </script>
+  <trigger name="mark-engaged" event="contact">
+    <do>set(self, "engaged", get(self, "engaged") + 1);</do>
+  </trigger>
+  <spawn archetype="wolf" count="6" x="50" y="50" spread="30"/>
+  <spawn archetype="sheep" count="30" x="120" y="120" spread="60"/>
+</contentpack>`
+
+func main() {
+	packPath := flag.String("pack", "", "content pack XML file (empty = embedded demo)")
+	ticks := flag.Int("ticks", 50, "ticks to simulate")
+	seed := flag.Int64("seed", 1, "world seed")
+	every := flag.Int("report", 10, "print stats every N ticks")
+	flag.Parse()
+
+	var src string
+	if *packPath == "" {
+		src = demoPack
+	} else {
+		raw, err := os.ReadFile(*packPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(raw)
+	}
+	c, errs := content.LoadAndCompile(strings.NewReader(src))
+	if len(errs) > 0 {
+		fmt.Fprintln(os.Stderr, "worldsim: content pack rejected:")
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "  %v\n", err)
+		}
+		os.Exit(1)
+	}
+	w := world.New(world.Config{Seed: *seed})
+	if err := w.LoadPack(c); err != nil {
+		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded pack %q: %d entities across %v\n", c.Name, w.Entities(), w.TableNames())
+
+	for i := 0; i < *ticks; i++ {
+		st, err := w.Step()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldsim: tick %d: %v\n", st.Tick, err)
+			os.Exit(1)
+		}
+		if *every > 0 && int(st.Tick)%*every == 0 {
+			fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d fuel=%d errors=%d\n",
+				st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.FuelUsed, st.ScriptErrors)
+		}
+	}
+	if w.LastScriptError != nil {
+		fmt.Printf("last script error: %v\n", w.LastScriptError)
+	}
+	fmt.Printf("done after %d ticks, %d entities alive\n", *ticks, w.Entities())
+}

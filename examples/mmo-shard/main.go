@@ -1,0 +1,78 @@
+// MMO shard: the causality-bubble pipeline end to end. A hotspot crowd
+// moves around a large map; every tick the shard predicts reachability
+// from velocity and acceleration bounds (EVE's differential-equation
+// trick in closed form), partitions the map into bubbles, and executes
+// that tick's interaction transactions bubble-parallel — racing the
+// classic lock-based alternatives on the way.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"gamedb/internal/bubble"
+	"gamedb/internal/spatial"
+	"gamedb/internal/txn"
+	"gamedb/internal/workload"
+)
+
+func main() {
+	const (
+		players = 2000
+		side    = 4000.0
+	)
+	rng := rand.New(rand.NewSource(2009))
+	world := spatial.NewRect(0, 0, side, side)
+	move := workload.NewHotspot(rng, players, world, 25, 5)
+	cfg := bubble.Config{Horizon: 0.5, InteractRange: 20}
+	workers := runtime.GOMAXPROCS(0)
+
+	fmt.Printf("shard: %d players on a %.0f×%.0f map, %d workers\n\n",
+		players, side, side, workers)
+
+	// Let the crowd gather at the hotspots.
+	for i := 0; i < 300; i++ {
+		move.Step(0.1)
+	}
+
+	fmt.Println("tick  bubbles  largest  singleton%  partition-time")
+	for tick := 1; tick <= 5; tick++ {
+		move.Step(0.1)
+		start := time.Now()
+		part := bubble.Compute(move.BubbleEntities(), cfg)
+		elapsed := time.Since(start)
+		singles := 0
+		for _, b := range part.Bubbles {
+			if len(b) == 1 {
+				singles++
+			}
+		}
+		fmt.Printf("%4d  %7d  %7d  %9.1f%%  %s\n",
+			tick, part.NumBubbles(), part.MaxSize(),
+			100*float64(singles)/float64(part.NumBubbles()),
+			elapsed.Round(time.Microsecond))
+	}
+
+	// One tick's worth of interaction transactions, executed five ways.
+	part := bubble.Compute(move.BubbleEntities(), cfg)
+	txns := workload.LocalTxns(move, 4, 300)
+	groups := workload.GroupTxnsByBubble(part, txns)
+
+	fmt.Printf("\nexecuting %d interaction txns:\n", len(txns))
+	run := func(name string, ex txn.Executor) {
+		store := txn.NewStore(players)
+		start := time.Now()
+		stats := ex.Run(store, txns, workers)
+		fmt.Printf("  %-12s %8s  committed=%d aborted=%d\n",
+			name, time.Since(start).Round(time.Microsecond), stats.Committed, stats.Aborted)
+	}
+	run("serial", txn.Serial{})
+	run("global-lock", txn.GlobalLock{})
+	run("2pl", txn.TwoPL{})
+	run("occ", txn.OCC{})
+	run("bubbles", txn.Partitioned{Groups: groups})
+
+	fmt.Println("\nbubbles execute lock-free: distinct bubbles cannot conflict within the horizon.")
+}

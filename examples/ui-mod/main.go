@@ -1,0 +1,83 @@
+// UI mod: the user-generated-content pipeline. Players author XML packs
+// (WoW-style UI frames plus behavior scripts); the engine validates them
+// before anything runs — and in restricted mode, scripts with loops or
+// recursion are rejected at load time with designer-readable errors
+// rather than stalling the server at runtime.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"gamedb/internal/content"
+	"gamedb/internal/world"
+)
+
+const goodMod = `
+<contentpack name="cleanhud" restricted="true">
+  <uiframe name="healthbar" x="20" y="20" w="260" h="28" anchor="topleft"/>
+  <uiframe name="minimap" x="-210" y="20" w="190" h="190" anchor="topright"/>
+  <uiframe name="castbar" x="0" y="-120" w="320" h="22" anchor="bottom"/>
+  <schema table="hud_state">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="alert" kind="int"/>
+  </schema>
+  <archetype name="hud" table="hud_state" script="pulse"/>
+  <script name="pulse">
+fn on_tick(self) {
+  let crowd = nearby(self, 30.0)
+  if len(crowd) > 5 { set(self, "alert", 1) }
+  else { set(self, "alert", 0) }
+}
+  </script>
+  <spawn archetype="hud" count="1" x="0" y="0"/>
+</contentpack>`
+
+const maliciousMod = `
+<contentpack name="freezehud" restricted="true">
+  <uiframe name="spinner" x="0" y="0" w="64" h="64" anchor="center"/>
+  <script name="grief">
+fn on_tick(self) {
+  while true { }
+}
+  </script>
+  <script name="bomb">
+fn deeper(n) { return deeper(n + 1); }
+fn on_tick(self) { deeper(0); }
+  </script>
+</contentpack>`
+
+func main() {
+	fmt.Println("== loading player mod 'cleanhud' ==")
+	good, errs := content.LoadAndCompile(strings.NewReader(goodMod))
+	if len(errs) > 0 {
+		panic(fmt.Sprint(errs))
+	}
+	w := world.New(world.Config{Seed: 3})
+	if err := w.LoadPack(good); err != nil {
+		panic(err)
+	}
+	fmt.Printf("accepted: %d UI frames, %d scripts (all restricted-mode clean)\n",
+		len(w.Frames()), len(good.Scripts))
+	for _, f := range w.Frames() {
+		fmt.Printf("  frame %-10s %4.0f×%-4.0f anchored %s\n", f.Name, f.W, f.H, f.Anchor)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Step(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("ran 5 ticks with the mod installed, %d entities\n\n", w.Entities())
+
+	fmt.Println("== loading player mod 'freezehud' ==")
+	_, errs = content.LoadAndCompile(strings.NewReader(maliciousMod))
+	if len(errs) == 0 {
+		panic("the malicious mod should have been rejected")
+	}
+	fmt.Println("rejected at load time:")
+	for _, err := range errs {
+		fmt.Printf("  %v\n", err)
+	}
+	fmt.Println("\nno runaway script ever reached the simulation loop.")
+}

@@ -1,0 +1,86 @@
+// Package gamedb is a game-state database engine: the systems described
+// in "Database Research in Computer Games" (Demers, Gehrke, Koch, Sowell,
+// White — SIGMOD 2009) built as one coherent Go library.
+//
+// The engine stores game state in typed component tables with secondary
+// and spatial indexes, runs designer-authored content (XML packs with GSL
+// behavior scripts and event triggers, optionally in the loop-free
+// "restricted mode" studios use to bound script cost), processes
+// interactions as set-at-a-time queries instead of Ω(n²) script loops,
+// partitions load with causality bubbles, replicates state to clients
+// under per-field consistency tiers, and checkpoints intelligently on
+// important events rather than on a timer.
+//
+// Quick start:
+//
+//	eng, err := gamedb.New(gamedb.Options{Seed: 42})
+//	if err != nil { ... }
+//	if err := eng.LoadPackXML(packFile); err != nil { ... }
+//	for i := 0; i < 1000; i++ {
+//	    if _, err := eng.Tick(); err != nil { ... }
+//	}
+//
+// See examples/ for runnable scenarios and cmd/gamebench for the full
+// experiment suite.
+package gamedb
+
+import (
+	"gamedb/internal/core"
+	"gamedb/internal/entity"
+	"gamedb/internal/persist"
+	"gamedb/internal/replica"
+	"gamedb/internal/spatial"
+	"gamedb/internal/world"
+)
+
+// Engine is a running game shard; see core.Engine for method docs.
+type Engine = core.Engine
+
+// Options configures New.
+type Options = core.Options
+
+// World is the tick-based simulation a shard runs.
+type World = world.World
+
+// TickStats summarizes one tick.
+type TickStats = world.TickStats
+
+// Vec2 is a world-space point or vector.
+type Vec2 = spatial.Vec2
+
+// ID identifies an entity.
+type ID = entity.ID
+
+// Value is a dynamically typed table cell.
+type Value = entity.Value
+
+// Value constructors.
+var (
+	Int   = entity.Int
+	Float = entity.Float
+	Str   = entity.Str
+	Bool  = entity.Bool
+)
+
+// FieldSpec configures one replicated field; Exact, Coarse and Cosmetic
+// are its consistency classes.
+type FieldSpec = replica.FieldSpec
+
+// Consistency classes for FieldSpec.
+const (
+	Exact    = replica.Exact
+	Coarse   = replica.Coarse
+	Cosmetic = replica.Cosmetic
+)
+
+// Checkpoint policies for Options.Checkpoint.
+type (
+	// Periodic checkpoints on a fixed tick interval.
+	Periodic = persist.Periodic
+	// EventKeyed checkpoints on important events (intelligent
+	// checkpointing).
+	EventKeyed = persist.EventKeyed
+)
+
+// New builds an engine.
+func New(opts Options) (*Engine, error) { return core.New(opts) }

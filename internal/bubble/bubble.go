@@ -1,0 +1,189 @@
+// Package bubble implements causality bubbles, the paper's flagship
+// consistency technique: predict which players may issue conflicting
+// interactions and dynamically partition the world so each partition can
+// be processed independently.
+//
+// EVE Online's version runs "a continuous differential equation that
+// takes into account the acceleration of every space ship"; under bounded
+// acceleration that ODE has the closed form used here — within horizon T
+// an entity can reach at most
+//
+//	r(T) = ‖v‖·T + ½·a_max·T²
+//
+// from its current position. Two entities can interact within the horizon
+// only if their reach disks, inflated by the interaction range, touch.
+// Connected components of that "can-touch" relation are the bubbles;
+// distinct bubbles cannot conflict and run in parallel (see txn.Partitioned).
+package bubble
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gamedb/internal/spatial"
+)
+
+// Entity is one moving object submitted to the partitioner.
+type Entity struct {
+	ID       spatial.ID
+	Pos      spatial.Vec2
+	Vel      spatial.Vec2
+	MaxAccel float64
+}
+
+// Reach returns how far the entity can travel within horizon seconds.
+func (e Entity) Reach(horizon float64) float64 {
+	return e.Vel.Len()*horizon + 0.5*e.MaxAccel*horizon*horizon
+}
+
+// Config parameterizes partitioning.
+type Config struct {
+	// Horizon is the prediction window in seconds (how long the
+	// partition must remain valid before the next repartition).
+	Horizon float64
+	// InteractRange is the maximum distance at which two entities can
+	// issue conflicting interactions (weapon range, trade range).
+	InteractRange float64
+}
+
+// Partition is the result: bubble index per entity plus the bubbles
+// themselves.
+type Partition struct {
+	// Bubbles lists member entity IDs per bubble, in insertion order.
+	Bubbles [][]spatial.ID
+	// BubbleOf maps entity ID to its bubble's index in Bubbles.
+	BubbleOf map[spatial.ID]int
+}
+
+// NumBubbles returns the number of bubbles.
+func (p *Partition) NumBubbles() int { return len(p.Bubbles) }
+
+// MaxSize returns the size of the largest bubble (0 when empty).
+func (p *Partition) MaxSize() int {
+	m := 0
+	for _, b := range p.Bubbles {
+		if len(b) > m {
+			m = len(b)
+		}
+	}
+	return m
+}
+
+// SameBubble reports whether two entities share a bubble.
+func (p *Partition) SameBubble(a, b spatial.ID) bool {
+	ba, ok1 := p.BubbleOf[a]
+	bb, ok2 := p.BubbleOf[b]
+	return ok1 && ok2 && ba == bb
+}
+
+// Compute partitions the entities. Cost is near-linear: a uniform grid
+// finds candidate pairs, a union-find merges them.
+func Compute(entities []Entity, cfg Config) *Partition {
+	n := len(entities)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	// Precompute reaches and the maximum, which bounds the candidate
+	// query radius: i and j can touch only if
+	// dist ≤ reach_i + reach_j + range ≤ reach_i + maxReach + range.
+	reach := make([]float64, n)
+	maxReach := 0.0
+	for i, e := range entities {
+		reach[i] = e.Reach(cfg.Horizon)
+		if reach[i] > maxReach {
+			maxReach = reach[i]
+		}
+	}
+	cell := maxReach*2 + cfg.InteractRange
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := spatial.NewGrid(cell)
+	for i, e := range entities {
+		grid.Insert(spatial.ID(i), e.Pos)
+	}
+	for i, e := range entities {
+		limit := reach[i] + maxReach + cfg.InteractRange
+		grid.QueryCircle(e.Pos, limit, func(j spatial.ID, pos spatial.Vec2) bool {
+			ji := int(j)
+			if ji <= i {
+				return true // each unordered pair once
+			}
+			d := e.Pos.Dist(pos)
+			if d <= reach[i]+reach[ji]+cfg.InteractRange {
+				union(int32(i), int32(ji))
+			}
+			return true
+		})
+	}
+
+	p := &Partition{BubbleOf: make(map[spatial.ID]int, n)}
+	rootBubble := make(map[int32]int)
+	for i, e := range entities {
+		r := find(int32(i))
+		bi, ok := rootBubble[r]
+		if !ok {
+			bi = len(p.Bubbles)
+			rootBubble[r] = bi
+			p.Bubbles = append(p.Bubbles, nil)
+		}
+		p.Bubbles[bi] = append(p.Bubbles[bi], e.ID)
+		p.BubbleOf[e.ID] = bi
+	}
+	return p
+}
+
+// CanInteract reports whether two entities could come within the
+// interaction range during the horizon — the exact pairwise predicate
+// Compute clusters by. Exposed for tests and for admission checks on
+// cross-bubble actions.
+func CanInteract(a, b Entity, cfg Config) bool {
+	return a.Pos.Dist(b.Pos) <= a.Reach(cfg.Horizon)+b.Reach(cfg.Horizon)+cfg.InteractRange
+}
+
+// Run executes fn once per bubble across workers. Bubbles are
+// independent by construction, so no synchronization wraps fn; fn must
+// only touch state owned by its bubble.
+func Run(p *Partition, workers int, fn func(bubbleIdx int, members []spatial.ID)) {
+	if workers <= 1 || len(p.Bubbles) <= 1 {
+		for i, b := range p.Bubbles {
+			fn(i, b)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	if workers > len(p.Bubbles) {
+		workers = len(p.Bubbles)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if int(i) >= len(p.Bubbles) {
+					return
+				}
+				fn(int(i), p.Bubbles[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,226 @@
+package bubble
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"gamedb/internal/spatial"
+)
+
+func TestReachClosedForm(t *testing.T) {
+	e := Entity{Vel: spatial.Vec2{X: 3, Y: 4}, MaxAccel: 2} // speed 5
+	// r(T) = 5*2 + 0.5*2*4 = 14
+	if got := e.Reach(2); got != 14 {
+		t.Fatalf("Reach = %v, want 14", got)
+	}
+	if got := (Entity{}).Reach(10); got != 0 {
+		t.Fatalf("stationary reach = %v", got)
+	}
+}
+
+func TestTwoClusters(t *testing.T) {
+	cfg := Config{Horizon: 1, InteractRange: 5}
+	// Two tight groups 1000 apart; nobody can cross.
+	var ents []Entity
+	for i := 0; i < 10; i++ {
+		ents = append(ents, Entity{ID: spatial.ID(i), Pos: spatial.Vec2{X: float64(i), Y: 0}})
+	}
+	for i := 10; i < 20; i++ {
+		ents = append(ents, Entity{ID: spatial.ID(i), Pos: spatial.Vec2{X: 1000 + float64(i), Y: 0}})
+	}
+	p := Compute(ents, cfg)
+	if p.NumBubbles() != 2 {
+		t.Fatalf("bubbles = %d, want 2", p.NumBubbles())
+	}
+	if !p.SameBubble(0, 9) || p.SameBubble(0, 10) {
+		t.Fatal("bubble membership wrong")
+	}
+	if p.MaxSize() != 10 {
+		t.Fatalf("MaxSize = %d", p.MaxSize())
+	}
+}
+
+func TestFastMoverMergesBubbles(t *testing.T) {
+	cfg := Config{Horizon: 2, InteractRange: 1}
+	ents := []Entity{
+		{ID: 1, Pos: spatial.Vec2{X: 0, Y: 0}},
+		{ID: 2, Pos: spatial.Vec2{X: 100, Y: 0}},
+		// A ship at x=50 moving fast enough to reach both within T=2.
+		{ID: 3, Pos: spatial.Vec2{X: 50, Y: 0}, Vel: spatial.Vec2{X: 30, Y: 0}},
+	}
+	p := Compute(ents, cfg)
+	// Reach of 3 = 60+0 = 60 ≥ 50, so 3 touches both 1 and 2.
+	if p.NumBubbles() != 1 {
+		t.Fatalf("bubbles = %d, want 1 (fast mover links all)", p.NumBubbles())
+	}
+	// Slow it down: three separate bubbles.
+	ents[2].Vel = spatial.Vec2{X: 1, Y: 0}
+	p = Compute(ents, cfg)
+	if p.NumBubbles() != 3 {
+		t.Fatalf("bubbles = %d, want 3", p.NumBubbles())
+	}
+}
+
+// refPartition computes connected components by brute force O(n²).
+func refPartition(ents []Entity, cfg Config) [][]int {
+	n := len(ents)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if CanInteract(ents[i], ents[j], cfg) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range ents {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestPartitionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := Config{Horizon: 0.5, InteractRange: 8}
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(150)
+		ents := make([]Entity, n)
+		for i := range ents {
+			ents[i] = Entity{
+				ID:       spatial.ID(i + 1),
+				Pos:      spatial.Vec2{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+				Vel:      spatial.Vec2{X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5},
+				MaxAccel: rng.Float64() * 4,
+			}
+		}
+		p := Compute(ents, cfg)
+		ref := refPartition(ents, cfg)
+		if len(ref) != p.NumBubbles() {
+			t.Fatalf("trial %d: %d bubbles, brute force %d", trial, p.NumBubbles(), len(ref))
+		}
+		// Same-component pairs must share bubbles.
+		for _, g := range ref {
+			for i := 1; i < len(g); i++ {
+				a, b := ents[g[0]].ID, ents[g[i]].ID
+				if !p.SameBubble(a, b) {
+					t.Fatalf("trial %d: entities %d,%d in same component but different bubbles", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionSoundness is the safety property as a quick.Check: any two
+// entities that can interact within the horizon are never split across
+// bubbles.
+func TestPartitionSoundness(t *testing.T) {
+	cfg := Config{Horizon: 1, InteractRange: 5}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		ents := make([]Entity, n)
+		for i := range ents {
+			ents[i] = Entity{
+				ID:       spatial.ID(i + 1),
+				Pos:      spatial.Vec2{X: rng.Float64() * 200, Y: rng.Float64() * 200},
+				Vel:      spatial.Vec2{X: rng.NormFloat64() * 3, Y: rng.NormFloat64() * 3},
+				MaxAccel: rng.Float64() * 2,
+			}
+		}
+		p := Compute(ents, cfg)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if CanInteract(ents[i], ents[j], cfg) && !p.SameBubble(ents[i].ID, ents[j].ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVisitsEveryBubbleOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ents := make([]Entity, 300)
+	for i := range ents {
+		ents[i] = Entity{
+			ID:  spatial.ID(i + 1),
+			Pos: spatial.Vec2{X: rng.Float64() * 2000, Y: rng.Float64() * 2000},
+		}
+	}
+	p := Compute(ents, Config{Horizon: 1, InteractRange: 10})
+	for _, workers := range []int{1, 4, 16} {
+		var visited atomic.Int64
+		var members atomic.Int64
+		Run(p, workers, func(_ int, ids []spatial.ID) {
+			visited.Add(1)
+			members.Add(int64(len(ids)))
+		})
+		if int(visited.Load()) != p.NumBubbles() {
+			t.Fatalf("workers=%d: visited %d bubbles, want %d", workers, visited.Load(), p.NumBubbles())
+		}
+		if int(members.Load()) != len(ents) {
+			t.Fatalf("workers=%d: visited %d members, want %d", workers, members.Load(), len(ents))
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	p := Compute(nil, Config{Horizon: 1, InteractRange: 1})
+	if p.NumBubbles() != 0 || p.MaxSize() != 0 {
+		t.Fatal("empty partition wrong")
+	}
+	p = Compute([]Entity{{ID: 42}}, Config{Horizon: 1, InteractRange: 1})
+	if p.NumBubbles() != 1 || !p.SameBubble(42, 42) {
+		t.Fatal("singleton partition wrong")
+	}
+	if p.SameBubble(42, 99) {
+		t.Fatal("unknown entity should not share a bubble")
+	}
+}
+
+func TestDensitySweepShrinksBubbles(t *testing.T) {
+	// As the world grows (density falls), bubbles should multiply.
+	rng := rand.New(rand.NewSource(33))
+	cfg := Config{Horizon: 1, InteractRange: 5}
+	counts := make([]int, 0, 3)
+	for _, world := range []float64{100, 1000, 10000} {
+		ents := make([]Entity, 400)
+		for i := range ents {
+			ents[i] = Entity{
+				ID:  spatial.ID(i + 1),
+				Pos: spatial.Vec2{X: rng.Float64() * world, Y: rng.Float64() * world},
+			}
+		}
+		counts = append(counts, Compute(ents, cfg).NumBubbles())
+	}
+	if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+		t.Fatalf("bubble counts should grow with world size: %v", counts)
+	}
+	if counts[0] == counts[2] {
+		t.Fatalf("sweep should show variation: %v", counts)
+	}
+}

@@ -1,0 +1,165 @@
+package combat
+
+import (
+	"math/rand"
+	"testing"
+
+	"gamedb/internal/spatial"
+)
+
+func TestThreatAccrualAndTarget(t *testing.T) {
+	tt := NewThreatTable()
+	if _, ok := tt.Target(MeleeSwitchFactor); ok {
+		t.Fatal("empty table should have no target")
+	}
+	tt.AddThreat(1, 100)
+	tt.AddThreat(2, 50)
+	tgt, ok := tt.Target(MeleeSwitchFactor)
+	if !ok || tgt != 1 {
+		t.Fatalf("target = %v, %v", tgt, ok)
+	}
+	if tt.Switches != 1 {
+		t.Fatalf("switches = %d", tt.Switches)
+	}
+	if tt.Len() != 2 || tt.Threat(1) != 100 {
+		t.Fatal("table state wrong")
+	}
+}
+
+func TestSwitchHysteresis(t *testing.T) {
+	tt := NewThreatTable()
+	tt.AddThreat(1, 100)
+	tt.Target(MeleeSwitchFactor) // target 1
+	// 2 creeps past 1 but below 110%: no switch.
+	tt.AddThreat(2, 105)
+	tgt, _ := tt.Target(MeleeSwitchFactor)
+	if tgt != 1 {
+		t.Fatalf("switched too eagerly to %d", tgt)
+	}
+	// 2 crosses 110%: switch.
+	tt.AddThreat(2, 10) // 115 > 110
+	tgt, _ = tt.Target(MeleeSwitchFactor)
+	if tgt != 2 {
+		t.Fatalf("should switch to 2, got %d", tgt)
+	}
+	if tt.Switches != 2 {
+		t.Fatalf("switches = %d, want 2", tt.Switches)
+	}
+	// Ranged factor is stricter.
+	tt2 := NewThreatTable()
+	tt2.AddThreat(1, 100)
+	tt2.Target(RangedSwitchFactor)
+	tt2.AddThreat(2, 120)
+	if tgt, _ := tt2.Target(RangedSwitchFactor); tgt != 1 {
+		t.Fatalf("ranged switched at 120%%, got %d", tgt)
+	}
+	tt2.AddThreat(2, 15) // 135 > 130
+	if tgt, _ := tt2.Target(RangedSwitchFactor); tgt != 2 {
+		t.Fatal("ranged should switch above 130%")
+	}
+}
+
+func TestTaunt(t *testing.T) {
+	tt := NewThreatTable()
+	tt.AddThreat(1, 1000)
+	tt.Target(MeleeSwitchFactor)
+	tt.Taunt(2)
+	if tt.Threat(2) <= 1000 {
+		t.Fatalf("taunt threat = %v", tt.Threat(2))
+	}
+	if tgt, _ := tt.Target(MeleeSwitchFactor); tgt != 2 {
+		t.Fatalf("taunt should pull aggro, target = %d", tgt)
+	}
+	// Taunt on an empty table still creates presence.
+	tt2 := NewThreatTable()
+	tt2.Taunt(5)
+	if tgt, ok := tt2.Target(MeleeSwitchFactor); !ok || tgt != 5 {
+		t.Fatal("taunt on empty table failed")
+	}
+}
+
+func TestRemoveAndRetarget(t *testing.T) {
+	tt := NewThreatTable()
+	tt.AddThreat(1, 100)
+	tt.AddThreat(2, 50)
+	tt.Target(MeleeSwitchFactor)
+	tt.Remove(1)
+	tgt, ok := tt.Target(MeleeSwitchFactor)
+	if !ok || tgt != 2 {
+		t.Fatalf("retarget after death = %v, %v", tgt, ok)
+	}
+	tt.Remove(2)
+	if _, ok := tt.Target(MeleeSwitchFactor); ok {
+		t.Fatal("no targets left")
+	}
+}
+
+func TestNegativeThreatClamps(t *testing.T) {
+	tt := NewThreatTable()
+	tt.AddThreat(1, 10)
+	tt.AddThreat(1, -50)
+	if tt.Threat(1) != 0 {
+		t.Fatalf("threat = %v, want clamp at 0", tt.Threat(1))
+	}
+}
+
+func TestNearestPolicy(t *testing.T) {
+	var np NearestPolicy
+	if _, ok := np.Target(spatial.Vec2{}, nil); ok {
+		t.Fatal("no candidates should report !ok")
+	}
+	cands := []spatial.Point{
+		{ID: 1, Pos: spatial.Vec2{X: 10, Y: 0}},
+		{ID: 2, Pos: spatial.Vec2{X: 5, Y: 0}},
+	}
+	tgt, ok := np.Target(spatial.Vec2{}, cands)
+	if !ok || tgt != 2 {
+		t.Fatalf("nearest = %d", tgt)
+	}
+	// Same nearest: no new switch.
+	np.Target(spatial.Vec2{}, cands)
+	if np.Switches != 1 {
+		t.Fatalf("switches = %d", np.Switches)
+	}
+	// Move 1 closer: switch.
+	cands[0].Pos = spatial.Vec2{X: 1, Y: 0}
+	tgt, _ = np.Target(spatial.Vec2{}, cands)
+	if tgt != 1 || np.Switches != 2 {
+		t.Fatalf("tgt=%d switches=%d", tgt, np.Switches)
+	}
+}
+
+// TestAggroStableUnderJitter is the paper's claim in miniature: with
+// positions jittering every tick (as replicated views do), nearest-enemy
+// targeting flaps while threat-based targeting holds steady.
+func TestAggroStableUnderJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	tt := NewThreatTable()
+	var np NearestPolicy
+	// Two attackers at nearly equal distance, tank has big threat lead.
+	tt.AddThreat(1, 1000)
+	tt.AddThreat(2, 400)
+	basePos := []spatial.Point{
+		{ID: 1, Pos: spatial.Vec2{X: 5, Y: 0}},
+		{ID: 2, Pos: spatial.Vec2{X: 5.05, Y: 0}},
+	}
+	for tick := 0; tick < 500; tick++ {
+		cands := make([]spatial.Point, len(basePos))
+		for i, p := range basePos {
+			cands[i] = spatial.Point{ID: p.ID, Pos: spatial.Vec2{
+				X: p.Pos.X + rng.NormFloat64()*0.2,
+				Y: p.Pos.Y + rng.NormFloat64()*0.2,
+			}}
+		}
+		np.Target(spatial.Vec2{}, cands)
+		tt.AddThreat(1, 10) // tank keeps generating threat
+		tt.AddThreat(2, 9)
+		tt.Target(MeleeSwitchFactor)
+	}
+	if tt.Switches != 1 {
+		t.Fatalf("threat targeting switched %d times, want 1", tt.Switches)
+	}
+	if np.Switches < 50 {
+		t.Fatalf("nearest targeting switched only %d times; jitter should cause flapping", np.Switches)
+	}
+}

@@ -1,0 +1,44 @@
+package entity
+
+// HashIndex is a secondary equality index from column value to the set of
+// entity IDs holding that value. It is maintained by the owning Table.
+type HashIndex struct {
+	m map[Value][]ID
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[Value][]ID)} }
+
+func (ix *HashIndex) insert(v Value, id ID) {
+	ix.m[v] = append(ix.m[v], id)
+}
+
+func (ix *HashIndex) remove(v Value, id ID) {
+	ids := ix.m[v]
+	for i, got := range ids {
+		if got == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.m, v)
+	} else {
+		ix.m[v] = ids
+	}
+}
+
+// Lookup returns a copy of the IDs whose indexed column equals v.
+func (ix *HashIndex) Lookup(v Value) []ID {
+	ids := ix.m[v]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Len returns the number of distinct indexed values.
+func (ix *HashIndex) Len() int { return len(ix.m) }

@@ -1,0 +1,150 @@
+package entity
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOrderedIndexBasics(t *testing.T) {
+	ix := NewOrderedIndex()
+	if _, _, ok := ix.Min(); ok {
+		t.Fatal("Min on empty index should report !ok")
+	}
+	if _, _, ok := ix.Max(); ok {
+		t.Fatal("Max on empty index should report !ok")
+	}
+	if !ix.Insert(Int(5), 1) || !ix.Insert(Int(3), 2) || !ix.Insert(Int(8), 3) {
+		t.Fatal("fresh inserts should return true")
+	}
+	if ix.Insert(Int(5), 1) {
+		t.Fatal("duplicate insert should return false")
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	v, id, ok := ix.Min()
+	if !ok || v != Int(3) || id != 2 {
+		t.Fatalf("Min = %v,%v,%v", v, id, ok)
+	}
+	v, id, ok = ix.Max()
+	if !ok || v != Int(8) || id != 3 {
+		t.Fatalf("Max = %v,%v,%v", v, id, ok)
+	}
+	if !ix.Delete(Int(3), 2) {
+		t.Fatal("Delete of present entry should return true")
+	}
+	if ix.Delete(Int(3), 2) {
+		t.Fatal("Delete of absent entry should return false")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", ix.Len())
+	}
+}
+
+func TestOrderedIndexRangeBounds(t *testing.T) {
+	ix := NewOrderedIndex()
+	for i := 0; i < 10; i++ {
+		ix.Insert(Int(int64(i)), ID(i))
+	}
+	collect := func(lo, hi Value) []int64 {
+		var out []int64
+		ix.Range(lo, hi, func(v Value, _ ID) bool {
+			out = append(out, v.Int())
+			return true
+		})
+		return out
+	}
+	if got := collect(Int(3), Int(6)); len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("range [3,6] = %v", got)
+	}
+	if got := collect(Null(), Int(2)); len(got) != 3 {
+		t.Fatalf("range (-inf,2] = %v", got)
+	}
+	if got := collect(Int(8), Null()); len(got) != 2 {
+		t.Fatalf("range [8,inf) = %v", got)
+	}
+	if got := collect(Null(), Null()); len(got) != 10 {
+		t.Fatalf("full range = %v", got)
+	}
+	// Early termination.
+	var n int
+	ix.Range(Null(), Null(), func(Value, ID) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestOrderedIndexDuplicateKeys(t *testing.T) {
+	ix := NewOrderedIndex()
+	for id := ID(1); id <= 5; id++ {
+		ix.Insert(Int(7), id)
+	}
+	var ids []ID
+	ix.Range(Int(7), Int(7), func(_ Value, id ID) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 5 {
+		t.Fatalf("got %d ids for duplicate key, want 5", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("duplicate-key ids not in ID order: %v", ids)
+		}
+	}
+}
+
+// TestOrderedIndexAgainstReference drives random ops against a sorted
+// reference and checks full-order agreement.
+func TestOrderedIndexAgainstReference(t *testing.T) {
+	type entry struct {
+		v  Value
+		id ID
+	}
+	rng := rand.New(rand.NewSource(42))
+	ix := NewOrderedIndex()
+	ref := map[entry]bool{}
+	for op := 0; op < 5000; op++ {
+		e := entry{v: Int(rng.Int63n(50)), id: ID(rng.Intn(40))}
+		if rng.Intn(3) == 0 {
+			got := ix.Delete(e.v, e.id)
+			if got != ref[e] {
+				t.Fatalf("op %d: Delete(%v,%v) = %v, ref %v", op, e.v, e.id, got, ref[e])
+			}
+			delete(ref, e)
+		} else {
+			got := ix.Insert(e.v, e.id)
+			if got == ref[e] {
+				t.Fatalf("op %d: Insert(%v,%v) = %v, but ref present=%v", op, e.v, e.id, got, ref[e])
+			}
+			ref[e] = true
+		}
+	}
+	var want []entry
+	for e := range ref {
+		want = append(want, e)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		return skipLess(want[i].v, want[i].id, want[j].v, want[j].id)
+	})
+	var got []entry
+	ix.Range(Null(), Null(), func(v Value, id ID) bool {
+		got = append(got, entry{v, id})
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ix.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", ix.Len(), len(want))
+	}
+}

@@ -1,0 +1,485 @@
+package entity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies an entity. IDs are assigned by the world (or the caller)
+// and are unique within a table.
+type ID uint64
+
+// ChangeKind labels a table mutation for change listeners.
+type ChangeKind uint8
+
+// The change kinds delivered to listeners.
+const (
+	ChangeInsert ChangeKind = iota
+	ChangeUpdate
+	ChangeDelete
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "insert"
+	case ChangeUpdate:
+		return "update"
+	case ChangeDelete:
+		return "delete"
+	default:
+		return "?"
+	}
+}
+
+// Change describes one mutation. For ChangeUpdate, Col/Old/New identify
+// the modified column; for inserts and deletes they are zero.
+type Change struct {
+	Kind  ChangeKind
+	Table string
+	ID    ID
+	Col   string
+	Old   Value
+	New   Value
+}
+
+// ChangeListener receives table mutations; replication dirty-tracking and
+// the write-ahead log both subscribe.
+type ChangeListener func(Change)
+
+// Errors returned by table operations.
+var (
+	ErrDupID   = errors.New("entity: duplicate entity id")
+	ErrNoRow   = errors.New("entity: no such entity")
+	ErrKind    = errors.New("entity: value kind mismatch")
+	ErrNoIndex = errors.New("entity: no such index")
+)
+
+// Table stores one component type: a dense column-major collection of
+// typed rows keyed by entity ID, with optional secondary indexes.
+// Column-major storage makes AddColumn/DropColumn O(1)/O(1) slice edits
+// plus backfill, which the schema-migration experiments rely on.
+type Table struct {
+	name      string
+	schema    *Schema
+	ids       []ID
+	cols      [][]Value // cols[c][row]
+	rowOf     map[ID]int
+	hash      map[string]*HashIndex
+	ordered   map[string]*OrderedIndex
+	listeners []ChangeListener
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table {
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		rowOf:   make(map[ID]int),
+		hash:    make(map[string]*HashIndex),
+		ordered: make(map[string]*OrderedIndex),
+	}
+	t.cols = make([][]Value, schema.Len())
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the current schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.ids) }
+
+// Has reports whether the entity exists.
+func (t *Table) Has(id ID) bool {
+	_, ok := t.rowOf[id]
+	return ok
+}
+
+// OnChange registers a listener invoked synchronously after each mutation.
+func (t *Table) OnChange(fn ChangeListener) { t.listeners = append(t.listeners, fn) }
+
+func (t *Table) notify(c Change) {
+	for _, fn := range t.listeners {
+		fn(c)
+	}
+}
+
+// Insert adds a row for id with the given column values; unspecified
+// columns take their defaults. It fails if the id exists, a column is
+// unknown, or a value kind mismatches.
+func (t *Table) Insert(id ID, vals map[string]Value) error {
+	if _, exists := t.rowOf[id]; exists {
+		return fmt.Errorf("%w: %d in %q", ErrDupID, id, t.name)
+	}
+	row := make([]Value, t.schema.Len())
+	for i := range row {
+		row[i] = t.schema.ColAt(i).Default
+	}
+	for name, v := range vals {
+		ci, ok := t.schema.Col(name)
+		if !ok {
+			return fmt.Errorf("%w: %q in %q", ErrNoColumn, name, t.name)
+		}
+		if v.Kind() != t.schema.ColAt(ci).Kind {
+			return fmt.Errorf("%w: column %q wants %s, got %s",
+				ErrKind, name, t.schema.ColAt(ci).Kind, v.Kind())
+		}
+		row[ci] = v
+	}
+	return t.insertRow(id, row)
+}
+
+// InsertRow adds a positional row matching the schema exactly. It is the
+// fast path used by bulk loaders and migrations.
+func (t *Table) InsertRow(id ID, row []Value) error {
+	if _, exists := t.rowOf[id]; exists {
+		return fmt.Errorf("%w: %d in %q", ErrDupID, id, t.name)
+	}
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("entity: row width %d != schema width %d", len(row), t.schema.Len())
+	}
+	for i, v := range row {
+		if v.Kind() != t.schema.ColAt(i).Kind {
+			return fmt.Errorf("%w: column %q wants %s, got %s",
+				ErrKind, t.schema.ColAt(i).Name, t.schema.ColAt(i).Kind, v.Kind())
+		}
+	}
+	owned := make([]Value, len(row))
+	copy(owned, row)
+	return t.insertRow(id, owned)
+}
+
+func (t *Table) insertRow(id ID, row []Value) error {
+	r := len(t.ids)
+	t.ids = append(t.ids, id)
+	for c := range t.cols {
+		t.cols[c] = append(t.cols[c], row[c])
+	}
+	t.rowOf[id] = r
+	for name, ix := range t.hash {
+		ix.insert(row[t.schema.MustCol(name)], id)
+	}
+	for name, ix := range t.ordered {
+		ix.Insert(row[t.schema.MustCol(name)], id)
+	}
+	t.notify(Change{Kind: ChangeInsert, Table: t.name, ID: id})
+	return nil
+}
+
+// Delete removes the entity's row using swap-with-last, keeping storage
+// dense.
+func (t *Table) Delete(id ID) error {
+	r, ok := t.rowOf[id]
+	if !ok {
+		return fmt.Errorf("%w: %d in %q", ErrNoRow, id, t.name)
+	}
+	for name, ix := range t.hash {
+		ix.remove(t.cols[t.schema.MustCol(name)][r], id)
+	}
+	for name, ix := range t.ordered {
+		ix.Delete(t.cols[t.schema.MustCol(name)][r], id)
+	}
+	last := len(t.ids) - 1
+	movedID := t.ids[last]
+	t.ids[r] = movedID
+	t.ids = t.ids[:last]
+	for c := range t.cols {
+		t.cols[c][r] = t.cols[c][last]
+		t.cols[c] = t.cols[c][:last]
+	}
+	delete(t.rowOf, id)
+	if movedID != id {
+		t.rowOf[movedID] = r
+	}
+	t.notify(Change{Kind: ChangeDelete, Table: t.name, ID: id})
+	return nil
+}
+
+// Get returns the value of one column for the entity.
+func (t *Table) Get(id ID, col string) (Value, error) {
+	r, ok := t.rowOf[id]
+	if !ok {
+		return Null(), fmt.Errorf("%w: %d in %q", ErrNoRow, id, t.name)
+	}
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return Null(), fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	return t.cols[ci][r], nil
+}
+
+// MustGet is Get that panics on error, for hot paths with known-valid
+// arguments.
+func (t *Table) MustGet(id ID, col string) Value {
+	v, err := t.Get(id, col)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Set updates one column of the entity's row, maintaining indexes and
+// notifying listeners.
+func (t *Table) Set(id ID, col string, v Value) error {
+	r, ok := t.rowOf[id]
+	if !ok {
+		return fmt.Errorf("%w: %d in %q", ErrNoRow, id, t.name)
+	}
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	if v.Kind() != t.schema.ColAt(ci).Kind {
+		return fmt.Errorf("%w: column %q wants %s, got %s",
+			ErrKind, col, t.schema.ColAt(ci).Kind, v.Kind())
+	}
+	old := t.cols[ci][r]
+	if old == v {
+		return nil
+	}
+	t.cols[ci][r] = v
+	if ix, has := t.hash[col]; has {
+		ix.remove(old, id)
+		ix.insert(v, id)
+	}
+	if ix, has := t.ordered[col]; has {
+		ix.Delete(old, id)
+		ix.Insert(v, id)
+	}
+	t.notify(Change{Kind: ChangeUpdate, Table: t.name, ID: id, Col: col, Old: old, New: v})
+	return nil
+}
+
+// Row returns a copy of the entity's row in schema column order.
+func (t *Table) Row(id ID) ([]Value, error) {
+	r, ok := t.rowOf[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d in %q", ErrNoRow, id, t.name)
+	}
+	out := make([]Value, t.schema.Len())
+	for c := range t.cols {
+		out[c] = t.cols[c][r]
+	}
+	return out, nil
+}
+
+// IDs returns a copy of all entity IDs in storage order.
+func (t *Table) IDs() []ID {
+	out := make([]ID, len(t.ids))
+	copy(out, t.ids)
+	return out
+}
+
+// Scan visits every row in storage order. The row slice is reused between
+// calls; copy it to retain. Iteration stops early if fn returns false.
+// The table must not be mutated during the scan.
+func (t *Table) Scan(fn func(id ID, row []Value) bool) {
+	buf := make([]Value, t.schema.Len())
+	for r, id := range t.ids {
+		for c := range t.cols {
+			buf[c] = t.cols[c][r]
+		}
+		if !fn(id, buf) {
+			return
+		}
+	}
+}
+
+// IDAt returns the entity ID in storage row r. The query executor uses
+// positional access to avoid per-row map lookups; r must be < Len().
+func (t *Table) IDAt(r int) ID { return t.ids[r] }
+
+// ValueAt returns the value at column index c, storage row r, both
+// bounds-unchecked beyond slice panics. Pair with Schema().Col for c.
+func (t *Table) ValueAt(c, r int) Value { return t.cols[c][r] }
+
+// ColValues returns the raw column slice for col. The slice is owned by
+// the table and must not be mutated; it is exposed for set-at-a-time
+// operators that process whole columns.
+func (t *Table) ColValues(col string) ([]Value, error) {
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	return t.cols[ci], nil
+}
+
+// CreateHashIndex builds an equality index on col, backfilling existing
+// rows. Creating an index that already exists is a no-op.
+func (t *Table) CreateHashIndex(col string) error {
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	if _, exists := t.hash[col]; exists {
+		return nil
+	}
+	ix := NewHashIndex()
+	for r, id := range t.ids {
+		ix.insert(t.cols[ci][r], id)
+	}
+	t.hash[col] = ix
+	return nil
+}
+
+// CreateOrderedIndex builds an ordered index on col, backfilling existing
+// rows. Creating an index that already exists is a no-op.
+func (t *Table) CreateOrderedIndex(col string) error {
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	if _, exists := t.ordered[col]; exists {
+		return nil
+	}
+	ix := NewOrderedIndex()
+	for r, id := range t.ids {
+		ix.Insert(t.cols[ci][r], id)
+	}
+	t.ordered[col] = ix
+	return nil
+}
+
+// HasHashIndex reports whether col has an equality index.
+func (t *Table) HasHashIndex(col string) bool {
+	_, ok := t.hash[col]
+	return ok
+}
+
+// HasOrderedIndex reports whether col has an ordered index.
+func (t *Table) HasOrderedIndex(col string) bool {
+	_, ok := t.ordered[col]
+	return ok
+}
+
+// LookupEq returns the IDs whose col equals v, via the hash index when
+// present and a scan otherwise.
+func (t *Table) LookupEq(col string, v Value) ([]ID, error) {
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	if ix, has := t.hash[col]; has {
+		return ix.Lookup(v), nil
+	}
+	var out []ID
+	for r, id := range t.ids {
+		if t.cols[ci][r] == v {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// LookupRange returns the IDs with lo ≤ col ≤ hi (null bounds are open),
+// via the ordered index when present and a scan otherwise. With an
+// ordered index results arrive in key order.
+func (t *Table) LookupRange(col string, lo, hi Value) ([]ID, error) {
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	if ix, has := t.ordered[col]; has {
+		var out []ID
+		ix.Range(lo, hi, func(_ Value, id ID) bool {
+			out = append(out, id)
+			return true
+		})
+		return out, nil
+	}
+	var out []ID
+	for r, id := range t.ids {
+		v := t.cols[ci][r]
+		if !lo.IsNull() && Compare(v, lo) < 0 {
+			continue
+		}
+		if !hi.IsNull() && Compare(v, hi) > 0 {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// AddColumn appends a column, backfilling existing rows with its default.
+func (t *Table) AddColumn(c Column) error {
+	ns, err := t.schema.WithColumn(c)
+	if err != nil {
+		return err
+	}
+	def := ns.ColAt(ns.Len() - 1).Default
+	fill := make([]Value, len(t.ids))
+	for i := range fill {
+		fill[i] = def
+	}
+	t.schema = ns
+	t.cols = append(t.cols, fill)
+	return nil
+}
+
+// DropColumn removes a column and any indexes on it.
+func (t *Table) DropColumn(name string) error {
+	idx, ok := t.schema.Col(name)
+	if !ok {
+		return fmt.Errorf("%w: %q in %q", ErrNoColumn, name, t.name)
+	}
+	ns, err := t.schema.WithoutColumn(name)
+	if err != nil {
+		return err
+	}
+	t.schema = ns
+	t.cols = append(t.cols[:idx], t.cols[idx+1:]...)
+	delete(t.hash, name)
+	delete(t.ordered, name)
+	return nil
+}
+
+// RenameColumn renames a column in place; indexes follow the new name.
+func (t *Table) RenameColumn(old, new string) error {
+	ns, err := t.schema.Renamed(old, new)
+	if err != nil {
+		return err
+	}
+	t.schema = ns
+	if ix, had := t.hash[old]; had {
+		delete(t.hash, old)
+		t.hash[new] = ix
+	}
+	if ix, had := t.ordered[old]; had {
+		delete(t.ordered, old)
+		t.ordered[new] = ix
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the table's data (schema, rows, indexes
+// rebuilt). Listeners are not copied. Checkpointing uses Clone to snapshot
+// state off the simulation path.
+func (t *Table) Clone() *Table {
+	nt := NewTable(t.name, t.schema)
+	nt.ids = make([]ID, len(t.ids))
+	copy(nt.ids, t.ids)
+	for c := range t.cols {
+		col := make([]Value, len(t.cols[c]))
+		copy(col, t.cols[c])
+		nt.cols[c] = col
+	}
+	for id, r := range t.rowOf {
+		nt.rowOf[id] = r
+	}
+	for name := range t.hash {
+		if err := nt.CreateHashIndex(name); err != nil {
+			panic(err)
+		}
+	}
+	for name := range t.ordered {
+		if err := nt.CreateOrderedIndex(name); err != nil {
+			panic(err)
+		}
+	}
+	return nt
+}

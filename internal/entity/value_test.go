@@ -1,0 +1,143 @@
+package entity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.Int() != 42 {
+		t.Fatal("Int round-trip failed")
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.Float() != 2.5 {
+		t.Fatal("Float round-trip failed")
+	}
+	if v := Str("hi"); v.Kind() != KindString || v.Str() != "hi" {
+		t.Fatal("Str round-trip failed")
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Fatal("IsNull misbehaves")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on string value should panic")
+		}
+	}()
+	_ = Str("x").Int()
+}
+
+func TestValueCoercion(t *testing.T) {
+	if f, ok := Int(3).AsFloat(); !ok || f != 3.0 {
+		t.Fatalf("AsFloat(Int(3)) = %v,%v", f, ok)
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Fatal("AsFloat on string should fail")
+	}
+	if i, ok := Int(7).AsInt(); !ok || i != 7 {
+		t.Fatalf("AsInt = %v,%v", i, ok)
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Fatalf("AsBool = %v,%v", b, ok)
+	}
+	if s, ok := Str("q").AsStr(); !ok || s != "q" {
+		t.Fatalf("AsStr = %v,%v", s, ok)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"null":  Null(),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		`"hi"`:  Str("hi"),
+		"false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v-kind) = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, name := range []string{"int", "float", "string", "bool"} {
+		k, ok := KindByName(name)
+		if !ok || k.String() != name {
+			t.Errorf("KindByName(%q) = %v,%v", name, k, ok)
+		}
+	}
+	if _, ok := KindByName("vec3"); ok {
+		t.Error("KindByName should reject unknown names")
+	}
+}
+
+// randValue generates an arbitrary value for property tests.
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(rng.Int63n(100) - 50)
+	case 2:
+		return Float(rng.NormFloat64())
+	case 3:
+		return Str(string(rune('a' + rng.Intn(26))))
+	default:
+		return Bool(rng.Intn(2) == 0)
+	}
+}
+
+// Values implements quick.Generator via a wrapper type.
+type quickValue struct{ V Value }
+
+// Generate implements testing/quick.Generator.
+func (quickValue) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickValue{V: randValue(rng)})
+}
+
+func TestCompareProperties(t *testing.T) {
+	antisym := func(a, b quickValue) bool {
+		return Compare(a.V, b.V) == -Compare(b.V, a.V)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	reflexive := func(a quickValue) bool { return Compare(a.V, a.V) == 0 }
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	transitive := func(a, b, c quickValue) bool {
+		x, y, z := a.V, b.V, c.V
+		// sort the triple by Compare, then verify order is consistent
+		if Compare(x, y) > 0 {
+			x, y = y, x
+		}
+		if Compare(y, z) > 0 {
+			y, z = z, y
+		}
+		if Compare(x, y) > 0 {
+			x, y = y, x
+		}
+		return Compare(x, y) <= 0 && Compare(y, z) <= 0 && Compare(x, z) <= 0
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	eqConsistent := func(a, b quickValue) bool {
+		if a.V == b.V {
+			return Compare(a.V, b.V) == 0
+		}
+		return true
+	}
+	if err := quick.Check(eqConsistent, nil); err != nil {
+		t.Errorf("==/Compare consistency: %v", err)
+	}
+}

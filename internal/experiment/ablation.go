@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gamedb/internal/bubble"
+	"gamedb/internal/metrics"
+	"gamedb/internal/persist"
+	"gamedb/internal/spatial"
+	"gamedb/internal/workload"
+)
+
+// A1BubbleHorizon ablates the causality-bubble prediction horizon: a
+// longer horizon keeps the partition valid for more ticks (fewer
+// repartitions) but inflates reach disks, merging bubbles and shrinking
+// available parallelism — the central tuning knob of the EVE technique.
+func A1BubbleHorizon(quick bool) *metrics.Table {
+	t := metrics.NewTable("A1 — ablation: causality-bubble horizon",
+		"horizon (s)", "bubbles", "largest", "avg size", "partition time")
+	t.Note = "longer horizon = longer validity, coarser partition; pick the knee"
+	n := pick(quick, 800, 3000)
+	rng := newRng(1500)
+	world := spatial.NewRect(0, 0, 4000, 4000)
+	move := workload.NewHotspot(rng, n, world, 25, 6)
+	for i := 0; i < 200; i++ {
+		move.Step(0.1)
+	}
+	ents := move.BubbleEntities()
+	for _, horizon := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		cfg := bubble.Config{Horizon: horizon, InteractRange: 15}
+		var part *bubble.Partition
+		d := timeOp(func() { part = bubble.Compute(ents, cfg) })
+		t.AddRow(
+			metrics.Fnum(horizon),
+			fmt.Sprint(part.NumBubbles()),
+			fmt.Sprint(part.MaxSize()),
+			metrics.Fnum(float64(n)/float64(part.NumBubbles())),
+			metrics.Fdur(float64(d.Nanoseconds())),
+		)
+	}
+	return t
+}
+
+// A2GridCellSize ablates the uniform grid's cell size against a fixed
+// query radius: too small pays per-cell overhead, too large degenerates
+// toward a scan. The rule of thumb (cell ≈ query radius) should show as
+// the minimum.
+func A2GridCellSize(quick bool) *metrics.Table {
+	t := metrics.NewTable("A2 — ablation: grid cell size vs query radius 20",
+		"cell size", "time/query", "cells touched/query")
+	t.Note = "engines size grid cells to the dominant query radius; the sweep shows why"
+	n := pick(quick, 8000, 40000)
+	queries := pick(quick, 100, 400)
+	const world = 1000.0
+	const radius = 20.0
+	pts := randPoints(1600, n, world)
+	rng := newRng(1601)
+	centers := make([]spatial.Vec2, queries)
+	for i := range centers {
+		centers[i] = spatial.Vec2{X: rng.Float64() * world, Y: rng.Float64() * world}
+	}
+	for _, cell := range []float64{2, 5, 10, 20, 50, 200, 1000} {
+		g := spatial.NewGrid(cell)
+		for _, p := range pts {
+			g.Insert(p.ID, p.Pos)
+		}
+		d := timeOp(func() {
+			for _, c := range centers {
+				g.QueryCircle(c, radius, func(spatial.ID, spatial.Vec2) bool { return true })
+			}
+		})
+		cellsTouched := (int(2*radius/cell) + 2) * (int(2*radius/cell) + 2)
+		t.AddRow(
+			metrics.Fnum(cell),
+			metrics.Fdur(float64(d.Nanoseconds())/float64(queries)),
+			fmt.Sprint(cellsTouched),
+		)
+	}
+	return t
+}
+
+// A3WALBatch ablates the write-ahead-log batch size under the rare
+// 10-minute checkpoint policy: small batches approach zero loss at high
+// durable-write cost; big batches approach checkpoint-only behavior.
+func A3WALBatch(quick bool) *metrics.Table {
+	t := metrics.NewTable("A3 — ablation: WAL batch size under periodic(6000)",
+		"wal batch", "db cost units", "avg lost actions", "lost important")
+	t.Note = "batching the log trades durability lag for write amplification"
+	trials := pick(quick, 3, 8)
+	rng := newRng(1700)
+	nRaids := pick(quick, 6, 10)
+	var events []workload.RaidEvent
+	var tickBase int64
+	for r := 0; r < nRaids; r++ {
+		raid := workload.NewRaid(rng, 20, pick(quick, int64(150_000), int64(1_200_000)))
+		for _, ev := range raid.RunToEnd(1_000_000) {
+			ev.Tick += tickBase
+			events = append(events, ev)
+		}
+		tickBase = events[len(events)-1].Tick + 50
+	}
+	for _, batch := range []int{0, 1, 16, 64, 512} {
+		var lost, lostImp, cost int64
+		for trial := 0; trial < trials; trial++ {
+			st := &streamState{}
+			backing := &persist.Backing{}
+			m := persist.NewManager(st, backing, persist.Periodic{EveryTicks: 6000})
+			m.WALBatch = batch
+			crashRng := newRng(1710 + int64(trial))
+			crashAt := len(events)/4 + crashRng.Intn(len(events)/2)
+			for i, ev := range events {
+				if i == crashAt {
+					break
+				}
+				if _, err := m.Apply(ev.Tick, ev.Kind.String(), ev.Important, ev.Amount); err != nil {
+					panic(err)
+				}
+			}
+			rep := m.Crash()
+			lost += int64(rep.LostActions)
+			lostImp += int64(rep.LostImportant)
+			cost += backing.CostUnits
+		}
+		f := float64(trials)
+		label := fmt.Sprint(batch)
+		if batch == 0 {
+			label = "off"
+		}
+		t.AddRow(label,
+			metrics.Fnum(float64(cost)/f),
+			metrics.Fnum(float64(lost)/f),
+			metrics.Fnum(float64(lostImp)/f),
+		)
+	}
+	return t
+}

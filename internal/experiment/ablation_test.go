@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestA1HorizonMonotonicity: growing the horizon must never increase the
+// bubble count — reach disks only grow.
+func TestA1HorizonMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := A1BubbleHorizon(true)
+	prev := int(^uint(0) >> 1)
+	for _, row := range tbl.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("bad bubble count %q", row[1])
+		}
+		if n > prev {
+			t.Fatalf("bubble count grew with horizon: %v", tbl.Rows)
+		}
+		prev = n
+	}
+	first, _ := strconv.Atoi(tbl.Rows[0][1])
+	last, _ := strconv.Atoi(tbl.Rows[len(tbl.Rows)-1][1])
+	if first == last {
+		t.Fatalf("horizon sweep showed no effect: %v", tbl.Rows)
+	}
+}
+
+// TestA3WALShape: smaller batches must lose fewer actions and cost more.
+func TestA3WALShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := A3WALBatch(true)
+	get := func(label string, col int) float64 {
+		for _, row := range tbl.Rows {
+			if row[0] == label {
+				f, err := strconv.ParseFloat(row[col], 64)
+				if err != nil {
+					t.Fatalf("bad cell %q", row[col])
+				}
+				return f
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0
+	}
+	if get("1", 2) > get("512", 2) {
+		t.Fatalf("batch=1 should lose fewer actions than batch=512: %v", tbl.Rows)
+	}
+	if get("1", 1) < get("512", 1) {
+		t.Fatalf("batch=1 should cost more than batch=512: %v", tbl.Rows)
+	}
+	if get("off", 2) < get("512", 2) {
+		t.Fatalf("wal off should lose at least as much as any batch: %v", tbl.Rows)
+	}
+}

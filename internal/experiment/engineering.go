@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gamedb/internal/entity"
+	"gamedb/internal/metrics"
+	"gamedb/internal/persist"
+	"gamedb/internal/schema"
+	"gamedb/internal/workload"
+)
+
+// streamState is the StateSource for E7: a checksum over applied actions.
+type streamState struct {
+	sum     int64
+	applied int64
+}
+
+func (c *streamState) Snapshot() ([]byte, error) {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(c.sum))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c.applied))
+	// Pad to a realistic player-table snapshot size so the cost model
+	// reflects snapshot weight.
+	return append(buf, make([]byte, 64*1024)...), nil
+}
+
+func (c *streamState) Restore(snap []byte) error {
+	c.sum = int64(binary.LittleEndian.Uint64(snap[0:]))
+	c.applied = int64(binary.LittleEndian.Uint64(snap[8:]))
+	return nil
+}
+
+func (c *streamState) Apply(a persist.Action) error {
+	c.sum += a.Payload
+	c.applied++
+	return nil
+}
+
+func (c *streamState) Reset() { c.sum = 0; c.applied = 0 }
+
+// E7Checkpointing replays a raid-driven action stream under each
+// checkpoint policy, crashes at random points, and reports what players
+// lose — including whether boss kills and loot survive.
+func E7Checkpointing(quick bool) *metrics.Table {
+	t := metrics.NewTable("E7/F5 — crash loss vs checkpoint policy (raid action stream)",
+		"policy", "wal", "ckpts", "db cost units", "avg lost actions", "avg lost ticks", "lost important")
+	t.Note = "paper: checkpoints up to 10 min apart; intelligent checkpointing keys on important events (Engineering)"
+	trials := pick(quick, 3, 8)
+
+	// Build one canonical event stream from a night of consecutive raid
+	// encounters, so boss kills and loot drops occur throughout.
+	rng := newRng(800)
+	nRaids := pick(quick, 6, 10)
+	bossHP := pick(quick, int64(150_000), int64(1_200_000))
+	var events []workload.RaidEvent
+	var tickBase int64
+	for r := 0; r < nRaids; r++ {
+		raid := workload.NewRaid(rng, 20, bossHP)
+		for _, ev := range raid.RunToEnd(1_000_000) {
+			ev.Tick += tickBase
+			events = append(events, ev)
+		}
+		tickBase = events[len(events)-1].Tick + 50 // trash-clearing lull
+	}
+
+	type policyCase struct {
+		policy persist.Policy
+		wal    int
+	}
+	cases := []policyCase{
+		{persist.Periodic{EveryTicks: 100}, 0},
+		{persist.Periodic{EveryTicks: 1000}, 0},
+		{persist.Periodic{EveryTicks: 6000}, 0}, // "10 minutes" at 10 ticks/s
+		{persist.EventKeyed{MaxTicks: 1000}, 0},
+		{persist.Periodic{EveryTicks: 6000}, 64}, // WAL makes rare ckpts safe
+	}
+	for _, pc := range cases {
+		var lostActions, lostTicks, lostImportant, cost, ckpts int64
+		for trial := 0; trial < trials; trial++ {
+			st := &streamState{}
+			backing := &persist.Backing{}
+			m := persist.NewManager(st, backing, pc.policy)
+			m.WALBatch = pc.wal
+			crashRng := newRng(810 + int64(trial))
+			crashAt := len(events)/4 + crashRng.Intn(len(events)/2)
+			for i, ev := range events {
+				if i == crashAt {
+					break
+				}
+				if _, err := m.Apply(ev.Tick, ev.Kind.String(), ev.Important, ev.Amount); err != nil {
+					panic(err)
+				}
+			}
+			rep := m.Crash()
+			lostActions += int64(rep.LostActions)
+			lostTicks += rep.LostTicks
+			lostImportant += int64(rep.LostImportant)
+			cost += backing.CostUnits
+			ckpts += backing.SnapshotWrites
+			if _, err := m.Recover(); err != nil && err != persist.ErrNoState {
+				panic(err)
+			}
+		}
+		f := float64(trials)
+		t.AddRow(
+			pc.policy.Name(),
+			fmt.Sprint(pc.wal),
+			metrics.Fnum(float64(ckpts)/f),
+			metrics.Fnum(float64(cost)/f),
+			metrics.Fnum(float64(lostActions)/f),
+			metrics.Fnum(float64(lostTicks)/f),
+			metrics.Fnum(float64(lostImportant)/f),
+		)
+	}
+	return t
+}
+
+// E8SchemaEvolution runs the same five-version schema history two ways:
+// eager structured migration (stop-the-world pause) and blob storage
+// (instant migration, per-query decode tax).
+func E8SchemaEvolution(quick bool) *metrics.Table {
+	t := metrics.NewTable("E8/F6 — five schema versions over a player table",
+		"approach", "migration pause", "rows touched", "full scan after", "bytes/row")
+	t.Note = "paper: live migrations are painful, so studios fall back to unstructured blobs (Engineering)"
+	rows := pick(quick, 10_000, 100_000)
+
+	// --- Structured table + eager migrations.
+	tab := entity.NewTable("players", entity.MustSchema(
+		entity.Column{Name: "name", Kind: entity.KindString},
+		entity.Column{Name: "hp", Kind: entity.KindInt, Default: entity.Int(100)},
+		entity.Column{Name: "gold", Kind: entity.KindInt},
+	))
+	rng := newRng(900)
+	for i := 1; i <= rows; i++ {
+		tab.InsertRow(entity.ID(i), []entity.Value{
+			entity.Str(fmt.Sprintf("p%06d", i)),
+			entity.Int(rng.Int63n(100) + 1),
+			entity.Int(rng.Int63n(10000)),
+		})
+	}
+	var h schema.History
+	h.Add(schema.Migration{From: 1, To: 2, Steps: []schema.Step{
+		schema.AddColumn{Col: entity.Column{Name: "mana", Kind: entity.KindInt, Default: entity.Int(50)}},
+	}})
+	h.Add(schema.Migration{From: 2, To: 3, Steps: []schema.Step{
+		schema.Backfill{Column: "mana", Fn: func(get func(string) entity.Value) entity.Value {
+			return entity.Int(get("hp").Int() * 2)
+		}},
+	}})
+	h.Add(schema.Migration{From: 3, To: 4, Steps: []schema.Step{
+		schema.RenameColumn{From: "gold", To: "coins"},
+	}})
+	h.Add(schema.Migration{From: 4, To: 5, Steps: []schema.Step{
+		schema.AddColumn{Col: entity.Column{Name: "guild", Kind: entity.KindString}},
+		schema.Backfill{Column: "guild", Fn: func(get func(string) entity.Value) entity.Value {
+			return entity.Str("none")
+		}},
+	}})
+	stats, err := h.MigrateEager(tab, 1)
+	if err != nil {
+		panic(err)
+	}
+	var structuredScan float64
+	scanStructured := func() int64 {
+		var total int64
+		hpIdx := tab.Schema().MustCol("hp")
+		tab.Scan(func(_ entity.ID, row []entity.Value) bool {
+			total += row[hpIdx].Int()
+			return true
+		})
+		return total
+	}
+	structuredScan = float64(timeOpN(3, func() { scanStructured() }).Nanoseconds())
+	structBytes := estimateStructuredBytes(tab)
+	t.AddRow("structured + eager",
+		metrics.Fdur(float64(stats.Pause.Nanoseconds())),
+		fmt.Sprint(stats.RowsTouched),
+		metrics.Fdur(structuredScan),
+		metrics.Fnum(float64(structBytes)/float64(rows)))
+
+	// --- Blob store, same data, same logical history.
+	blob := schema.NewBlobStore("players")
+	rng = newRng(900)
+	for i := 1; i <= rows; i++ {
+		blob.Insert(entity.ID(i), map[string]entity.Value{
+			"name": entity.Str(fmt.Sprintf("p%06d", i)),
+			"hp":   entity.Int(rng.Int63n(100) + 1),
+			"gold": entity.Int(rng.Int63n(10000)),
+		})
+	}
+	blob.RegisterUpgrade(1, func(f map[string]entity.Value) map[string]entity.Value {
+		f["mana"] = entity.Int(50)
+		return f
+	})
+	blob.RegisterUpgrade(2, func(f map[string]entity.Value) map[string]entity.Value {
+		f["mana"] = entity.Int(f["hp"].Int() * 2)
+		return f
+	})
+	blob.RegisterUpgrade(3, func(f map[string]entity.Value) map[string]entity.Value {
+		f["coins"] = f["gold"]
+		delete(f, "gold")
+		return f
+	})
+	blob.RegisterUpgrade(4, func(f map[string]entity.Value) map[string]entity.Value {
+		f["guild"] = entity.Str("none")
+		return f
+	})
+	pause := timeOp(func() {
+		if err := blob.Migrate(5); err != nil {
+			panic(err)
+		}
+	})
+	scanBlob := func() int64 {
+		var total int64
+		blob.Scan(func(_ entity.ID, f map[string]entity.Value) bool {
+			total += f["hp"].Int()
+			return true
+		})
+		return total
+	}
+	blobScan := float64(timeOp(func() { scanBlob() }).Nanoseconds())
+	t.AddRow("blob + lazy",
+		metrics.Fdur(float64(pause.Nanoseconds())),
+		"0",
+		metrics.Fdur(blobScan),
+		metrics.Fnum(float64(blob.BytesStored())/float64(rows)))
+
+	// --- Blob with background rewrite (converged store).
+	rewritePause := timeOp(func() {
+		if _, err := blob.RewriteAll(); err != nil {
+			panic(err)
+		}
+	})
+	blobScan2 := float64(timeOp(func() { scanBlob() }).Nanoseconds())
+	t.AddRow("blob + background rewrite",
+		metrics.Fdur(float64(rewritePause.Nanoseconds()))+" (online)",
+		fmt.Sprint(rows),
+		metrics.Fdur(blobScan2),
+		metrics.Fnum(float64(blob.BytesStored())/float64(rows)))
+
+	// Sanity: both representations must agree on the data.
+	if scanStructured() != scanBlob() {
+		panic("E8: structured and blob scans disagree")
+	}
+	return t
+}
+
+// estimateStructuredBytes approximates the in-memory size of structured
+// rows for the bytes/row comparison.
+func estimateStructuredBytes(t *entity.Table) int64 {
+	var n int64
+	t.Scan(func(_ entity.ID, row []entity.Value) bool {
+		for _, v := range row {
+			n += 16 // value header
+			if v.Kind() == entity.KindString {
+				n += int64(len(v.Str()))
+			}
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gamedb/internal/metrics"
+	"gamedb/internal/spatial"
+)
+
+// E12NavMesh compares pathfinding over a generated dungeon in the two
+// representations the paper contrasts: raw occupancy-grid A* versus the
+// navigation mesh (ref [12]) with its far smaller search graph, plus the
+// designer-annotation query ("nearest reachable hiding spot") and BSP
+// line-of-sight checks over the same geometry.
+func E12NavMesh(quick bool) *metrics.Table {
+	t := metrics.NewTable("E12/T5 — dungeon navigation: grid A* vs navmesh A*",
+		"metric", "grid A*", "navmesh A*", "ratio")
+	t.Note = "paper ref [12]: navmeshes with designer annotations are the games-native movement index"
+	w, h, rooms := pick(quick, 100, 200), pick(quick, 80, 150), pick(quick, 8, 16)
+	queries := pick(quick, 40, 150)
+	rng := newRng(1200)
+	d := spatial.GenerateDungeon(rng, w, h, rooms)
+
+	type agg struct {
+		expanded int64
+		cost     float64
+		timeNs   float64
+		solved   int
+	}
+	var g, m agg
+	pairs := make([][2]spatial.Vec2, queries)
+	for i := range pairs {
+		pairs[i] = [2]spatial.Vec2{d.RandomWalkable(rng), d.RandomWalkable(rng)}
+	}
+	gridTime := timeOp(func() {
+		for _, pq := range pairs {
+			path, ok := d.Grid.FindPath(pq[0], pq[1])
+			if ok {
+				g.solved++
+				g.expanded += int64(path.Expanded)
+				g.cost += path.Cost
+			}
+		}
+	})
+	g.timeNs = float64(gridTime.Nanoseconds()) / float64(queries)
+	meshTime := timeOp(func() {
+		for _, pq := range pairs {
+			path, ok := d.Mesh.FindPath(pq[0], pq[1])
+			if ok {
+				m.solved++
+				m.expanded += int64(path.Expanded)
+				m.cost += path.Cost
+			}
+		}
+	})
+	m.timeNs = float64(meshTime.Nanoseconds()) / float64(queries)
+
+	t.AddRow("paths solved", fmt.Sprintf("%d/%d", g.solved, queries),
+		fmt.Sprintf("%d/%d", m.solved, queries), "")
+	t.AddRow("expansions/query",
+		metrics.Fnum(float64(g.expanded)/float64(queries)),
+		metrics.Fnum(float64(m.expanded)/float64(queries)),
+		metrics.Fnum(float64(g.expanded)/float64(maxI64(m.expanded, 1)))+"x")
+	t.AddRow("time/query", metrics.Fdur(g.timeNs), metrics.Fdur(m.timeNs),
+		metrics.Fnum(g.timeNs/m.timeNs)+"x")
+	t.AddRow("avg path cost",
+		metrics.Fnum(g.cost/float64(maxI(g.solved, 1))),
+		metrics.Fnum(m.cost/float64(maxI(m.solved, 1))), "")
+
+	// String pulling closes the navmesh's portal-midpoint detour.
+	bspForSmooth := spatial.NewBSPTree(d.Walls)
+	var smoothCost float64
+	smoothed := 0
+	smoothTime := timeOp(func() {
+		for _, pq := range pairs {
+			path, ok := d.Mesh.FindPath(pq[0], pq[1])
+			if !ok {
+				continue
+			}
+			sm := spatial.SmoothPath(path.Waypoints, bspForSmooth.Blocked)
+			smoothCost += spatial.PathCost(sm)
+			smoothed++
+		}
+	})
+	t.AddRow("avg cost + smoothing", "-",
+		fmt.Sprintf("%s (%s/query)",
+			metrics.Fnum(smoothCost/float64(maxI(smoothed, 1))),
+			metrics.Fdur(float64(smoothTime.Nanoseconds())/float64(queries))), "")
+
+	// Annotated semantic query: nearest reachable hiding spot.
+	found := 0
+	hidingNs := timeOpN(queries, func() {
+		p := d.RandomWalkable(rng)
+		if _, _, ok := d.Mesh.NearestTagged(p, spatial.TagHiding); ok {
+			found++
+		}
+	})
+	t.AddRow("nearest hiding spot", "-",
+		fmt.Sprintf("%s (found %d/%d)", metrics.Fdur(float64(hidingNs.Nanoseconds())), found, queries), "")
+
+	// BSP line-of-sight over the same walls.
+	bsp := spatial.NewBSPTree(d.Walls)
+	var blocked int
+	losPairs := make([][2]spatial.Vec2, queries)
+	for i := range losPairs {
+		losPairs[i] = [2]spatial.Vec2{d.RandomWalkable(rng), d.RandomWalkable(rng)}
+	}
+	bspNs := timeOp(func() {
+		for _, pq := range losPairs {
+			if bsp.Blocked(pq[0], pq[1]) {
+				blocked++
+			}
+		}
+	})
+	bruteNs := timeOp(func() {
+		for _, pq := range losPairs {
+			s := spatial.Segment{A: pq[0], B: pq[1]}
+			for _, wall := range d.Walls {
+				if s.Intersects(wall) {
+					break
+				}
+			}
+		}
+	})
+	t.AddRow(fmt.Sprintf("line-of-sight (%d walls, %d%% blocked)", len(d.Walls), 100*blocked/queries),
+		metrics.Fdur(float64(bruteNs.Nanoseconds())/float64(queries))+" (scan)",
+		metrics.Fdur(float64(bspNs.Nanoseconds())/float64(queries))+" (BSP)",
+		metrics.Fnum(float64(bruteNs)/float64(bspNs))+"x")
+	return t
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

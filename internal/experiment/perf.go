@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"gamedb/internal/metrics"
+	"gamedb/internal/query"
+	"gamedb/internal/spatial"
+)
+
+// randPoints generates n uniform points in a w×w world.
+func randPoints(seed int64, n int, w float64) []spatial.Point {
+	rng := newRng(seed)
+	pts := make([]spatial.Point, n)
+	for i := range pts {
+		pts[i] = spatial.Point{
+			ID:  spatial.ID(i + 1),
+			Pos: spatial.Vec2{X: rng.Float64() * w, Y: rng.Float64() * w},
+		}
+	}
+	return pts
+}
+
+// E1Pairwise tests the paper's Ω(n²) claim: a naive everything-vs-
+// everything interaction loop against a grid-indexed band join over the
+// same points. Density is held constant (world area scales with n), the
+// regime where the indexed join is near-linear.
+func E1Pairwise(quick bool) *metrics.Table {
+	t := metrics.NewTable("E1/F1 — pairwise interactions within radius 10 (constant density)",
+		"n", "pairs", "naive", "indexed", "speedup")
+	t.Note = "paper: designer scripts easily go Ω(n²); indices are the fix (Performance Challenges)"
+	sizes := pick(quick, []int{256, 1024, 4096}, []int{256, 1024, 4096, 16384, 65536})
+	const radius = 10.0
+	for _, n := range sizes {
+		// world side scales with sqrt(n) to hold density constant.
+		side := 100 * math.Sqrt(float64(n)/256.0)
+		pts := randPoints(100+int64(n), n, side)
+		var naivePairs, idxPairs int
+		naiveT := timeOp(func() { naivePairs = query.CountInteractionsNaive(pts, radius) })
+		idxT := timeOp(func() { idxPairs = query.CountInteractions(pts, radius) })
+		if naivePairs != idxPairs {
+			panic(fmt.Sprintf("E1: count mismatch %d vs %d", naivePairs, idxPairs))
+		}
+		t.AddRow(
+			fmt.Sprint(n),
+			fmt.Sprint(idxPairs),
+			metrics.Fdur(float64(naiveT.Nanoseconds())),
+			metrics.Fdur(float64(idxT.Nanoseconds())),
+			metrics.Fnum(float64(naiveT)/float64(idxT))+"x",
+		)
+	}
+	return t
+}
+
+// E2RangeQueries compares the spatial indexes on circle range queries at
+// two selectivities.
+func E2RangeQueries(quick bool) *metrics.Table {
+	t := metrics.NewTable("E2/F2 — circle range queries (time per query)",
+		"n", "radius", "hits/query", "linear", "grid", "quadtree", "kdtree")
+	t.Note = "paper: games use grids/quadtrees/BSP to avoid scans (Performance Challenges)"
+	sizes := pick(quick, []int{1000, 4000}, []int{1000, 8000, 64000})
+	world := 1000.0
+	queries := pick(quick, 50, 200)
+	for _, n := range sizes {
+		pts := randPoints(200+int64(n), n, world)
+		linear := spatial.NewLinear()
+		grid := spatial.NewGrid(25)
+		qt := spatial.NewQuadTree(spatial.NewRect(0, 0, world, world))
+		kd := spatial.NewKDTree()
+		for _, p := range pts {
+			linear.Insert(p.ID, p.Pos)
+			grid.Insert(p.ID, p.Pos)
+			qt.Insert(p.ID, p.Pos)
+			kd.Insert(p.ID, p.Pos)
+		}
+		kd.Rebuild()
+		rng := newRng(300 + int64(n))
+		centers := make([]spatial.Vec2, queries)
+		for i := range centers {
+			centers[i] = spatial.Vec2{X: rng.Float64() * world, Y: rng.Float64() * world}
+		}
+		for _, radius := range []float64{10, 80} {
+			hits := 0
+			run := func(ix spatial.Index) func() {
+				return func() {
+					for _, c := range centers {
+						ix.QueryCircle(c, radius, func(spatial.ID, spatial.Vec2) bool {
+							hits++
+							return true
+						})
+					}
+				}
+			}
+			hits = 0
+			lt := timeOp(run(linear))
+			perQueryHits := hits / queries
+			hits = 0
+			gt := timeOp(run(grid))
+			hits = 0
+			qtT := timeOp(run(qt))
+			hits = 0
+			kdT := timeOp(run(kd))
+			div := float64(queries)
+			t.AddRow(
+				fmt.Sprint(n), metrics.Fnum(radius), fmt.Sprint(perQueryHits),
+				metrics.Fdur(float64(lt.Nanoseconds())/div),
+				metrics.Fdur(float64(gt.Nanoseconds())/div),
+				metrics.Fdur(float64(qtT.Nanoseconds())/div),
+				metrics.Fdur(float64(kdT.Nanoseconds())/div),
+			)
+		}
+	}
+	return t
+}
+
+// E3KNN compares the indexes on k-nearest-neighbor queries.
+func E3KNN(quick bool) *metrics.Table {
+	t := metrics.NewTable("E3/T1 — kNN queries (time per query)",
+		"n", "k", "linear", "grid", "quadtree", "kdtree")
+	t.Note = "kNN drives targeting and flocking; trees prune, scans cannot"
+	n := pick(quick, 4000, 32000)
+	world := 1000.0
+	queries := pick(quick, 50, 200)
+	pts := randPoints(400, n, world)
+	linear := spatial.NewLinear()
+	grid := spatial.NewGrid(25)
+	qt := spatial.NewQuadTree(spatial.NewRect(0, 0, world, world))
+	kd := spatial.NewKDTree()
+	for _, p := range pts {
+		linear.Insert(p.ID, p.Pos)
+		grid.Insert(p.ID, p.Pos)
+		qt.Insert(p.ID, p.Pos)
+		kd.Insert(p.ID, p.Pos)
+	}
+	kd.Rebuild()
+	rng := newRng(401)
+	centers := make([]spatial.Vec2, queries)
+	for i := range centers {
+		centers[i] = spatial.Vec2{X: rng.Float64() * world, Y: rng.Float64() * world}
+	}
+	for _, k := range []int{1, 8, 32} {
+		times := make(map[string]float64)
+		for name, ix := range map[string]spatial.Index{
+			"linear": linear, "grid": grid, "quadtree": qt, "kdtree": kd,
+		} {
+			d := timeOp(func() {
+				for _, c := range centers {
+					ix.KNN(c, k)
+				}
+			})
+			times[name] = float64(d.Nanoseconds()) / float64(queries)
+		}
+		t.AddRow(
+			fmt.Sprint(n), fmt.Sprint(k),
+			metrics.Fdur(times["linear"]),
+			metrics.Fdur(times["grid"]),
+			metrics.Fdur(times["quadtree"]),
+			metrics.Fdur(times["kdtree"]),
+		)
+	}
+	return t
+}
+
+// E10ParallelJoin measures the partitioned parallel band join speedup
+// curve — the paper's point that game data-parallelism is DB join
+// processing (ref [1]).
+func E10ParallelJoin(quick bool) *metrics.Table {
+	t := metrics.NewTable("E10/F7 — parallel band join, n points radius 10",
+		"workers", "time", "speedup", "pairs")
+	t.Note = "paper: GPU/SPU physics pair processing ≈ partitioned DB join (ref [1])"
+	n := pick(quick, 8000, 32000)
+	pts := randPoints(1000, n, 2000)
+	const radius = 10.0
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		var pairs int
+		d := timeOp(func() {
+			pairs = query.CountInteractionsParallel(pts, radius, workers)
+		})
+		ns := float64(d.Nanoseconds())
+		if workers == 1 {
+			base = ns
+		}
+		t.AddRow(
+			fmt.Sprint(workers),
+			metrics.Fdur(ns),
+			metrics.Fnum(base/ns)+"x",
+			fmt.Sprint(pairs),
+		)
+	}
+	return t
+}

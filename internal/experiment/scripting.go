@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/metrics"
+	"gamedb/internal/query"
+	"gamedb/internal/script"
+	"gamedb/internal/spatial"
+	"gamedb/internal/world"
+)
+
+// regroupPackXML is the E9 workload as a designer would author it: every
+// entity moves toward the centroid of its neighbors, via a per-entity
+// interpreted script.
+const regroupPackXML = `
+<contentpack name="regroup">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="unit" table="units" script="regroup"/>
+  <script name="regroup">
+fn on_tick(self) {
+  let ns = nearby(self, 8.0);
+  let n = len(ns);
+  if n == 0 { return; }
+  let cx = 0.0;
+  let cy = 0.0;
+  for id in ns {
+    cx = cx + get(id, "x");
+    cy = cy + get(id, "y");
+  }
+  move_toward(self, cx / n, cy / n, 0.5);
+}
+  </script>
+</contentpack>`
+
+// E9SetAtATime runs the same regroup-at-centroid behavior two ways: the
+// per-entity interpreted script above, and a declarative set-at-a-time
+// plan (band join + grouped aggregate) over the same data — the paper's
+// refs [11]/[13] argument made concrete.
+func E9SetAtATime(quick bool) *metrics.Table {
+	t := metrics.NewTable("E9/T3 — regroup-at-centroid behavior, per tick",
+		"n", "script (interpreted)", "declarative (band join + agg)", "speedup", "script fuel/tick")
+	t.Note = "paper refs [11,13]: declarative set-at-a-time processing replaces per-object scripts"
+	sizes := pick(quick, []int{500, 2000}, []int{1000, 4000, 16000})
+	const radius = 8.0
+	for _, n := range sizes {
+		side := 40 * math.Sqrt(float64(n)/500)
+
+		// --- Script side: a world whose units all run the GSL behavior.
+		c, errs := content.LoadAndCompile(strings.NewReader(regroupPackXML))
+		if len(errs) > 0 {
+			panic(fmt.Sprint(errs))
+		}
+		w := world.New(world.Config{Seed: 42, CellSize: radius, ScriptFuel: 1 << 40})
+		if err := w.LoadPack(c); err != nil {
+			panic(err)
+		}
+		rng := newRng(1000 + int64(n))
+		positions := make([]spatial.Vec2, n)
+		for i := range positions {
+			positions[i] = spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+			if _, err := w.Spawn("unit", positions[i]); err != nil {
+				panic(err)
+			}
+		}
+		var fuel int64
+		scriptNs := timeOp(func() {
+			st, err := w.Step()
+			if err != nil {
+				panic(err)
+			}
+			if st.ScriptErrors > 0 {
+				panic(w.LastScriptError)
+			}
+			fuel = st.FuelUsed
+		})
+
+		// --- Declarative side: the same data in a bare table, processed
+		// as one band join + grouped aggregate + batch update.
+		tab := entity.NewTable("units", entity.MustSchema(
+			entity.Column{Name: "x", Kind: entity.KindFloat},
+			entity.Column{Name: "y", Kind: entity.KindFloat},
+		))
+		for i, p := range positions {
+			tab.InsertRow(entity.ID(i+1), []entity.Value{entity.Float(p.X), entity.Float(p.Y)})
+		}
+		declNs := timeOp(func() {
+			bj, err := query.NewBandJoin(
+				query.NewScanAs(tab, "a", []string{"x", "y"}),
+				query.NewScanAs(tab, "b", []string{"x", "y"}),
+				"a.x", "a.y", "b.x", "b.y", radius)
+			if err != nil {
+				panic(err)
+			}
+			agg, err := query.NewAggregate(bj, []string{"a.id"}, []query.AggSpec{
+				{Func: query.AggAvg, Expr: query.Col("b.x"), As: "cx"},
+				{Func: query.AggAvg, Expr: query.Col("b.y"), As: "cy"},
+				{Func: query.AggCount, As: "n"},
+			})
+			if err != nil {
+				panic(err)
+			}
+			rows, d, err := query.Run(agg)
+			if err != nil {
+				panic(err)
+			}
+			idI, _ := d.Col("a.id")
+			cxI, _ := d.Col("cx")
+			cyI, _ := d.Col("cy")
+			nI, _ := d.Col("n")
+			for _, r := range rows {
+				if r[nI].Int() <= 1 {
+					continue // only self in range
+				}
+				moveToward(tab, entity.ID(r[idI].Int()), r[cxI].Float(), r[cyI].Float(), 0.5)
+			}
+		})
+		t.AddRow(
+			fmt.Sprint(n),
+			metrics.Fdur(float64(scriptNs.Nanoseconds())),
+			metrics.Fdur(float64(declNs.Nanoseconds())),
+			metrics.Fnum(float64(scriptNs)/float64(declNs))+"x",
+			fmt.Sprint(fuel),
+		)
+	}
+	return t
+}
+
+func moveToward(tab *entity.Table, id entity.ID, tx, ty, step float64) {
+	x := tab.MustGet(id, "x").Float()
+	y := tab.MustGet(id, "y").Float()
+	dx, dy := tx-x, ty-y
+	d := math.Hypot(dx, dy)
+	if d <= step || d == 0 {
+		tab.Set(id, "x", entity.Float(tx))
+		tab.Set(id, "y", entity.Float(ty))
+		return
+	}
+	tab.Set(id, "x", entity.Float(x+dx/d*step))
+	tab.Set(id, "y", entity.Float(y+dy/d*step))
+}
+
+// E11RestrictedScripting loads adversarial designer scripts under both
+// regimes: full language with a fuel budget, and restricted mode (no
+// loops, no recursion). The table shows why studios chose restriction —
+// every runaway is rejected before it ever runs.
+func E11RestrictedScripting(quick bool) *metrics.Table {
+	t := metrics.NewTable("E11/T4 — adversarial scripts: full language vs restricted mode",
+		"script", "restricted verdict", "full-mode outcome", "full-mode cost")
+	t.Note = "paper ref [10]: studios removed iteration/recursion to bound designer script cost"
+	fuel := int64(pick(quick, 200_000, 2_000_000))
+	cases := []struct {
+		name string
+		src  string
+		call string
+	}{
+		{"well-behaved rule", `fn main() { let hp = 40; if hp < 50 { return "flee"; } return "fight"; }`, "main"},
+		{"heavy but finite loop", `fn main() { let s = 0; let i = 0; while i < 1000000 { s = s + i; i = i + 1; } return s; }`, "main"},
+		{"infinite loop", `fn main() { while true { } }`, "main"},
+		{"recursion bomb", `fn f(n) { return f(n + 1); } fn main() { return f(0); }`, "main"},
+		{"mutual recursion", `fn a(n) { return b(n); } fn b(n) { return a(n); } fn main() { return a(0); }`, "main"},
+	}
+	for _, tc := range cases {
+		prog, err := script.Parse(tc.src)
+		if err != nil {
+			panic(err)
+		}
+		verdict := "accepted"
+		if vs := script.CheckRestricted(prog); len(vs) > 0 {
+			verdict = "REJECTED: " + vs[0].Msg
+		}
+		in := script.NewInterp(prog, script.Options{Fuel: fuel})
+		var outcome string
+		cost := timeOp(func() {
+			_, err := in.Call(tc.call)
+			switch {
+			case err == nil:
+				outcome = "completed"
+			case errors.Is(err, script.ErrFuel):
+				outcome = fmt.Sprintf("fuel exhausted (%d)", fuel)
+			case errors.Is(err, script.ErrDepth):
+				outcome = "call depth exceeded"
+			default:
+				outcome = "error: " + err.Error()
+			}
+		})
+		t.AddRow(tc.name, verdict, outcome, metrics.Fdur(float64(cost.Nanoseconds())))
+	}
+	return t
+}

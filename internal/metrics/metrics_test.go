@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load() = %d, want 5", got)
+	}
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("Load() = %d, want 3", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Reset, Load() = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load() = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v, want 5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+	h.Record(2)
+	if h.Mean() != 2 {
+		t.Fatalf("Mean after reuse = %v, want 2", h.Mean())
+	}
+}
+
+func TestHistogramThinning(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	n := histCap*2 + 100
+	for i := 0; i < n; i++ {
+		h.Record(rng.Float64() * 100)
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	// The uniform distribution's median must survive thinning roughly.
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Fatalf("median after thinning = %v, want ≈50", med)
+	}
+}
+
+func TestHistogramRecordDuration(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(2 * time.Millisecond)
+	if h.Max() != 2e6 {
+		t.Fatalf("Max = %v, want 2e6 ns", h.Max())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("T1: demo", "n", "time")
+	tbl.AddRow("100", "1.5ms")
+	tbl.AddRowf(200, 2.0)
+	tbl.Note = "bigger is slower"
+	out := tbl.String()
+	for _, want := range []string{"T1: demo", "n", "time", "100", "1.5ms", "200", "note: bigger is slower"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, two rows, note
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("1")
+	if len(tbl.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tbl.Rows[0])
+	}
+}
+
+func TestFnum(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		0.01234: "0.0123",
+	}
+	for in, want := range cases {
+		if got := Fnum(in); got != want {
+			t.Errorf("Fnum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFdur(t *testing.T) {
+	if got := Fdur(1500); got != "1.50µs" {
+		t.Errorf("Fdur(1500) = %q", got)
+	}
+	if got := Fdur(2.5e9); got != "2.50s" {
+		t.Errorf("Fdur(2.5e9) = %q", got)
+	}
+	if got := Fdur(500); got != "500ns" {
+		t.Errorf("Fdur(500) = %q", got)
+	}
+	if got := Fdur(3.2e6); got != "3.20ms" {
+		t.Errorf("Fdur(3.2e6) = %q", got)
+	}
+}

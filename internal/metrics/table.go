@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled, column-aligned result table in the style of a paper's
+// evaluation section. Rows are strings; use Fnum/Fdur to format numbers.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note is an optional footnote printed under the table, used to state
+	// the paper claim the table tests.
+	Note string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row. Short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends one row, applying fmt.Sprint to each cell value.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, Fnum(v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Fprint writes the table aligned to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len([]rune(c)))
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+}
+
+// String renders the table as Fprint would.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}

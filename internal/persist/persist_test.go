@@ -1,0 +1,242 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// counterState is a minimal StateSource: a running sum plus applied count.
+type counterState struct {
+	sum     int64
+	applied int64
+}
+
+func (c *counterState) Snapshot() ([]byte, error) {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(c.sum))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c.applied))
+	return buf, nil
+}
+
+func (c *counterState) Restore(snap []byte) error {
+	if len(snap) != 16 {
+		return fmt.Errorf("bad snapshot len %d", len(snap))
+	}
+	c.sum = int64(binary.LittleEndian.Uint64(snap[0:]))
+	c.applied = int64(binary.LittleEndian.Uint64(snap[8:]))
+	return nil
+}
+
+func (c *counterState) Apply(a Action) error {
+	c.sum += a.Payload
+	c.applied++
+	return nil
+}
+
+func (c *counterState) Reset() { c.sum = 0; c.applied = 0 }
+
+func TestPeriodicPolicy(t *testing.T) {
+	p := Periodic{EveryTicks: 10}
+	if p.ShouldCheckpoint(Action{}, 5) {
+		t.Fatal("should not checkpoint before interval")
+	}
+	if !p.ShouldCheckpoint(Action{}, 10) {
+		t.Fatal("should checkpoint at interval")
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestEventKeyedPolicy(t *testing.T) {
+	p := EventKeyed{MaxTicks: 100}
+	if !p.ShouldCheckpoint(Action{Important: true}, 0) {
+		t.Fatal("important event must checkpoint")
+	}
+	if p.ShouldCheckpoint(Action{}, 50) {
+		t.Fatal("unimportant below max should not checkpoint")
+	}
+	if !p.ShouldCheckpoint(Action{}, 100) {
+		t.Fatal("fallback interval should checkpoint")
+	}
+}
+
+func TestCheckpointAndRecoverNoWAL(t *testing.T) {
+	st := &counterState{}
+	backing := &Backing{}
+	m := NewManager(st, backing, Periodic{EveryTicks: 10})
+	for tick := int64(1); tick <= 25; tick++ {
+		if _, err := m.Apply(tick, "gain", false, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoints at ticks 10 and 20 → 5 actions (21..25) in memory only.
+	if backing.SnapshotWrites != 2 {
+		t.Fatalf("snapshots = %d, want 2", backing.SnapshotWrites)
+	}
+	rep := m.Crash()
+	if rep.LostActions != 5 {
+		t.Fatalf("lost = %d, want 5", rep.LostActions)
+	}
+	if rep.LostTicks != 4 {
+		t.Fatalf("lost ticks = %d, want 4", rep.LostTicks)
+	}
+	if st.sum != 0 {
+		t.Fatal("crash should reset in-memory state")
+	}
+	replayed, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 {
+		t.Fatalf("replayed = %d without WAL", replayed)
+	}
+	if st.sum != 20 || st.applied != 20 {
+		t.Fatalf("recovered sum=%d applied=%d, want 20/20", st.sum, st.applied)
+	}
+}
+
+func TestWALRecoveryReplaysTail(t *testing.T) {
+	st := &counterState{}
+	backing := &Backing{}
+	m := NewManager(st, backing, Periodic{EveryTicks: 100})
+	m.WALBatch = 4
+	for tick := int64(1); tick <= 10; tick++ {
+		if _, err := m.Apply(tick, "gain", false, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No checkpoint yet (interval 100); WAL flushed at 4 and 8 → actions
+	// 9, 10 lost in the buffer.
+	rep := m.Crash()
+	if rep.LostActions != 2 {
+		t.Fatalf("lost = %d, want 2 (buffered)", rep.LostActions)
+	}
+	replayed, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 8 {
+		t.Fatalf("replayed = %d, want 8", replayed)
+	}
+	if st.sum != 16 {
+		t.Fatalf("sum = %d, want 16", st.sum)
+	}
+}
+
+func TestWALPlusCheckpointTruncatesLog(t *testing.T) {
+	st := &counterState{}
+	backing := &Backing{}
+	m := NewManager(st, backing, Periodic{EveryTicks: 5})
+	m.WALBatch = 2
+	for tick := int64(1); tick <= 12; tick++ {
+		if _, err := m.Apply(tick, "gain", false, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The durable log should only contain actions after the last
+	// checkpoint (tick 10): that's LSN > 10.
+	tail := backing.LogAfter(0)
+	for _, a := range tail {
+		if a.LSN <= 10 {
+			t.Fatalf("log not truncated: found LSN %d", a.LSN)
+		}
+	}
+	m.Crash()
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if st.applied != 12 {
+		t.Fatalf("applied = %d, want 12", st.applied)
+	}
+}
+
+func TestEventKeyedNeverLosesImportantEvents(t *testing.T) {
+	st := &counterState{}
+	backing := &Backing{}
+	m := NewManager(st, backing, EventKeyed{MaxTicks: 1000})
+	importantTotal := 0
+	for tick := int64(1); tick <= 500; tick++ {
+		important := tick%97 == 0 // sparse boss kills
+		if important {
+			importantTotal++
+		}
+		if _, err := m.Apply(tick, "action", important, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := m.Crash()
+	if rep.LostImportant != 0 {
+		t.Fatalf("event-keyed policy lost %d important events", rep.LostImportant)
+	}
+	if importantTotal == 0 {
+		t.Fatal("degenerate test: no important events generated")
+	}
+	// Contrast: periodic with a huge interval loses important events.
+	st2 := &counterState{}
+	m2 := NewManager(st2, &Backing{}, Periodic{EveryTicks: 100000})
+	for tick := int64(1); tick <= 500; tick++ {
+		m2.Apply(tick, "action", tick%97 == 0, 1)
+	}
+	rep2 := m2.Crash()
+	if rep2.LostImportant != importantTotal {
+		t.Fatalf("periodic lost %d important, want all %d", rep2.LostImportant, importantTotal)
+	}
+}
+
+func TestRecoverWithNothingDurable(t *testing.T) {
+	st := &counterState{}
+	m := NewManager(st, &Backing{}, Periodic{EveryTicks: 1000})
+	m.Apply(1, "x", false, 1)
+	m.Crash()
+	if _, err := m.Recover(); !errors.Is(err, ErrNoState) {
+		t.Fatalf("err = %v, want ErrNoState", err)
+	}
+}
+
+func TestCostModelAccumulates(t *testing.T) {
+	st := &counterState{}
+	backing := &Backing{}
+	m := NewManager(st, backing, Periodic{EveryTicks: 2})
+	m.WALBatch = 1
+	for tick := int64(1); tick <= 10; tick++ {
+		m.Apply(tick, "x", false, 1)
+	}
+	if backing.CostUnits <= 0 || backing.LogBatches == 0 || backing.SnapshotWrites == 0 {
+		t.Fatalf("cost model not accumulating: %+v", backing)
+	}
+	// More frequent checkpoints must cost more.
+	st2 := &counterState{}
+	b2 := &Backing{}
+	m2 := NewManager(st2, b2, Periodic{EveryTicks: 100})
+	m2.WALBatch = 1
+	for tick := int64(1); tick <= 10; tick++ {
+		m2.Apply(tick, "x", false, 1)
+	}
+	if b2.CostUnits >= backing.CostUnits {
+		t.Fatalf("rare checkpoints (%d units) should cost less than frequent (%d)",
+			b2.CostUnits, backing.CostUnits)
+	}
+}
+
+func TestManualCheckpoint(t *testing.T) {
+	st := &counterState{}
+	backing := &Backing{}
+	m := NewManager(st, backing, Periodic{EveryTicks: 1000000})
+	m.Apply(1, "x", false, 5)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Crash()
+	if rep.LostActions != 0 {
+		t.Fatalf("lost = %d after manual checkpoint", rep.LostActions)
+	}
+	if _, err := m.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if st.sum != 5 {
+		t.Fatalf("sum = %d", st.sum)
+	}
+}

@@ -1,0 +1,326 @@
+package query
+
+import (
+	"fmt"
+
+	"gamedb/internal/entity"
+)
+
+// Expr is a scalar expression over a tuple stream. Bind resolves column
+// references against a descriptor once; Eval then runs without lookups.
+type Expr interface {
+	// Bind resolves column references against d.
+	Bind(d *Desc) error
+	// Eval computes the expression over one tuple.
+	Eval(t Tuple) (entity.Value, error)
+	// String renders the expression for plan display.
+	String() string
+}
+
+// Col references a named column.
+func Col(name string) Expr { return &colRef{name: name} }
+
+type colRef struct {
+	name string
+	idx  int
+}
+
+func (c *colRef) Bind(d *Desc) error {
+	i, ok := d.Col(c.name)
+	if !ok {
+		return fmt.Errorf("query: unknown column %q (have %v)", c.name, d.Names())
+	}
+	c.idx = i
+	return nil
+}
+
+func (c *colRef) Eval(t Tuple) (entity.Value, error) { return t[c.idx], nil }
+func (c *colRef) String() string                     { return c.name }
+
+// Const wraps a literal value.
+func Const(v entity.Value) Expr { return constExpr{v} }
+
+// ConstInt is shorthand for Const(entity.Int(n)).
+func ConstInt(n int64) Expr { return constExpr{entity.Int(n)} }
+
+// ConstFloat is shorthand for Const(entity.Float(f)).
+func ConstFloat(f float64) Expr { return constExpr{entity.Float(f)} }
+
+// ConstStr is shorthand for Const(entity.Str(s)).
+func ConstStr(s string) Expr { return constExpr{entity.Str(s)} }
+
+// ConstBool is shorthand for Const(entity.Bool(b)).
+func ConstBool(b bool) Expr { return constExpr{entity.Bool(b)} }
+
+type constExpr struct{ v entity.Value }
+
+func (c constExpr) Bind(*Desc) error                 { return nil }
+func (c constExpr) Eval(Tuple) (entity.Value, error) { return c.v, nil }
+func (c constExpr) String() string                   { return c.v.String() }
+
+// binOp codes.
+type binKind uint8
+
+const (
+	opAdd binKind = iota
+	opSub
+	opMul
+	opDiv
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opAnd
+	opOr
+)
+
+var binNames = map[binKind]string{
+	opAdd: "+", opSub: "-", opMul: "*", opDiv: "/",
+	opEq: "=", opNe: "!=", opLt: "<", opLe: "<=", opGt: ">", opGe: ">=",
+	opAnd: "and", opOr: "or",
+}
+
+type binExpr struct {
+	kind binKind
+	l, r Expr
+}
+
+// Add returns l + r (int if both int, else float).
+func Add(l, r Expr) Expr { return &binExpr{opAdd, l, r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return &binExpr{opSub, l, r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return &binExpr{opMul, l, r} }
+
+// Div returns l / r; integer division when both operands are ints.
+func Div(l, r Expr) Expr { return &binExpr{opDiv, l, r} }
+
+// Eq returns l = r.
+func Eq(l, r Expr) Expr { return &binExpr{opEq, l, r} }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return &binExpr{opNe, l, r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return &binExpr{opLt, l, r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return &binExpr{opLe, l, r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return &binExpr{opGt, l, r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return &binExpr{opGe, l, r} }
+
+// And returns l and r (both must be bool).
+func And(l, r Expr) Expr { return &binExpr{opAnd, l, r} }
+
+// Or returns l or r (both must be bool).
+func Or(l, r Expr) Expr { return &binExpr{opOr, l, r} }
+
+func (b *binExpr) Bind(d *Desc) error {
+	if err := b.l.Bind(d); err != nil {
+		return err
+	}
+	return b.r.Bind(d)
+}
+
+func (b *binExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.l, binNames[b.kind], b.r)
+}
+
+func (b *binExpr) Eval(t Tuple) (entity.Value, error) {
+	lv, err := b.l.Eval(t)
+	if err != nil {
+		return entity.Null(), err
+	}
+	rv, err := b.r.Eval(t)
+	if err != nil {
+		return entity.Null(), err
+	}
+	switch b.kind {
+	case opAdd, opSub, opMul, opDiv:
+		return evalArith(b.kind, lv, rv)
+	case opEq, opNe, opLt, opLe, opGt, opGe:
+		return evalCompare(b.kind, lv, rv)
+	case opAnd, opOr:
+		lb, ok1 := lv.AsBool()
+		rb, ok2 := rv.AsBool()
+		if !ok1 || !ok2 {
+			return entity.Null(), fmt.Errorf("query: %s needs bools, got %s/%s",
+				binNames[b.kind], lv.Kind(), rv.Kind())
+		}
+		if b.kind == opAnd {
+			return entity.Bool(lb && rb), nil
+		}
+		return entity.Bool(lb || rb), nil
+	default:
+		return entity.Null(), fmt.Errorf("query: bad op %d", b.kind)
+	}
+}
+
+func evalArith(k binKind, l, r entity.Value) (entity.Value, error) {
+	if li, ok := l.AsInt(); ok {
+		if ri, ok2 := r.AsInt(); ok2 {
+			switch k {
+			case opAdd:
+				return entity.Int(li + ri), nil
+			case opSub:
+				return entity.Int(li - ri), nil
+			case opMul:
+				return entity.Int(li * ri), nil
+			case opDiv:
+				if ri == 0 {
+					return entity.Null(), fmt.Errorf("query: integer division by zero")
+				}
+				return entity.Int(li / ri), nil
+			}
+		}
+	}
+	lf, ok1 := l.AsFloat()
+	rf, ok2 := r.AsFloat()
+	if !ok1 || !ok2 {
+		return entity.Null(), fmt.Errorf("query: %s needs numbers, got %s/%s",
+			binNames[k], l.Kind(), r.Kind())
+	}
+	switch k {
+	case opAdd:
+		return entity.Float(lf + rf), nil
+	case opSub:
+		return entity.Float(lf - rf), nil
+	case opMul:
+		return entity.Float(lf * rf), nil
+	default:
+		return entity.Float(lf / rf), nil
+	}
+}
+
+func evalCompare(k binKind, l, r entity.Value) (entity.Value, error) {
+	var c int
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	switch {
+	case lok && rok:
+		// Numeric comparison coerces int/float.
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	case l.Kind() == r.Kind():
+		c = entity.Compare(l, r)
+	default:
+		return entity.Null(), fmt.Errorf("query: cannot compare %s with %s", l.Kind(), r.Kind())
+	}
+	switch k {
+	case opEq:
+		return entity.Bool(c == 0), nil
+	case opNe:
+		return entity.Bool(c != 0), nil
+	case opLt:
+		return entity.Bool(c < 0), nil
+	case opLe:
+		return entity.Bool(c <= 0), nil
+	case opGt:
+		return entity.Bool(c > 0), nil
+	default:
+		return entity.Bool(c >= 0), nil
+	}
+}
+
+// Not negates a boolean expression.
+func Not(e Expr) Expr { return &notExpr{e} }
+
+type notExpr struct{ e Expr }
+
+func (n *notExpr) Bind(d *Desc) error { return n.e.Bind(d) }
+func (n *notExpr) String() string     { return fmt.Sprintf("(not %s)", n.e) }
+func (n *notExpr) Eval(t Tuple) (entity.Value, error) {
+	v, err := n.e.Eval(t)
+	if err != nil {
+		return entity.Null(), err
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return entity.Null(), fmt.Errorf("query: not needs bool, got %s", v.Kind())
+	}
+	return entity.Bool(!b), nil
+}
+
+// Neg negates a numeric expression.
+func Neg(e Expr) Expr { return &negExpr{e} }
+
+type negExpr struct{ e Expr }
+
+func (n *negExpr) Bind(d *Desc) error { return n.e.Bind(d) }
+func (n *negExpr) String() string     { return fmt.Sprintf("(-%s)", n.e) }
+func (n *negExpr) Eval(t Tuple) (entity.Value, error) {
+	v, err := n.e.Eval(t)
+	if err != nil {
+		return entity.Null(), err
+	}
+	if i, ok := v.AsInt(); ok {
+		return entity.Int(-i), nil
+	}
+	if f, ok := v.AsFloat(); ok {
+		return entity.Float(-f), nil
+	}
+	return entity.Null(), fmt.Errorf("query: neg needs number, got %s", v.Kind())
+}
+
+// Dist2 computes the squared Euclidean distance between points
+// (ax, ay) and (bx, by) — the predicate at the heart of interaction
+// scripts and band joins.
+func Dist2(ax, ay, bx, by Expr) Expr { return &dist2Expr{ax, ay, bx, by} }
+
+type dist2Expr struct{ ax, ay, bx, by Expr }
+
+func (d *dist2Expr) Bind(desc *Desc) error {
+	for _, e := range []Expr{d.ax, d.ay, d.bx, d.by} {
+		if err := e.Bind(desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dist2Expr) String() string {
+	return fmt.Sprintf("dist2(%s,%s,%s,%s)", d.ax, d.ay, d.bx, d.by)
+}
+
+func (d *dist2Expr) Eval(t Tuple) (entity.Value, error) {
+	vals := [4]float64{}
+	for i, e := range []Expr{d.ax, d.ay, d.bx, d.by} {
+		v, err := e.Eval(t)
+		if err != nil {
+			return entity.Null(), err
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return entity.Null(), fmt.Errorf("query: dist2 needs numbers, got %s", v.Kind())
+		}
+		vals[i] = f
+	}
+	dx := vals[0] - vals[2]
+	dy := vals[1] - vals[3]
+	return entity.Float(dx*dx + dy*dy), nil
+}
+
+// EvalPred evaluates e as a predicate, failing if non-boolean.
+func EvalPred(e Expr, t Tuple) (bool, error) {
+	v, err := e.Eval(t)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, fmt.Errorf("query: predicate returned %s, want bool", v.Kind())
+	}
+	return b, nil
+}

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+
+	"gamedb/internal/spatial"
+)
+
+// CountInteractions counts unordered entity pairs within radius using a
+// single-threaded grid band join. It is the sequential baseline for the
+// parallel speedup experiment (E10) and the indexed contender in E1.
+func CountInteractions(pts []spatial.Point, radius float64) int {
+	grid := spatial.NewGrid(radius)
+	for _, p := range pts {
+		grid.Insert(p.ID, p.Pos)
+	}
+	count := 0
+	for _, p := range pts {
+		grid.QueryCircle(p.Pos, radius, func(id spatial.ID, _ spatial.Vec2) bool {
+			if id > p.ID { // count each unordered pair once
+				count++
+			}
+			return true
+		})
+	}
+	return count
+}
+
+// CountInteractionsNaive counts the same pairs with the Ω(n²) nested loop
+// a naive designer script induces.
+func CountInteractionsNaive(pts []spatial.Point, radius float64) int {
+	r2 := radius * radius
+	count := 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Pos.Dist2(pts[j].Pos) <= r2 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// CountInteractionsParallel is the partitioned parallel band join: the
+// probe side is split across workers over a shared read-only grid,
+// mirroring how game engines fan physics pair tests across cores/GPU
+// lanes exactly like partitioned DB join processing (paper ref [1]).
+// workers ≤ 0 selects GOMAXPROCS.
+func CountInteractionsParallel(pts []spatial.Point, radius float64, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers <= 1 {
+		return CountInteractions(pts, radius)
+	}
+	grid := spatial.NewGrid(radius)
+	for _, p := range pts {
+		grid.Insert(p.ID, p.Pos)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := 0
+			for _, p := range pts[lo:hi] {
+				grid.QueryCircle(p.Pos, radius, func(id spatial.ID, _ spatial.Vec2) bool {
+					if id > p.ID {
+						local++
+					}
+					return true
+				})
+			}
+			counts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,188 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"gamedb/internal/entity"
+)
+
+func plannerTable(t *testing.T) *entity.Table {
+	t.Helper()
+	tab := makeUnits(t, 400, 77)
+	if err := tab.CreateHashIndex("faction"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateOrderedIndex("hp"); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// runIDs executes a plan and returns the sorted id column.
+func runIDs(t *testing.T, op Op) []int64 {
+	t.Helper()
+	rows, d, err := Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idI, ok := d.Col("units.id")
+	if !ok {
+		t.Fatal("no id column")
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[idI].Int()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlannerChoosesHashIndex(t *testing.T) {
+	tab := plannerTable(t)
+	pred := Eq(Col("units.faction"), ConstStr("red"))
+	op, path := PlanSelect(tab, pred)
+	if path != "index-eq(faction)" {
+		t.Fatalf("path = %q", path)
+	}
+	want := runIDs(t, NewFilter(NewScan(tab), Eq(Col("units.faction"), ConstStr("red"))))
+	got := runIDs(t, op)
+	if !equalInt64s(got, want) {
+		t.Fatalf("planned result differs: %d vs %d rows", len(got), len(want))
+	}
+	// Reversed operand order still plans the probe.
+	_, path = PlanSelect(tab, Eq(ConstStr("red"), Col("units.faction")))
+	if path != "index-eq(faction)" {
+		t.Fatalf("reversed path = %q", path)
+	}
+}
+
+func TestPlannerChoosesOrderedIndex(t *testing.T) {
+	tab := plannerTable(t)
+	pred := And(Ge(Col("units.hp"), ConstInt(20)), Le(Col("units.hp"), ConstInt(60)))
+	op, path := PlanSelect(tab, pred)
+	if path != "index-range(hp)" {
+		t.Fatalf("path = %q", path)
+	}
+	want := runIDs(t, NewFilter(NewScan(tab), pred))
+	got := runIDs(t, op)
+	if !equalInt64s(got, want) {
+		t.Fatalf("planned result differs")
+	}
+	// Single-bound and strict comparisons also use the index, with the
+	// residual filter restoring strictness.
+	for _, p := range []Expr{
+		Lt(Col("units.hp"), ConstInt(30)),
+		Gt(Col("units.hp"), ConstInt(70)),
+		Ge(ConstInt(50), Col("units.hp")), // 50 >= hp  ⇒ hp ≤ 50
+	} {
+		op, path := PlanSelect(tab, p)
+		if !strings.HasPrefix(path, "index-range") {
+			t.Fatalf("path for %v = %q", p, path)
+		}
+		want := runIDs(t, NewFilter(NewScan(tab), p))
+		if got := runIDs(t, op); !equalInt64s(got, want) {
+			t.Fatalf("plan for %v differs from scan", p)
+		}
+	}
+}
+
+func TestPlannerFallsBackToScan(t *testing.T) {
+	tab := plannerTable(t)
+	cases := []Expr{
+		Eq(Col("units.x"), ConstFloat(5)),  // no index on x
+		Lt(Col("units.x"), ConstFloat(50)), // no ordered index on x
+		Or(Eq(Col("units.faction"), ConstStr("red")), Eq(Col("units.faction"), ConstStr("blue"))), // disjunction
+		Eq(Col("units.faction"), Col("units.name")),                                               // col-col
+		Eq(Col("units.faction"), ConstInt(3)),                                                     // kind mismatch with index
+	}
+	for _, pred := range cases {
+		op, path := PlanSelect(tab, pred)
+		if path != "scan+filter" {
+			t.Fatalf("pred %v path = %q, want scan+filter", pred, path)
+		}
+		// Must still execute correctly (or fail identically to the scan).
+		planned, _, errPlan := Run(op)
+		direct, _, errScan := Run(NewFilter(NewScan(tab), pred))
+		if (errPlan == nil) != (errScan == nil) {
+			t.Fatalf("pred %v: plan err %v, scan err %v", pred, errPlan, errScan)
+		}
+		if errPlan == nil && len(planned) != len(direct) {
+			t.Fatalf("pred %v: %d vs %d rows", pred, len(planned), len(direct))
+		}
+	}
+	if _, path := PlanSelect(tab, nil); path != "scan" {
+		t.Fatalf("nil pred path = %q", path)
+	}
+}
+
+// TestPlannerEquivalenceRandomized fuzzes random eq/range predicates and
+// checks planned results always match scan+filter.
+func TestPlannerEquivalenceRandomized(t *testing.T) {
+	tab := plannerTable(t)
+	rng := rand.New(rand.NewSource(99))
+	factions := []string{"red", "blue", "green", "absent"}
+	for trial := 0; trial < 200; trial++ {
+		var pred Expr
+		switch rng.Intn(3) {
+		case 0:
+			pred = Eq(Col("units.faction"), ConstStr(factions[rng.Intn(len(factions))]))
+		case 1:
+			lo := rng.Int63n(100)
+			hi := lo + rng.Int63n(40)
+			pred = And(Ge(Col("units.hp"), ConstInt(lo)), Le(Col("units.hp"), ConstInt(hi)))
+		default:
+			pred = Eq(Col("units.hp"), ConstInt(rng.Int63n(110)))
+		}
+		op, _ := PlanSelect(tab, pred)
+		got := runIDs(t, op)
+		want := runIDs(t, NewFilter(NewScan(tab), pred))
+		if !equalInt64s(got, want) {
+			t.Fatalf("trial %d (%v): planned %d rows, scan %d", trial, pred, len(got), len(want))
+		}
+	}
+}
+
+// TestJoinEquivalenceRandomized: hash join must agree with NL join on
+// random equi-join instances — the cross-operator correctness property.
+func TestJoinEquivalenceRandomized(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		a := makeUnits(t, 30+trial*7, int64(500+trial))
+		bTab := makeUnits(t, 20+trial*5, int64(600+trial))
+		nl, err := NewNLJoin(NewScanAs(a, "a", nil), NewScanAs(bTab, "b", nil),
+			Eq(Col("a.faction"), Col("b.faction")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nlN, err := Count(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hj, err := NewHashJoin(NewScanAs(a, "a", nil), NewScanAs(bTab, "b", nil),
+			"a.faction", "b.faction")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hjN, err := Count(hj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nlN != hjN {
+			t.Fatalf("trial %d: NL %d rows, hash %d rows", trial, nlN, hjN)
+		}
+	}
+}

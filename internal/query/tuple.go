@@ -1,0 +1,138 @@
+// Package query implements a declarative, set-at-a-time query processor
+// over the entity store — the paper's answer (via refs [11] and [13],
+// "Scaling Games to Epic Proportions") to Ω(n²) designer scripts: express
+// object interactions as indexed joins and aggregates instead of nested
+// per-object loops.
+//
+// Operators follow a batch (vectorized) pull model: each Op yields slices
+// of tuples, so per-row virtual-call overhead is paid once per batch. The
+// package also provides the partitioned parallel band join that mirrors
+// GPU join processing (ref [1]).
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"gamedb/internal/entity"
+)
+
+// Tuple is one row flowing through the executor.
+type Tuple []entity.Value
+
+// Desc names the columns of a tuple stream. Columns are qualified as
+// "alias.column"; scans inject an "alias.id" column carrying the entity
+// ID as an int.
+type Desc struct {
+	names  []string
+	byName map[string]int
+}
+
+// NewDesc builds a descriptor from column names, which must be unique.
+func NewDesc(names ...string) (*Desc, error) {
+	d := &Desc{names: names, byName: make(map[string]int, len(names))}
+	for i, n := range names {
+		if _, dup := d.byName[n]; dup {
+			return nil, fmt.Errorf("query: duplicate column %q", n)
+		}
+		d.byName[n] = i
+	}
+	return d, nil
+}
+
+// MustDesc is NewDesc that panics on error.
+func MustDesc(names ...string) *Desc {
+	d, err := NewDesc(names...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Col returns the index of the named column.
+func (d *Desc) Col(name string) (int, bool) {
+	i, ok := d.byName[name]
+	return i, ok
+}
+
+// Names returns a copy of the column names.
+func (d *Desc) Names() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// Len returns the number of columns.
+func (d *Desc) Len() int { return len(d.names) }
+
+// Concat returns the descriptor of a join output: left columns followed
+// by right columns.
+func (d *Desc) Concat(o *Desc) (*Desc, error) {
+	return NewDesc(append(d.Names(), o.Names()...)...)
+}
+
+// Op is a batch iterator over tuples. The contract is
+// Open → Next* → Close; Next returns a nil batch when exhausted. Batches
+// are owned by the operator and invalid after the following Next call;
+// Run copies when materializing. Source tables must not be mutated while
+// a query runs.
+type Op interface {
+	// Desc describes the output columns. Valid before Open.
+	Desc() *Desc
+	// Open prepares the operator (binds expressions, builds hash tables).
+	Open() error
+	// Next returns the next batch, or nil when the stream is exhausted.
+	Next() ([]Tuple, error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// batchSize is the tuple count each operator aims to produce per Next.
+const batchSize = 256
+
+// ErrClosed is returned by Next after Close.
+var ErrClosed = errors.New("query: operator closed")
+
+// Run executes a plan to completion and returns the materialized result.
+// Tuples are copied out of operator-owned batches.
+func Run(op Op) ([]Tuple, *Desc, error) {
+	if err := op.Open(); err != nil {
+		return nil, nil, err
+	}
+	defer op.Close()
+	var out []Tuple
+	for {
+		batch, err := op.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if batch == nil {
+			return out, op.Desc(), nil
+		}
+		for _, t := range batch {
+			cp := make(Tuple, len(t))
+			copy(cp, t)
+			out = append(out, cp)
+		}
+	}
+}
+
+// Count executes a plan and returns only the row count, avoiding
+// materialization.
+func Count(op Op) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		batch, err := op.Next()
+		if err != nil {
+			return 0, err
+		}
+		if batch == nil {
+			return n, nil
+		}
+		n += len(batch)
+	}
+}

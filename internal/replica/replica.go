@@ -1,0 +1,331 @@
+// Package replica implements client-state replication with the weakened
+// consistency tiers the paper describes: games keep the persistent world
+// exactly consistent while letting "animation or other uncontested
+// activity ... be out of sync between computers". Each replicated field
+// carries a consistency class:
+//
+//   - Exact: every change ships on the tick it happens (persistent
+//     state — inventory, hp).
+//   - Coarse: ships only when server and replica diverge beyond an
+//     epsilon or a staleness deadline passes (positions).
+//   - Cosmetic: ships on a fixed low-rate schedule, best effort
+//     (animation phase, particle seeds).
+//
+// Interest management (area-of-interest filtering) rides on top: a client
+// only receives entities near its focus point, which is how MMOs bound
+// per-client bandwidth.
+package replica
+
+import (
+	"fmt"
+	"math"
+
+	"gamedb/internal/spatial"
+)
+
+// Class is a field's consistency class.
+type Class uint8
+
+// The consistency tiers.
+const (
+	Exact Class = iota
+	Coarse
+	Cosmetic
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Exact:
+		return "exact"
+	case Coarse:
+		return "coarse"
+	case Cosmetic:
+		return "cosmetic"
+	default:
+		return "?"
+	}
+}
+
+// FieldSpec describes one replicated numeric field.
+type FieldSpec struct {
+	Name  string
+	Class Class
+	// Epsilon is the allowed divergence for Coarse fields.
+	Epsilon float64
+	// MaxAge forces a Coarse ship after this many ticks of unsent drift.
+	MaxAge int64
+	// Period is the ship schedule for Cosmetic fields (every Period
+	// ticks). 0 behaves as 1.
+	Period int64
+}
+
+// ID identifies a replicated entity.
+type ID = spatial.ID
+
+// msgBytes is the modeled wire size of one field update
+// (entity id + field index + float64 payload).
+const msgBytes = 14
+
+// snapshotBytesPer is the modeled wire size per field of an entity
+// entering a client's interest set.
+const snapshotBytesPer = 10
+
+// Server is the authoritative state plus per-client replication tracking.
+type Server struct {
+	specs   []FieldSpec
+	byName  map[string]int
+	ents    map[ID][]float64
+	pos     map[ID]spatial.Vec2
+	grid    *spatial.Grid
+	clients []*Client
+	tick    int64
+}
+
+// NewServer builds a server replicating the given fields. aoiCell sizes
+// the interest-management grid and should be on the order of client AOI
+// radii.
+func NewServer(specs []FieldSpec, aoiCell float64) (*Server, error) {
+	s := &Server{
+		specs:  specs,
+		byName: make(map[string]int, len(specs)),
+		ents:   make(map[ID][]float64),
+		pos:    make(map[ID]spatial.Vec2),
+		grid:   spatial.NewGrid(aoiCell),
+	}
+	for i, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("replica: field %d has no name", i)
+		}
+		if _, dup := s.byName[sp.Name]; dup {
+			return nil, fmt.Errorf("replica: duplicate field %q", sp.Name)
+		}
+		s.byName[sp.Name] = i
+	}
+	return s, nil
+}
+
+// Tick returns the current tick counter.
+func (s *Server) Tick() int64 { return s.tick }
+
+// Spawn registers an entity at pos with zeroed fields.
+func (s *Server) Spawn(id ID, pos spatial.Vec2) {
+	s.ents[id] = make([]float64, len(s.specs))
+	s.pos[id] = pos
+	s.grid.Insert(id, pos)
+}
+
+// Despawn removes an entity.
+func (s *Server) Despawn(id ID) {
+	delete(s.ents, id)
+	delete(s.pos, id)
+	s.grid.Remove(id)
+}
+
+// MoveEntity updates the entity's spatial position used for interest
+// management (separate from replicated fields so experiments can
+// replicate x/y as Coarse fields too).
+func (s *Server) MoveEntity(id ID, pos spatial.Vec2) {
+	if _, ok := s.ents[id]; !ok {
+		return
+	}
+	s.pos[id] = pos
+	s.grid.Move(id, pos)
+}
+
+// Set writes one field of one entity.
+func (s *Server) Set(id ID, field string, v float64) error {
+	fi, ok := s.byName[field]
+	if !ok {
+		return fmt.Errorf("replica: unknown field %q", field)
+	}
+	vals, ok := s.ents[id]
+	if !ok {
+		return fmt.Errorf("replica: unknown entity %d", id)
+	}
+	vals[fi] = v
+	return nil
+}
+
+// Get reads one field of one entity from the authoritative state.
+func (s *Server) Get(id ID, field string) (float64, error) {
+	fi, ok := s.byName[field]
+	if !ok {
+		return 0, fmt.Errorf("replica: unknown field %q", field)
+	}
+	vals, ok := s.ents[id]
+	if !ok {
+		return 0, fmt.Errorf("replica: unknown entity %d", id)
+	}
+	return vals[fi], nil
+}
+
+// Client is one connected replica with an area of interest.
+type Client struct {
+	Name      string
+	Focus     spatial.Vec2
+	AOIRadius float64
+
+	state    map[ID][]float64
+	lastSent map[ID][]float64
+	sentTick map[ID][]int64
+
+	// Msgs counts field updates shipped; Bytes models bandwidth;
+	// Snapshots counts entities entering the AOI.
+	Msgs      int64
+	Bytes     int64
+	Snapshots int64
+}
+
+// AddClient connects a client with the given focus and AOI radius.
+func (s *Server) AddClient(name string, focus spatial.Vec2, aoiRadius float64) *Client {
+	c := &Client{
+		Name:      name,
+		Focus:     focus,
+		AOIRadius: aoiRadius,
+		state:     make(map[ID][]float64),
+		lastSent:  make(map[ID][]float64),
+		sentTick:  make(map[ID][]int64),
+	}
+	s.clients = append(s.clients, c)
+	return c
+}
+
+// Has reports whether the client currently replicates the entity.
+func (c *Client) Has(id ID) bool {
+	_, ok := c.state[id]
+	return ok
+}
+
+// Value returns the client's replicated value of a field (by index).
+func (c *Client) value(id ID, fi int) (float64, bool) {
+	vals, ok := c.state[id]
+	if !ok {
+		return 0, false
+	}
+	return vals[fi], true
+}
+
+// FlushTick advances the tick and ships updates to every client
+// according to field classes and interest sets.
+func (s *Server) FlushTick() {
+	s.tick++
+	for _, c := range s.clients {
+		s.flushClient(c)
+	}
+}
+
+func (s *Server) flushClient(c *Client) {
+	// Compute the interest set.
+	interest := make(map[ID]bool)
+	s.grid.QueryCircle(c.Focus, c.AOIRadius, func(id ID, _ spatial.Vec2) bool {
+		interest[id] = true
+		return true
+	})
+	// Drop entities that left the AOI.
+	for id := range c.state {
+		if !interest[id] {
+			delete(c.state, id)
+			delete(c.lastSent, id)
+			delete(c.sentTick, id)
+		}
+	}
+	for id := range interest {
+		src := s.ents[id]
+		if src == nil {
+			continue
+		}
+		repl, known := c.state[id]
+		if !known {
+			// Entering AOI: full snapshot.
+			repl = make([]float64, len(src))
+			copy(repl, src)
+			sent := make([]float64, len(src))
+			copy(sent, src)
+			ticks := make([]int64, len(src))
+			for i := range ticks {
+				ticks[i] = s.tick
+			}
+			c.state[id] = repl
+			c.lastSent[id] = sent
+			c.sentTick[id] = ticks
+			c.Snapshots++
+			c.Bytes += int64(len(src)) * snapshotBytesPer
+			continue
+		}
+		sent := c.lastSent[id]
+		ticks := c.sentTick[id]
+		for fi, spec := range s.specs {
+			cur := src[fi]
+			if cur == sent[fi] {
+				continue // nothing new to ship
+			}
+			ship := false
+			switch spec.Class {
+			case Exact:
+				ship = true
+			case Coarse:
+				if math.Abs(cur-sent[fi]) > spec.Epsilon {
+					ship = true
+				} else if spec.MaxAge > 0 && s.tick-ticks[fi] >= spec.MaxAge {
+					ship = true
+				}
+			case Cosmetic:
+				period := spec.Period
+				if period <= 0 {
+					period = 1
+				}
+				ship = s.tick%period == 0
+			}
+			if ship {
+				repl[fi] = cur
+				sent[fi] = cur
+				ticks[fi] = s.tick
+				c.Msgs++
+				c.Bytes += msgBytes
+			}
+		}
+	}
+}
+
+// Divergence reports the maximum absolute server-vs-client difference
+// for one field across entities the client replicates.
+func (s *Server) Divergence(c *Client, field string) (float64, error) {
+	fi, ok := s.byName[field]
+	if !ok {
+		return 0, fmt.Errorf("replica: unknown field %q", field)
+	}
+	maxDiff := 0.0
+	for id, vals := range s.ents {
+		cv, has := c.value(id, fi)
+		if !has {
+			continue
+		}
+		if d := math.Abs(vals[fi] - cv); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff, nil
+}
+
+// CrossClientDivergence reports the maximum absolute difference of a
+// field between two clients over entities both replicate — the paper's
+// "players may have inconsistent, but very similar game states".
+func (s *Server) CrossClientDivergence(a, b *Client, field string) (float64, error) {
+	fi, ok := s.byName[field]
+	if !ok {
+		return 0, fmt.Errorf("replica: unknown field %q", field)
+	}
+	maxDiff := 0.0
+	for id := range s.ents {
+		av, okA := a.value(id, fi)
+		bv, okB := b.value(id, fi)
+		if !okA || !okB {
+			continue
+		}
+		if d := math.Abs(av - bv); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff, nil
+}

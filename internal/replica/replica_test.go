@@ -1,0 +1,231 @@
+package replica
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gamedb/internal/spatial"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer([]FieldSpec{
+		{Name: "hp", Class: Exact},
+		{Name: "x", Class: Coarse, Epsilon: 2.0, MaxAge: 10},
+		{Name: "anim", Class: Cosmetic, Period: 4},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer([]FieldSpec{{Name: ""}}, 10); err == nil {
+		t.Fatal("empty field name should fail")
+	}
+	if _, err := NewServer([]FieldSpec{{Name: "a"}, {Name: "a"}}, 10); err == nil {
+		t.Fatal("duplicate field should fail")
+	}
+	s := newTestServer(t)
+	if err := s.Set(99, "hp", 1); err == nil {
+		t.Fatal("unknown entity should fail")
+	}
+	s.Spawn(1, spatial.Vec2{})
+	if err := s.Set(1, "zzz", 1); err == nil {
+		t.Fatal("unknown field should fail")
+	}
+	if _, err := s.Get(1, "zzz"); err == nil {
+		t.Fatal("unknown field get should fail")
+	}
+}
+
+func TestExactFieldShipsEveryChange(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 50, Y: 50})
+	c := s.AddClient("c1", spatial.Vec2{X: 50, Y: 50}, 200)
+	s.FlushTick() // snapshot on entry
+	if !c.Has(1) || c.Snapshots != 1 {
+		t.Fatalf("entity not snapshotted: has=%v snaps=%d", c.Has(1), c.Snapshots)
+	}
+	base := c.Msgs
+	s.Set(1, "hp", 90)
+	s.FlushTick()
+	if c.Msgs != base+1 {
+		t.Fatalf("exact change shipped %d msgs, want 1", c.Msgs-base)
+	}
+	if v, _ := c.value(1, 0); v != 90 {
+		t.Fatalf("client hp = %v", v)
+	}
+	// No change → no message.
+	s.FlushTick()
+	if c.Msgs != base+1 {
+		t.Fatal("idle tick should ship nothing")
+	}
+}
+
+func TestCoarseFieldEpsilonSuppression(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 50, Y: 50})
+	c := s.AddClient("c1", spatial.Vec2{X: 50, Y: 50}, 200)
+	s.FlushTick()
+	base := c.Msgs
+	// Small drifts below epsilon=2: suppressed.
+	s.Set(1, "x", 1.0)
+	s.FlushTick()
+	if c.Msgs != base {
+		t.Fatal("sub-epsilon drift should not ship")
+	}
+	div, _ := s.Divergence(c, "x")
+	if div != 1.0 {
+		t.Fatalf("divergence = %v", div)
+	}
+	// Cross epsilon: ships.
+	s.Set(1, "x", 3.5)
+	s.FlushTick()
+	if c.Msgs != base+1 {
+		t.Fatalf("super-epsilon drift should ship, msgs=%d", c.Msgs-base)
+	}
+	if div, _ := s.Divergence(c, "x"); div != 0 {
+		t.Fatalf("post-ship divergence = %v", div)
+	}
+}
+
+func TestCoarseMaxAgeForcesShip(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 50, Y: 50})
+	c := s.AddClient("c1", spatial.Vec2{X: 50, Y: 50}, 200)
+	s.FlushTick()
+	base := c.Msgs
+	s.Set(1, "x", 1.5) // below epsilon, would never ship on drift alone
+	for i := 0; i < 12; i++ {
+		s.FlushTick()
+	}
+	if c.Msgs != base+1 {
+		t.Fatalf("MaxAge should force exactly one ship, got %d", c.Msgs-base)
+	}
+}
+
+func TestCosmeticPeriod(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 50, Y: 50})
+	c := s.AddClient("c1", spatial.Vec2{X: 50, Y: 50}, 200)
+	s.FlushTick()
+	base := c.Msgs
+	// Change anim every tick for 8 ticks; Period=4 → ships on tick%4==0.
+	ships := int64(0)
+	for i := 0; i < 8; i++ {
+		s.Set(1, "anim", float64(i+1))
+		s.FlushTick()
+	}
+	ships = c.Msgs - base
+	if ships != 2 {
+		t.Fatalf("cosmetic shipped %d, want 2 (every 4th tick)", ships)
+	}
+}
+
+func TestInterestManagement(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 0, Y: 0})
+	s.Spawn(2, spatial.Vec2{X: 1000, Y: 1000})
+	c := s.AddClient("c1", spatial.Vec2{X: 0, Y: 0}, 50)
+	s.FlushTick()
+	if !c.Has(1) || c.Has(2) {
+		t.Fatalf("AOI filter wrong: has1=%v has2=%v", c.Has(1), c.Has(2))
+	}
+	// Entity 2 walks into range → snapshot; entity 1 leaves → dropped.
+	s.MoveEntity(2, spatial.Vec2{X: 10, Y: 10})
+	s.MoveEntity(1, spatial.Vec2{X: 2000, Y: 0})
+	s.FlushTick()
+	if c.Has(1) || !c.Has(2) {
+		t.Fatalf("AOI transition wrong: has1=%v has2=%v", c.Has(1), c.Has(2))
+	}
+	if c.Snapshots != 2 {
+		t.Fatalf("snapshots = %d, want 2", c.Snapshots)
+	}
+}
+
+func TestDespawnStopsReplication(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 0, Y: 0})
+	c := s.AddClient("c1", spatial.Vec2{}, 100)
+	s.FlushTick()
+	s.Despawn(1)
+	s.FlushTick()
+	if c.Has(1) {
+		t.Fatal("despawned entity still replicated")
+	}
+}
+
+func TestCrossClientDivergence(t *testing.T) {
+	s := newTestServer(t)
+	s.Spawn(1, spatial.Vec2{X: 50, Y: 50})
+	// Client B has a tighter view (joins later): create divergence by
+	// changing a coarse field below epsilon after A's snapshot.
+	a := s.AddClient("a", spatial.Vec2{X: 50, Y: 50}, 200)
+	s.FlushTick()
+	s.Set(1, "x", 1.5)
+	_ = a
+	b := s.AddClient("b", spatial.Vec2{X: 50, Y: 50}, 200)
+	s.FlushTick() // b snapshots at x=1.5; a still has 0
+	d, err := s.CrossClientDivergence(a, b, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1.5) > 1e-9 {
+		t.Fatalf("cross-client divergence = %v, want 1.5", d)
+	}
+}
+
+// TestTierBandwidthOrdering verifies the paper's qualitative claim: under
+// the same update stream, exact ships the most messages, coarse fewer,
+// cosmetic fewest — while exact divergence stays zero after each flush.
+func TestTierBandwidthOrdering(t *testing.T) {
+	s, err := NewServer([]FieldSpec{
+		{Name: "exact", Class: Exact},
+		{Name: "coarse", Class: Coarse, Epsilon: 3, MaxAge: 50},
+		{Name: "cosmetic", Class: Cosmetic, Period: 8},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := spatial.ID(1); i <= 20; i++ {
+		s.Spawn(i, spatial.Vec2{X: 50, Y: 50})
+	}
+	c := s.AddClient("c", spatial.Vec2{X: 50, Y: 50}, 500)
+	s.FlushTick()
+	perField := make(map[string]int64)
+	before := map[string]int64{}
+	// Random-walk all three fields identically for 200 ticks.
+	vals := make(map[spatial.ID]float64)
+	msgsAt := func() int64 { return c.Msgs }
+	for _, field := range []string{"exact", "coarse", "cosmetic"} {
+		before[field] = msgsAt()
+		for tick := 0; tick < 200; tick++ {
+			for i := spatial.ID(1); i <= 20; i++ {
+				vals[i] += rng.NormFloat64()
+				s.Set(i, field, vals[i])
+			}
+			s.FlushTick()
+		}
+		perField[field] = msgsAt() - before[field]
+		// Reset walk state between fields.
+		for k := range vals {
+			delete(vals, k)
+		}
+	}
+	// The paper's claim: weakened tiers ship (much) less than exact.
+	// Coarse vs cosmetic ordering depends on epsilon/period parameters,
+	// so only the exact-dominates relation is asserted.
+	if perField["exact"] <= perField["coarse"] || perField["exact"] <= perField["cosmetic"] {
+		t.Fatalf("weak tiers should ship less than exact: %v", perField)
+	}
+	if perField["coarse"] == 0 || perField["cosmetic"] == 0 {
+		t.Fatalf("weak tiers should still ship something: %v", perField)
+	}
+	if d, _ := s.Divergence(c, "exact"); d != 0 {
+		t.Fatalf("exact divergence after flush = %v", d)
+	}
+}

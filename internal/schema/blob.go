@@ -1,0 +1,299 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"gamedb/internal/entity"
+)
+
+// UpgradeFn rewrites a decoded row from one version to the next.
+type UpgradeFn func(fields map[string]entity.Value) map[string]entity.Value
+
+// BlobStore stores entities as version-tagged JSON blobs in a single
+// attribute — the schema-avoidance pattern the paper reports from
+// production MMOs. "Migrating" is instant (bump the logical version);
+// the price is paid on every read: decode, and upgrade rows written
+// under old versions through the registered upgrade chain.
+type BlobStore struct {
+	tab      *entity.Table
+	version  int
+	upgrades map[int]UpgradeFn
+
+	// WriteBack persists upgraded rows on read, converging the store to
+	// the current version over time (lazy migration). When false,
+	// upgrades are recomputed on every access.
+	WriteBack bool
+
+	// Decoded counts blob decodes; Upgraded counts upgrade-chain steps
+	// run — the per-query overhead E8 reports.
+	Decoded  int64
+	Upgraded int64
+}
+
+type blobDoc struct {
+	V int                  `json:"v"`
+	F map[string][2]string `json:"f"`
+}
+
+// NewBlobStore returns an empty blob store at version 1.
+func NewBlobStore(name string) *BlobStore {
+	return &BlobStore{
+		tab: entity.NewTable(name, entity.MustSchema(
+			entity.Column{Name: "data", Kind: entity.KindString},
+		)),
+		version:  1,
+		upgrades: make(map[int]UpgradeFn),
+	}
+}
+
+// Version returns the current logical schema version.
+func (b *BlobStore) Version() int { return b.version }
+
+// Len returns the number of stored entities.
+func (b *BlobStore) Len() int { return b.tab.Len() }
+
+// RegisterUpgrade installs the rewrite from version v to v+1.
+func (b *BlobStore) RegisterUpgrade(v int, fn UpgradeFn) {
+	b.upgrades[v] = fn
+}
+
+// Migrate bumps the logical version — the instant, pause-free
+// "migration". Rows written under older versions upgrade on read.
+func (b *BlobStore) Migrate(to int) error {
+	if to < b.version {
+		return fmt.Errorf("schema: cannot downgrade blob store %d→%d", b.version, to)
+	}
+	for v := b.version; v < to; v++ {
+		if _, ok := b.upgrades[v]; !ok {
+			return fmt.Errorf("schema: no upgrade registered for version %d", v)
+		}
+	}
+	b.version = to
+	return nil
+}
+
+func encodeValue(v entity.Value) ([2]string, error) {
+	switch v.Kind() {
+	case entity.KindInt:
+		return [2]string{"i", strconv.FormatInt(v.Int(), 10)}, nil
+	case entity.KindFloat:
+		return [2]string{"f", strconv.FormatFloat(v.Float(), 'g', -1, 64)}, nil
+	case entity.KindString:
+		return [2]string{"s", v.Str()}, nil
+	case entity.KindBool:
+		return [2]string{"b", strconv.FormatBool(v.Bool())}, nil
+	default:
+		return [2]string{}, fmt.Errorf("schema: cannot encode %s value", v.Kind())
+	}
+}
+
+func decodeValue(enc [2]string) (entity.Value, error) {
+	switch enc[0] {
+	case "i":
+		n, err := strconv.ParseInt(enc[1], 10, 64)
+		if err != nil {
+			return entity.Null(), fmt.Errorf("schema: bad int payload %q", enc[1])
+		}
+		return entity.Int(n), nil
+	case "f":
+		f, err := strconv.ParseFloat(enc[1], 64)
+		if err != nil {
+			return entity.Null(), fmt.Errorf("schema: bad float payload %q", enc[1])
+		}
+		return entity.Float(f), nil
+	case "s":
+		return entity.Str(enc[1]), nil
+	case "b":
+		return entity.Bool(enc[1] == "true"), nil
+	default:
+		return entity.Null(), fmt.Errorf("schema: unknown payload tag %q", enc[0])
+	}
+}
+
+func (b *BlobStore) encode(version int, fields map[string]entity.Value) (string, error) {
+	doc := blobDoc{V: version, F: make(map[string][2]string, len(fields))}
+	for k, v := range fields {
+		enc, err := encodeValue(v)
+		if err != nil {
+			return "", fmt.Errorf("field %q: %w", k, err)
+		}
+		doc.F[k] = enc
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (b *BlobStore) decode(blob string) (int, map[string]entity.Value, error) {
+	var doc blobDoc
+	if err := json.Unmarshal([]byte(blob), &doc); err != nil {
+		return 0, nil, fmt.Errorf("schema: corrupt blob: %w", err)
+	}
+	fields := make(map[string]entity.Value, len(doc.F))
+	for k, enc := range doc.F {
+		v, err := decodeValue(enc)
+		if err != nil {
+			return 0, nil, fmt.Errorf("schema: field %q: %w", k, err)
+		}
+		fields[k] = v
+	}
+	b.Decoded++
+	return doc.V, fields, nil
+}
+
+// upgrade runs the chain from version v to current.
+func (b *BlobStore) upgrade(v int, fields map[string]entity.Value) (map[string]entity.Value, error) {
+	for ; v < b.version; v++ {
+		fn, ok := b.upgrades[v]
+		if !ok {
+			return nil, fmt.Errorf("schema: missing upgrade %d→%d", v, v+1)
+		}
+		fields = fn(fields)
+		b.Upgraded++
+	}
+	return fields, nil
+}
+
+// Insert stores a new entity's fields at the current version.
+func (b *BlobStore) Insert(id entity.ID, fields map[string]entity.Value) error {
+	blob, err := b.encode(b.version, fields)
+	if err != nil {
+		return err
+	}
+	return b.tab.Insert(id, map[string]entity.Value{"data": entity.Str(blob)})
+}
+
+// Get decodes an entity, upgrading old rows to the current version.
+func (b *BlobStore) Get(id entity.ID) (map[string]entity.Value, error) {
+	raw, err := b.tab.Get(id, "data")
+	if err != nil {
+		return nil, err
+	}
+	v, fields, err := b.decode(raw.Str())
+	if err != nil {
+		return nil, err
+	}
+	if v < b.version {
+		fields, err = b.upgrade(v, fields)
+		if err != nil {
+			return nil, err
+		}
+		if b.WriteBack {
+			blob, err := b.encode(b.version, fields)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.tab.Set(id, "data", entity.Str(blob)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fields, nil
+}
+
+// Set rewrites one field of an entity (read-modify-write of the blob).
+func (b *BlobStore) Set(id entity.ID, field string, v entity.Value) error {
+	fields, err := b.Get(id)
+	if err != nil {
+		return err
+	}
+	fields[field] = v
+	blob, err := b.encode(b.version, fields)
+	if err != nil {
+		return err
+	}
+	return b.tab.Set(id, "data", entity.Str(blob))
+}
+
+// Scan decodes every entity in storage order — what any query over blob
+// data must do, and the overhead structured columns avoid. Iteration
+// stops early if fn returns false.
+func (b *BlobStore) Scan(fn func(id entity.ID, fields map[string]entity.Value) bool) error {
+	var outer error
+	stopped := false
+	b.tab.Scan(func(id entity.ID, row []entity.Value) bool {
+		v, fields, err := b.decode(row[0].Str())
+		if err != nil {
+			outer = err
+			return false
+		}
+		if v < b.version {
+			fields, err = b.upgrade(v, fields)
+			if err != nil {
+				outer = err
+				return false
+			}
+		}
+		if !fn(id, fields) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	_ = stopped
+	return outer
+}
+
+// RewriteAll eagerly upgrades every stored blob to the current version
+// (the optional background migration), returning rows rewritten.
+func (b *BlobStore) RewriteAll() (int, error) {
+	rewritten := 0
+	for _, id := range b.tab.IDs() {
+		raw, err := b.tab.Get(id, "data")
+		if err != nil {
+			return rewritten, err
+		}
+		v, fields, err := b.decode(raw.Str())
+		if err != nil {
+			return rewritten, err
+		}
+		if v == b.version {
+			continue
+		}
+		fields, err = b.upgrade(v, fields)
+		if err != nil {
+			return rewritten, err
+		}
+		blob, err := b.encode(b.version, fields)
+		if err != nil {
+			return rewritten, err
+		}
+		if err := b.tab.Set(id, "data", entity.Str(blob)); err != nil {
+			return rewritten, err
+		}
+		rewritten++
+	}
+	return rewritten, nil
+}
+
+// VersionCounts reports how many rows are stored at each version —
+// visibility into lazy-migration progress.
+func (b *BlobStore) VersionCounts() (map[int]int, error) {
+	counts := make(map[int]int)
+	var outer error
+	b.tab.Scan(func(_ entity.ID, row []entity.Value) bool {
+		var doc blobDoc
+		if err := json.Unmarshal([]byte(row[0].Str()), &doc); err != nil {
+			outer = err
+			return false
+		}
+		counts[doc.V]++
+		return true
+	})
+	return counts, outer
+}
+
+// BytesStored returns total blob bytes — the storage-bloat side of the
+// blob trade-off.
+func (b *BlobStore) BytesStored() int64 {
+	var n int64
+	b.tab.Scan(func(_ entity.ID, row []entity.Value) bool {
+		n += int64(len(row[0].Str()))
+		return true
+	})
+	return n
+}

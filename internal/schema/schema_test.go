@@ -1,0 +1,308 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gamedb/internal/entity"
+)
+
+func playerTable(t *testing.T, rows int) *entity.Table {
+	t.Helper()
+	tab := entity.NewTable("players", entity.MustSchema(
+		entity.Column{Name: "hp", Kind: entity.KindInt, Default: entity.Int(100)},
+		entity.Column{Name: "name", Kind: entity.KindString},
+	))
+	for i := 1; i <= rows; i++ {
+		if err := tab.Insert(entity.ID(i), map[string]entity.Value{
+			"hp":   entity.Int(int64(i)),
+			"name": entity.Str("p"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestHistoryChaining(t *testing.T) {
+	var h History
+	if err := h.Add(Migration{From: 1, To: 3}); err == nil {
+		t.Fatal("multi-step jump should fail")
+	}
+	if err := h.Add(Migration{From: 1, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(Migration{From: 3, To: 4}); err == nil {
+		t.Fatal("gap should fail")
+	}
+	if err := h.Add(Migration{From: 2, To: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Latest(1) != 3 {
+		t.Fatalf("Latest = %d", h.Latest(1))
+	}
+	var empty History
+	if empty.Latest(7) != 7 {
+		t.Fatal("empty history Latest should return base")
+	}
+}
+
+func TestMigrateEagerFullChain(t *testing.T) {
+	tab := playerTable(t, 100)
+	var h History
+	h.Add(Migration{From: 1, To: 2, Steps: []Step{
+		AddColumn{Col: entity.Column{Name: "mana", Kind: entity.KindInt, Default: entity.Int(50)}},
+	}})
+	h.Add(Migration{From: 2, To: 3, Steps: []Step{
+		RenameColumn{From: "hp", To: "health"},
+		Backfill{Column: "mana", Fn: func(get func(string) entity.Value) entity.Value {
+			return entity.Int(get("health").Int() * 2)
+		}},
+	}})
+	h.Add(Migration{From: 3, To: 4, Steps: []Step{
+		DropColumn{Column: "name"},
+	}})
+	st, err := h.MigrateEager(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 3 {
+		t.Fatalf("applied = %d", st.Applied)
+	}
+	if st.RowsTouched < 200 { // add backfills 100 + explicit backfill 100 + drop 100
+		t.Fatalf("rows touched = %d", st.RowsTouched)
+	}
+	if got := tab.MustGet(7, "mana"); got != entity.Int(14) {
+		t.Fatalf("mana = %v", got)
+	}
+	if _, err := tab.Get(1, "name"); err == nil {
+		t.Fatal("name should be dropped")
+	}
+	if _, err := tab.Get(1, "hp"); err == nil {
+		t.Fatal("hp should be renamed")
+	}
+}
+
+func TestMigrateEagerPartial(t *testing.T) {
+	tab := playerTable(t, 10)
+	var h History
+	h.Add(Migration{From: 1, To: 2, Steps: []Step{
+		AddColumn{Col: entity.Column{Name: "a", Kind: entity.KindInt}},
+	}})
+	h.Add(Migration{From: 2, To: 3, Steps: []Step{
+		AddColumn{Col: entity.Column{Name: "b", Kind: entity.KindInt}},
+	}})
+	// Table already at version 2: only the second migration applies.
+	tab.AddColumn(entity.Column{Name: "a", Kind: entity.KindInt})
+	st, err := h.MigrateEager(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", st.Applied)
+	}
+}
+
+func TestMigrationErrorPropagates(t *testing.T) {
+	tab := playerTable(t, 5)
+	var h History
+	h.Add(Migration{From: 1, To: 2, Steps: []Step{DropColumn{Column: "nope"}}})
+	if _, err := h.MigrateEager(tab, 1); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepNames(t *testing.T) {
+	steps := []Step{
+		AddColumn{Col: entity.Column{Name: "x", Kind: entity.KindInt}},
+		DropColumn{Column: "x"},
+		RenameColumn{From: "a", To: "b"},
+		Backfill{Column: "x"},
+	}
+	for _, s := range steps {
+		if s.Name() == "" {
+			t.Fatalf("%T has empty name", s)
+		}
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	b := NewBlobStore("players")
+	fields := map[string]entity.Value{
+		"hp":    entity.Int(42),
+		"x":     entity.Float(1.5),
+		"name":  entity.Str("ada"),
+		"alive": entity.Bool(true),
+	}
+	if err := b.Insert(1, fields); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range fields {
+		if got[k] != want {
+			t.Fatalf("field %q = %v, want %v", k, got[k], want)
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+// TestBlobRoundTripProperty uses testing/quick over arbitrary int/float
+// payloads: encode→decode must be the identity.
+func TestBlobRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, bo bool) bool {
+		b := NewBlobStore("t")
+		fields := map[string]entity.Value{
+			"i": entity.Int(i), "f": entity.Float(fl), "s": entity.Str(s), "b": entity.Bool(bo),
+		}
+		if err := b.Insert(1, fields); err != nil {
+			return false
+		}
+		got, err := b.Get(1)
+		if err != nil {
+			return false
+		}
+		// NaN never compares equal; treat NaN float as matching kind.
+		if fl != fl {
+			return got["f"].Kind() == entity.KindFloat
+		}
+		return got["i"] == fields["i"] && got["f"] == fields["f"] &&
+			got["s"] == fields["s"] && got["b"] == fields["b"]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobLazyUpgrade(t *testing.T) {
+	b := NewBlobStore("players")
+	b.Insert(1, map[string]entity.Value{"hp": entity.Int(10)})
+	b.RegisterUpgrade(1, func(f map[string]entity.Value) map[string]entity.Value {
+		f["mana"] = entity.Int(f["hp"].Int() * 3)
+		return f
+	})
+	if err := b.Migrate(2); err != nil {
+		t.Fatal(err)
+	}
+	// New rows encode at v2; old rows upgrade on read.
+	b.Insert(2, map[string]entity.Value{"hp": entity.Int(5), "mana": entity.Int(1)})
+	got, err := b.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["mana"] != entity.Int(30) {
+		t.Fatalf("upgraded mana = %v", got["mana"])
+	}
+	if b.Upgraded != 1 {
+		t.Fatalf("Upgraded = %d", b.Upgraded)
+	}
+	// Without write-back, the second read upgrades again.
+	b.Get(1)
+	if b.Upgraded != 2 {
+		t.Fatalf("Upgraded after re-read = %d, want 2", b.Upgraded)
+	}
+	counts, err := b.VersionCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("version counts = %v", counts)
+	}
+}
+
+func TestBlobWriteBackConverges(t *testing.T) {
+	b := NewBlobStore("players")
+	b.WriteBack = true
+	b.Insert(1, map[string]entity.Value{"hp": entity.Int(10)})
+	b.RegisterUpgrade(1, func(f map[string]entity.Value) map[string]entity.Value {
+		f["v2"] = entity.Bool(true)
+		return f
+	})
+	b.Migrate(2)
+	b.Get(1) // upgrade + write back
+	b.Get(1) // already current
+	if b.Upgraded != 1 {
+		t.Fatalf("Upgraded = %d, want 1 (write-back should persist)", b.Upgraded)
+	}
+	counts, _ := b.VersionCounts()
+	if counts[2] != 1 || counts[1] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestBlobMigrateValidation(t *testing.T) {
+	b := NewBlobStore("t")
+	if err := b.Migrate(3); err == nil {
+		t.Fatal("migrate without upgrades should fail")
+	}
+	if err := b.Migrate(0); err == nil {
+		t.Fatal("downgrade should fail")
+	}
+	b.RegisterUpgrade(1, func(f map[string]entity.Value) map[string]entity.Value { return f })
+	b.RegisterUpgrade(2, func(f map[string]entity.Value) map[string]entity.Value { return f })
+	if err := b.Migrate(3); err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != 3 {
+		t.Fatalf("version = %d", b.Version())
+	}
+}
+
+func TestBlobSetAndScan(t *testing.T) {
+	b := NewBlobStore("t")
+	for i := 1; i <= 20; i++ {
+		b.Insert(entity.ID(i), map[string]entity.Value{"hp": entity.Int(int64(i))})
+	}
+	if err := b.Set(5, "hp", entity.Int(999)); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	count := 0
+	if err := b.Scan(func(_ entity.ID, f map[string]entity.Value) bool {
+		total += f["hp"].Int()
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Fatalf("scanned %d rows", count)
+	}
+	want := int64(210) - 5 + 999
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	if b.BytesStored() <= 0 {
+		t.Fatal("BytesStored should be positive")
+	}
+}
+
+func TestBlobRewriteAll(t *testing.T) {
+	b := NewBlobStore("t")
+	for i := 1; i <= 10; i++ {
+		b.Insert(entity.ID(i), map[string]entity.Value{"hp": entity.Int(1)})
+	}
+	b.RegisterUpgrade(1, func(f map[string]entity.Value) map[string]entity.Value {
+		f["up"] = entity.Bool(true)
+		return f
+	})
+	b.Migrate(2)
+	n, err := b.RewriteAll()
+	if err != nil || n != 10 {
+		t.Fatalf("RewriteAll = %d, %v", n, err)
+	}
+	counts, _ := b.VersionCounts()
+	if counts[2] != 10 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Second rewrite is a no-op.
+	n, _ = b.RewriteAll()
+	if n != 0 {
+		t.Fatalf("second rewrite touched %d", n)
+	}
+}

@@ -1,0 +1,201 @@
+package script
+
+// Expr is a GSL expression node.
+type Expr interface {
+	exprNode()
+	// Line returns the source line for diagnostics.
+	Line() int
+}
+
+// Stmt is a GSL statement node.
+type Stmt interface {
+	stmtNode()
+	// Line returns the source line for diagnostics.
+	Line() int
+}
+
+type pos struct{ line int }
+
+// Line returns the node's source line.
+func (p pos) Line() int { return p.line }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	V int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	pos
+	V float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	pos
+	V string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	pos
+	V bool
+}
+
+// NullLit is the null literal.
+type NullLit struct{ pos }
+
+// Ident references a variable.
+type Ident struct {
+	pos
+	Name string
+}
+
+// CallExpr invokes a builtin or user function.
+type CallExpr struct {
+	pos
+	Name string
+	Args []Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// String names the operator.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	pos
+	Op   BinOp
+	L, R Expr
+}
+
+// UnExpr is unary negation (-) or logical not (!).
+type UnExpr struct {
+	pos
+	Neg bool // true: numeric negation, false: logical not
+	E   Expr
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*StrLit) exprNode()   {}
+func (*BoolLit) exprNode()  {}
+func (*NullLit) exprNode()  {}
+func (*Ident) exprNode()    {}
+func (*CallExpr) exprNode() {}
+func (*BinExpr) exprNode()  {}
+func (*UnExpr) exprNode()   {}
+
+// LetStmt declares a new variable in the current scope.
+type LetStmt struct {
+	pos
+	Name string
+	E    Expr
+}
+
+// AssignStmt updates an existing variable.
+type AssignStmt struct {
+	pos
+	Name string
+	E    Expr
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	pos
+	E Expr
+}
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+// IfStmt is if/else; Else may be nil.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then *Block
+	Else *Block
+}
+
+// WhileStmt is a while loop (full-language mode only).
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *Block
+}
+
+// ForInStmt iterates a list (full-language mode only).
+type ForInStmt struct {
+	pos
+	Var  string
+	Seq  Expr
+	Body *Block
+}
+
+// ReturnStmt exits the enclosing function; E may be nil.
+type ReturnStmt struct {
+	pos
+	E Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt resumes the innermost loop.
+type ContinueStmt struct{ pos }
+
+func (*LetStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*Block) stmtNode()        {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForInStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// FnDecl is a top-level function declaration.
+type FnDecl struct {
+	pos
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Program is a parsed GSL compilation unit: function declarations plus
+// top-level statements (run by Interp.Run, typically initialization).
+type Program struct {
+	Fns     map[string]*FnDecl
+	FnOrder []string
+	Stmts   []Stmt
+}

@@ -1,0 +1,374 @@
+package script
+
+import "strconv"
+
+// Parse lexes and parses GSL source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Fns: make(map[string]*FnDecl)}
+	for p.peek().Kind != TokEOF {
+		if p.peek().Kind == TokFn {
+			fn, err := p.fnDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Fns[fn.Name]; dup {
+				return nil, errAt(fn.Line(), "duplicate function %q", fn.Name)
+			}
+			prog.Fns[fn.Name] = fn
+			prog.FnOrder = append(prog.FnOrder, fn.Name)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind, what string) (Token, error) {
+	t := p.next()
+	if t.Kind != k {
+		return t, errAt(t.Line, "expected %s, got %q", what, t.Text)
+	}
+	return t, nil
+}
+
+func (p *parser) fnDecl() (*FnDecl, error) {
+	fnTok := p.next() // fn
+	name, err := p.expect(TokIdent, "function name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	seen := map[string]bool{}
+	for p.peek().Kind != TokRParen {
+		id, err := p.expect(TokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		if seen[id.Text] {
+			return nil, errAt(id.Line, "duplicate parameter %q", id.Text)
+		}
+		seen[id.Text] = true
+		params = append(params, id.Text)
+		if p.peek().Kind == TokComma {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FnDecl{pos: pos{fnTok.Line}, Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(TokLBrace, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{pos: pos{lb.Line}}
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, errAt(lb.Line, "unclosed block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+// semi consumes an optional statement-terminating semicolon.
+func (p *parser) semi() {
+	if p.peek().Kind == TokSemi {
+		p.next()
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLet:
+		p.next()
+		name, err := p.expect(TokIdent, "variable name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		p.semi()
+		return &LetStmt{pos: pos{t.Line}, Name: name.Text, E: e}, nil
+	case TokIf:
+		p.next()
+		cond, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els *Block
+		if p.peek().Kind == TokElse {
+			p.next()
+			if p.peek().Kind == TokIf {
+				// else if: wrap the nested if in a synthetic block.
+				nested, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = &Block{pos: pos{nested.Line()}, Stmts: []Stmt{nested}}
+			} else {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{pos: pos{t.Line}, Cond: cond, Then: then, Else: els}, nil
+	case TokWhile:
+		p.next()
+		cond, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{pos: pos{t.Line}, Cond: cond, Body: body}, nil
+	case TokFor:
+		p.next()
+		v, err := p.expect(TokIdent, "loop variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokIn, "in"); err != nil {
+			return nil, err
+		}
+		seq, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForInStmt{pos: pos{t.Line}, Var: v.Text, Seq: seq, Body: body}, nil
+	case TokReturn:
+		p.next()
+		var e Expr
+		if k := p.peek().Kind; k != TokSemi && k != TokRBrace && k != TokEOF {
+			var err error
+			e, err = p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.semi()
+		return &ReturnStmt{pos: pos{t.Line}, E: e}, nil
+	case TokBreak:
+		p.next()
+		p.semi()
+		return &BreakStmt{pos{t.Line}}, nil
+	case TokContinue:
+		p.next()
+		p.semi()
+		return &ContinueStmt{pos{t.Line}}, nil
+	case TokLBrace:
+		return p.block()
+	case TokIdent:
+		// Assignment or expression statement: disambiguate on '='.
+		if p.toks[p.i+1].Kind == TokAssign {
+			name := p.next()
+			p.next() // =
+			e, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			p.semi()
+			return &AssignStmt{pos: pos{t.Line}, Name: name.Text, E: e}, nil
+		}
+		fallthrough
+	default:
+		e, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		p.semi()
+		return &ExprStmt{pos: pos{t.Line}, E: e}, nil
+	}
+}
+
+// Binding powers for Pratt parsing.
+func bindPower(k TokKind) (int, BinOp, bool) {
+	switch k {
+	case TokOrOr:
+		return 1, OpOr, true
+	case TokAndAnd:
+		return 2, OpAnd, true
+	case TokEq:
+		return 3, OpEq, true
+	case TokNe:
+		return 3, OpNe, true
+	case TokLt:
+		return 4, OpLt, true
+	case TokLe:
+		return 4, OpLe, true
+	case TokGt:
+		return 4, OpGt, true
+	case TokGe:
+		return 4, OpGe, true
+	case TokPlus:
+		return 5, OpAdd, true
+	case TokMinus:
+		return 5, OpSub, true
+	case TokStar:
+		return 6, OpMul, true
+	case TokSlash:
+		return 6, OpDiv, true
+	case TokPercent:
+		return 6, OpMod, true
+	default:
+		return 0, 0, false
+	}
+}
+
+func (p *parser) expr(minBP int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		bp, op, ok := bindPower(p.peek().Kind)
+		if !ok || bp <= minBP {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.expr(bp)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{pos: pos{opTok.Line}, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{pos: pos{t.Line}, Neg: true, E: e}, nil
+	case TokBang:
+		p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{pos: pos{t.Line}, Neg: false, E: e}, nil
+	default:
+		return p.primary()
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.Line, "bad integer %q", t.Text)
+		}
+		return &IntLit{pos{t.Line}, v}, nil
+	case TokFloat:
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t.Line, "bad float %q", t.Text)
+		}
+		return &FloatLit{pos{t.Line}, v}, nil
+	case TokStr:
+		return &StrLit{pos{t.Line}, t.Text}, nil
+	case TokTrue:
+		return &BoolLit{pos{t.Line}, true}, nil
+	case TokFalse:
+		return &BoolLit{pos{t.Line}, false}, nil
+	case TokNull:
+		return &NullLit{pos{t.Line}}, nil
+	case TokIdent:
+		if p.peek().Kind == TokLParen {
+			p.next() // (
+			var args []Expr
+			for p.peek().Kind != TokRParen {
+				a, err := p.expr(0)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.peek().Kind == TokComma {
+					p.next()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{pos: pos{t.Line}, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{pos: pos{t.Line}, Name: t.Text}, nil
+	case TokLParen:
+		e, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(t.Line, "unexpected token %q", t.Text)
+	}
+}

@@ -1,0 +1,256 @@
+// Package script implements GSL, the game scripting language of the
+// data-driven design pipeline: a small imperative language designers use
+// to author entity behavior outside the engine binary.
+//
+// The package contains a lexer, a Pratt parser, a static checker and a
+// tree-walking interpreter. Two properties come straight from the paper's
+// Performance section:
+//
+//   - Interpretation is metered by a fuel budget, so a runaway designer
+//     script cannot stall the frame indefinitely.
+//   - A "restricted mode" statically rejects iteration and recursion —
+//     the drastic measure studios take (ref [10], Posniewski) to keep
+//     designers from writing computationally expensive behavior.
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokStr
+
+	// Keywords.
+	TokLet
+	TokFn
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokIn
+	TokReturn
+	TokBreak
+	TokContinue
+	TokTrue
+	TokFalse
+	TokNull
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+var keywords = map[string]TokKind{
+	"let": TokLet, "fn": TokFn, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "in": TokIn, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+	"true": TokTrue, "false": TokFalse, "null": TokNull,
+}
+
+// Token is one lexical token with its source line for diagnostics.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+// Error is a positioned script error (lexing, parsing, checking, or
+// runtime).
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("script: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes GSL source. Comments run from "//" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			isFloat := false
+			for i < n && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				if src[i] == '.' {
+					if isFloat {
+						return nil, errAt(line, "malformed number")
+					}
+					isFloat = true
+				}
+				i++
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{kind, src[start:i], line})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			if kw, ok := keywords[word]; ok {
+				toks = append(toks, Token{kw, word, line})
+			} else {
+				toks = append(toks, Token{TokIdent, word, line})
+			}
+		case c == '"':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					switch src[i+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '"':
+						sb.WriteByte('"')
+					case '\\':
+						sb.WriteByte('\\')
+					default:
+						return nil, errAt(line, "bad escape \\%c", src[i+1])
+					}
+					i += 2
+					continue
+				}
+				if src[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				if src[i] == '\n' {
+					return nil, errAt(line, "unterminated string")
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errAt(line, "unterminated string")
+			}
+			toks = append(toks, Token{TokStr, sb.String(), line})
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==":
+				toks = append(toks, Token{TokEq, two, line})
+				i += 2
+				continue
+			case "!=":
+				toks = append(toks, Token{TokNe, two, line})
+				i += 2
+				continue
+			case "<=":
+				toks = append(toks, Token{TokLe, two, line})
+				i += 2
+				continue
+			case ">=":
+				toks = append(toks, Token{TokGe, two, line})
+				i += 2
+				continue
+			case "&&":
+				toks = append(toks, Token{TokAndAnd, two, line})
+				i += 2
+				continue
+			case "||":
+				toks = append(toks, Token{TokOrOr, two, line})
+				i += 2
+				continue
+			}
+			var kind TokKind
+			switch c {
+			case '(':
+				kind = TokLParen
+			case ')':
+				kind = TokRParen
+			case '{':
+				kind = TokLBrace
+			case '}':
+				kind = TokRBrace
+			case ',':
+				kind = TokComma
+			case ';':
+				kind = TokSemi
+			case '=':
+				kind = TokAssign
+			case '+':
+				kind = TokPlus
+			case '-':
+				kind = TokMinus
+			case '*':
+				kind = TokStar
+			case '/':
+				kind = TokSlash
+			case '%':
+				kind = TokPercent
+			case '<':
+				kind = TokLt
+			case '>':
+				kind = TokGt
+			case '!':
+				kind = TokBang
+			default:
+				return nil, errAt(line, "unexpected character %q", string(c))
+			}
+			toks = append(toks, Token{kind, string(c), line})
+			i++
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,158 @@
+package spatial
+
+import (
+	"container/heap"
+	"math"
+)
+
+// GridMap is an occupancy grid over the world: the baseline movement
+// representation navmeshes replace. Cells are square with side CellSize;
+// cell (0,0) has its min corner at Origin.
+type GridMap struct {
+	W, H     int
+	CellSize float64
+	Origin   Vec2
+	blocked  []bool
+}
+
+// NewGridMap returns an all-walkable grid of w×h cells.
+func NewGridMap(w, h int, cellSize float64, origin Vec2) *GridMap {
+	return &GridMap{W: w, H: h, CellSize: cellSize, Origin: origin, blocked: make([]bool, w*h)}
+}
+
+// InBounds reports whether cell (x, y) exists.
+func (m *GridMap) InBounds(x, y int) bool {
+	return x >= 0 && x < m.W && y >= 0 && y < m.H
+}
+
+// Blocked reports whether cell (x, y) is impassable; out-of-bounds cells
+// are blocked.
+func (m *GridMap) Blocked(x, y int) bool {
+	if !m.InBounds(x, y) {
+		return true
+	}
+	return m.blocked[y*m.W+x]
+}
+
+// SetBlocked marks cell (x, y) as passable or not.
+func (m *GridMap) SetBlocked(x, y int, b bool) {
+	if m.InBounds(x, y) {
+		m.blocked[y*m.W+x] = b
+	}
+}
+
+// CellOf returns the cell containing world point p.
+func (m *GridMap) CellOf(p Vec2) (int, int) {
+	return int(math.Floor((p.X - m.Origin.X) / m.CellSize)),
+		int(math.Floor((p.Y - m.Origin.Y) / m.CellSize))
+}
+
+// CenterOf returns the world-space center of cell (x, y).
+func (m *GridMap) CenterOf(x, y int) Vec2 {
+	return Vec2{
+		X: m.Origin.X + (float64(x)+0.5)*m.CellSize,
+		Y: m.Origin.Y + (float64(y)+0.5)*m.CellSize,
+	}
+}
+
+// WalkableCount returns the number of passable cells.
+func (m *GridMap) WalkableCount() int {
+	n := 0
+	for _, b := range m.blocked {
+		if !b {
+			n++
+		}
+	}
+	return n
+}
+
+// GridPath is the result of grid A*: waypoints through cell centers plus
+// the expansion count for cost comparisons against the navmesh.
+type GridPath struct {
+	Waypoints []Vec2
+	Cost      float64
+	Expanded  int
+}
+
+// FindPath runs 8-connected A* with the octile heuristic from start to
+// goal (world coordinates). Diagonal steps through blocked orthogonal
+// neighbors are forbidden (no corner cutting).
+func (m *GridMap) FindPath(start, goal Vec2) (GridPath, bool) {
+	sx, sy := m.CellOf(start)
+	gx, gy := m.CellOf(goal)
+	if m.Blocked(sx, sy) || m.Blocked(gx, gy) {
+		return GridPath{}, false
+	}
+	idx := func(x, y int) int32 { return int32(y*m.W + x) }
+	const sqrt2 = math.Sqrt2
+	octile := func(x, y int) float64 {
+		dx := math.Abs(float64(x - gx))
+		dy := math.Abs(float64(y - gy))
+		if dx < dy {
+			dx, dy = dy, dx
+		}
+		return dx + (sqrt2-1)*dy
+	}
+	g := make(map[int32]float64, 256)
+	parent := make(map[int32]int32, 256)
+	closed := make(map[int32]bool, 256)
+	startIdx := idx(sx, sy)
+	g[startIdx] = 0
+	pq := &astarPQ{}
+	heap.Push(pq, astarItem{node: startIdx, f: octile(sx, sy)})
+	expanded := 0
+	dirs := [8][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(astarItem)
+		if closed[cur.node] {
+			continue
+		}
+		closed[cur.node] = true
+		expanded++
+		cx, cy := int(cur.node)%m.W, int(cur.node)/m.W
+		if cx == gx && cy == gy {
+			var cells []int32
+			for n := cur.node; ; {
+				cells = append(cells, n)
+				p, ok := parent[n]
+				if !ok {
+					break
+				}
+				n = p
+			}
+			path := GridPath{Expanded: expanded, Cost: g[cur.node] * m.CellSize}
+			path.Waypoints = append(path.Waypoints, start)
+			for i := len(cells) - 2; i >= 1; i-- {
+				x, y := int(cells[i])%m.W, int(cells[i])/m.W
+				path.Waypoints = append(path.Waypoints, m.CenterOf(x, y))
+			}
+			path.Waypoints = append(path.Waypoints, goal)
+			return path, true
+		}
+		for _, d := range dirs {
+			nx, ny := cx+d[0], cy+d[1]
+			if m.Blocked(nx, ny) {
+				continue
+			}
+			step := 1.0
+			if d[0] != 0 && d[1] != 0 {
+				if m.Blocked(cx+d[0], cy) || m.Blocked(cx, cy+d[1]) {
+					continue // no corner cutting
+				}
+				step = sqrt2
+			}
+			ni := idx(nx, ny)
+			if closed[ni] {
+				continue
+			}
+			ng := g[cur.node] + step
+			if old, seen := g[ni]; seen && ng >= old {
+				continue
+			}
+			g[ni] = ng
+			parent[ni] = cur.node
+			heap.Push(pq, astarItem{node: ni, f: ng + octile(nx, ny)})
+		}
+	}
+	return GridPath{Expanded: expanded}, false
+}

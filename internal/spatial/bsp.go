@@ -1,0 +1,168 @@
+package spatial
+
+import "math"
+
+// BSPTree is a binary space partitioning tree over static wall segments,
+// the structure the paper names alongside Octrees for game geometry. Its
+// query here is the classic game use: line-of-sight — does a segment from
+// a to b cross any wall?
+//
+// Nodes below bspLeafSize segments stay as brute-force leaves, bounding
+// the split blow-up pathological inputs can cause.
+type BSPTree struct {
+	root  *bspNode
+	size  int
+	depth int
+}
+
+const (
+	bspLeafSize     = 4
+	bspMaxDepth     = 40
+	bspSplitSamples = 8
+)
+
+type bspNode struct {
+	// Interior node: part defines the splitting line, onPlane holds
+	// segments lying on it, front/back the half-space children.
+	part    Segment
+	onPlane []Segment
+	front   *bspNode
+	back    *bspNode
+	// Leaf node: leaf is true and segs holds the remaining segments.
+	leaf bool
+	segs []Segment
+}
+
+// NewBSPTree builds a BSP tree over the given wall segments.
+func NewBSPTree(walls []Segment) *BSPTree {
+	t := &BSPTree{size: len(walls)}
+	segs := make([]Segment, len(walls))
+	copy(segs, walls)
+	t.root = t.build(segs, 0)
+	return t
+}
+
+// Len returns the number of wall segments the tree was built from.
+func (t *BSPTree) Len() int { return t.size }
+
+// Depth returns the maximum node depth, a shape statistic for tests.
+func (t *BSPTree) Depth() int { return t.depth }
+
+func (t *BSPTree) build(segs []Segment, depth int) *bspNode {
+	if len(segs) == 0 {
+		return nil
+	}
+	if depth > t.depth {
+		t.depth = depth
+	}
+	if len(segs) <= bspLeafSize || depth >= bspMaxDepth {
+		return &bspNode{leaf: true, segs: segs}
+	}
+	splitter := pickSplitter(segs)
+	n := &bspNode{part: splitter}
+	var front, back []Segment
+	for _, s := range segs {
+		classifySplit(splitter, s, &n.onPlane, &front, &back)
+	}
+	// Degenerate split (everything coplanar or one-sided without
+	// progress): fall back to a leaf to guarantee termination.
+	if len(front) == len(segs) || len(back) == len(segs) {
+		return &bspNode{leaf: true, segs: segs}
+	}
+	n.front = t.build(front, depth+1)
+	n.back = t.build(back, depth+1)
+	return n
+}
+
+// pickSplitter samples a few candidate segments and keeps the one that
+// minimizes splits while balancing sides, the standard BSP heuristic.
+func pickSplitter(segs []Segment) Segment {
+	best := segs[0]
+	bestScore := math.Inf(1)
+	limit := bspSplitSamples
+	if len(segs) < limit {
+		limit = len(segs)
+	}
+	for i := 0; i < limit; i++ {
+		cand := segs[i]
+		var splits, front, back int
+		for _, s := range segs {
+			da, db := cand.side(s.A), cand.side(s.B)
+			switch {
+			case math.Abs(da) <= segEps && math.Abs(db) <= segEps:
+			case da >= -segEps && db >= -segEps:
+				front++
+			case da <= segEps && db <= segEps:
+				back++
+			default:
+				splits++
+			}
+		}
+		score := float64(splits*3) + math.Abs(float64(front-back))
+		if score < bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+// classifySplit puts s into onPlane/front/back, splitting spanning
+// segments at the intersection point.
+func classifySplit(line Segment, s Segment, onPlane, front, back *[]Segment) {
+	da, db := line.side(s.A), line.side(s.B)
+	switch {
+	case math.Abs(da) <= segEps && math.Abs(db) <= segEps:
+		*onPlane = append(*onPlane, s)
+	case da >= -segEps && db >= -segEps:
+		*front = append(*front, s)
+	case da <= segEps && db <= segEps:
+		*back = append(*back, s)
+	default:
+		t := da / (da - db)
+		mid := s.A.Lerp(s.B, t)
+		if da > 0 {
+			*front = append(*front, Segment{s.A, mid})
+			*back = append(*back, Segment{mid, s.B})
+		} else {
+			*back = append(*back, Segment{s.A, mid})
+			*front = append(*front, Segment{mid, s.B})
+		}
+	}
+}
+
+// Blocked reports whether the sight line from a to b crosses any wall.
+func (t *BSPTree) Blocked(a, b Vec2) bool {
+	return blockedWalk(t.root, Segment{a, b})
+}
+
+func blockedWalk(n *bspNode, s Segment) bool {
+	if n == nil {
+		return false
+	}
+	if n.leaf {
+		for _, w := range n.segs {
+			if s.Intersects(w) {
+				return true
+			}
+		}
+		return false
+	}
+	da, db := n.part.side(s.A), n.part.side(s.B)
+	switch {
+	case da > segEps && db > segEps:
+		return blockedWalk(n.front, s)
+	case da < -segEps && db < -segEps:
+		return blockedWalk(n.back, s)
+	default:
+		for _, w := range n.onPlane {
+			if s.Intersects(w) {
+				return true
+			}
+		}
+		if s.Intersects(n.part) {
+			return true
+		}
+		return blockedWalk(n.front, s) || blockedWalk(n.back, s)
+	}
+}

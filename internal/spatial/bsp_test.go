@@ -1,0 +1,118 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{Segment{Vec2{0, 0}, Vec2{10, 10}}, Segment{Vec2{0, 10}, Vec2{10, 0}}, true},
+		{Segment{Vec2{0, 0}, Vec2{1, 1}}, Segment{Vec2{5, 5}, Vec2{6, 6}}, false},
+		{Segment{Vec2{0, 0}, Vec2{10, 0}}, Segment{Vec2{5, 0}, Vec2{5, 5}}, true},   // T touch
+		{Segment{Vec2{0, 0}, Vec2{10, 0}}, Segment{Vec2{10, 0}, Vec2{20, 0}}, true}, // endpoint touch
+		{Segment{Vec2{0, 0}, Vec2{10, 0}}, Segment{Vec2{2, 1}, Vec2{8, 1}}, false},  // parallel
+		{Segment{Vec2{0, 0}, Vec2{4, 0}}, Segment{Vec2{2, 0}, Vec2{6, 0}}, true},    // collinear overlap
+	}
+	for i, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("case %d (swapped): Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// bruteBlocked is the reference oracle for BSP line-of-sight.
+func bruteBlocked(walls []Segment, a, b Vec2) bool {
+	s := Segment{a, b}
+	for _, w := range walls {
+		if s.Intersects(w) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBSPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var walls []Segment
+	for i := 0; i < 120; i++ {
+		a := Vec2{rng.Float64() * 100, rng.Float64() * 100}
+		d := Vec2{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		walls = append(walls, Segment{a, a.Add(d)})
+	}
+	tree := NewBSPTree(walls)
+	if tree.Len() != len(walls) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(walls))
+	}
+	agreements := 0
+	for trial := 0; trial < 500; trial++ {
+		a := Vec2{rng.Float64() * 100, rng.Float64() * 100}
+		b := Vec2{rng.Float64() * 100, rng.Float64() * 100}
+		want := bruteBlocked(walls, a, b)
+		got := tree.Blocked(a, b)
+		if got != want {
+			t.Fatalf("trial %d: Blocked(%v,%v) = %v, brute = %v", trial, a, b, got, want)
+		}
+		if want {
+			agreements++
+		}
+	}
+	if agreements == 0 || agreements == 500 {
+		t.Fatalf("degenerate test: %d/500 blocked", agreements)
+	}
+}
+
+func TestBSPAxisAlignedWalls(t *testing.T) {
+	// A box with a doorway gap on the right wall.
+	walls := []Segment{
+		{Vec2{0, 0}, Vec2{10, 0}},
+		{Vec2{0, 10}, Vec2{10, 10}},
+		{Vec2{0, 0}, Vec2{0, 10}},
+		{Vec2{10, 0}, Vec2{10, 4}},
+		{Vec2{10, 6}, Vec2{10, 10}},
+	}
+	tree := NewBSPTree(walls)
+	if tree.Blocked(Vec2{5, 5}, Vec2{15, 5}) {
+		t.Error("sight through the doorway should be clear")
+	}
+	if !tree.Blocked(Vec2{5, 5}, Vec2{15, 1}) {
+		t.Error("sight through the wall should be blocked")
+	}
+	if tree.Blocked(Vec2{2, 2}, Vec2{8, 8}) {
+		t.Error("interior sight line should be clear")
+	}
+}
+
+func TestBSPEmptyAndSmall(t *testing.T) {
+	empty := NewBSPTree(nil)
+	if empty.Blocked(Vec2{0, 0}, Vec2{100, 100}) {
+		t.Error("empty tree should never block")
+	}
+	one := NewBSPTree([]Segment{{Vec2{0, 0}, Vec2{10, 0}}})
+	if !one.Blocked(Vec2{5, -5}, Vec2{5, 5}) {
+		t.Error("single wall should block")
+	}
+	if one.Blocked(Vec2{20, -5}, Vec2{20, 5}) {
+		t.Error("single wall should not block a line beside it")
+	}
+}
+
+func TestBSPDepthBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var walls []Segment
+	for i := 0; i < 2000; i++ {
+		a := Vec2{rng.Float64() * 1000, rng.Float64() * 1000}
+		d := Vec2{rng.NormFloat64() * 20, rng.NormFloat64() * 20}
+		walls = append(walls, Segment{a, a.Add(d)})
+	}
+	tree := NewBSPTree(walls)
+	if tree.Depth() > bspMaxDepth {
+		t.Fatalf("depth %d exceeds cap %d", tree.Depth(), bspMaxDepth)
+	}
+}

@@ -1,0 +1,202 @@
+package spatial
+
+import "math"
+
+// Grid is a uniform spatial hash grid, the workhorse index in game
+// engines: O(1) updates and range queries proportional to covered cells.
+// The paper's Performance section names it implicitly ("traditional
+// spatial indices"); the band-join operator in the query package builds
+// on it.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]Point
+	pos   map[ID]Vec2
+}
+
+type cellKey struct{ X, Y int32 }
+
+// NewGrid returns a grid with the given cell size. Cell size should be on
+// the order of the dominant query radius.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("spatial: grid cell size must be positive")
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]Point),
+		pos:   make(map[ID]Vec2),
+	}
+}
+
+// CellSize returns the configured cell size.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+func (g *Grid) keyFor(p Vec2) cellKey {
+	return cellKey{
+		X: int32(math.Floor(p.X / g.cell)),
+		Y: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert implements Index.
+func (g *Grid) Insert(id ID, p Vec2) {
+	if old, ok := g.pos[id]; ok {
+		ok2 := g.removeFromCell(g.keyFor(old), id)
+		_ = ok2
+	}
+	k := g.keyFor(p)
+	g.cells[k] = append(g.cells[k], Point{ID: id, Pos: p})
+	g.pos[id] = p
+}
+
+func (g *Grid) removeFromCell(k cellKey, id ID) bool {
+	pts := g.cells[k]
+	for i := range pts {
+		if pts[i].ID == id {
+			pts[i] = pts[len(pts)-1]
+			pts = pts[:len(pts)-1]
+			if len(pts) == 0 {
+				delete(g.cells, k)
+			} else {
+				g.cells[k] = pts
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Remove implements Index.
+func (g *Grid) Remove(id ID) bool {
+	p, ok := g.pos[id]
+	if !ok {
+		return false
+	}
+	g.removeFromCell(g.keyFor(p), id)
+	delete(g.pos, id)
+	return true
+}
+
+// Move implements Index. Moves within a cell only update the stored
+// position, which keeps the common small-step case cheap.
+func (g *Grid) Move(id ID, p Vec2) {
+	old, ok := g.pos[id]
+	if !ok {
+		g.Insert(id, p)
+		return
+	}
+	ok1, k1 := g.keyFor(old), g.keyFor(p)
+	if ok1 == k1 {
+		pts := g.cells[k1]
+		for i := range pts {
+			if pts[i].ID == id {
+				pts[i].Pos = p
+				break
+			}
+		}
+		g.pos[id] = p
+		return
+	}
+	g.removeFromCell(ok1, id)
+	g.cells[k1] = append(g.cells[k1], Point{ID: id, Pos: p})
+	g.pos[id] = p
+}
+
+// Pos implements Index.
+func (g *Grid) Pos(id ID) (Vec2, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// QueryRect implements Index.
+func (g *Grid) QueryRect(r Rect, fn func(id ID, p Vec2) bool) {
+	lo := g.keyFor(r.Min)
+	hi := g.keyFor(r.Max)
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			for _, pt := range g.cells[cellKey{cx, cy}] {
+				if r.Contains(pt.Pos) {
+					if !fn(pt.ID, pt.Pos) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// QueryCircle implements Index.
+func (g *Grid) QueryCircle(c Vec2, radius float64, fn func(id ID, p Vec2) bool) {
+	r2 := radius * radius
+	bound := RectAround(c, radius)
+	lo := g.keyFor(bound.Min)
+	hi := g.keyFor(bound.Max)
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			for _, pt := range g.cells[cellKey{cx, cy}] {
+				if pt.Pos.Dist2(c) <= r2 {
+					if !fn(pt.ID, pt.Pos) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// KNN implements Index using expanding square rings of cells around the
+// query point, stopping once the ring's minimum possible distance exceeds
+// the kth-best candidate.
+func (g *Grid) KNN(c Vec2, k int) []Neighbor {
+	acc := newKNNAcc(k)
+	if k <= 0 || len(g.pos) == 0 {
+		return nil
+	}
+	center := g.keyFor(c)
+	scanCell := func(ck cellKey) {
+		for _, pt := range g.cells[ck] {
+			acc.offer(pt.ID, pt.Pos, pt.Pos.Dist2(c))
+		}
+	}
+	scanCell(center)
+	// maxRing bounds the walk for sparse grids: the ring at which every
+	// occupied cell must have been visited.
+	maxRing := int32(1)
+	for ck := range g.cells {
+		dx := ck.X - center.X
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := ck.Y - center.Y
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx > maxRing {
+			maxRing = dx
+		}
+		if dy > maxRing {
+			maxRing = dy
+		}
+	}
+	for ring := int32(1); ring <= maxRing; ring++ {
+		// A point in a ring-r cell is at least (r-1)*cell away.
+		minDist := float64(ring-1) * g.cell
+		if minDist*minDist > acc.worst() {
+			break
+		}
+		x0, x1 := center.X-ring, center.X+ring
+		y0, y1 := center.Y-ring, center.Y+ring
+		for cx := x0; cx <= x1; cx++ {
+			scanCell(cellKey{cx, y0})
+			scanCell(cellKey{cx, y1})
+		}
+		for cy := y0 + 1; cy <= y1-1; cy++ {
+			scanCell(cellKey{x0, cy})
+			scanCell(cellKey{x1, cy})
+		}
+	}
+	return acc.results()
+}

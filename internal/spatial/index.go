@@ -1,0 +1,124 @@
+package spatial
+
+// ID identifies an indexed entity. It deliberately matches entity.ID's
+// underlying type so the world can convert without allocation, while
+// keeping this package dependency-free.
+type ID uint64
+
+// Point pairs an entity with a position, used by bulk loaders.
+type Point struct {
+	ID  ID
+	Pos Vec2
+}
+
+// Index is the common interface over the spatial structures. All
+// structures support incremental updates (the k-d tree via deferred
+// rebuild) because game entities move every tick.
+//
+// Visit callbacks return false to stop early. Implementations must not be
+// mutated during a query.
+type Index interface {
+	// Insert adds id at p. Inserting an existing id moves it.
+	Insert(id ID, p Vec2)
+	// Remove deletes id, reporting whether it was present.
+	Remove(id ID) bool
+	// Move updates id's position, inserting if absent.
+	Move(id ID, p Vec2)
+	// Pos returns the indexed position of id.
+	Pos(id ID) (Vec2, bool)
+	// Len returns the number of indexed entities.
+	Len() int
+	// QueryRect visits entities with positions in r (inclusive).
+	QueryRect(r Rect, fn func(id ID, p Vec2) bool)
+	// QueryCircle visits entities within radius of c (inclusive).
+	QueryCircle(c Vec2, radius float64, fn func(id ID, p Vec2) bool)
+	// KNN returns the k entities nearest to c, ascending by distance.
+	// An entity exactly at c is included, so self-queries should ask for
+	// k+1 and drop themselves.
+	KNN(c Vec2, k int) []Neighbor
+}
+
+// Linear is the baseline Index: a flat slice with O(n) queries. It is the
+// "no index" strawman every experiment compares against.
+type Linear struct {
+	pts   []Point
+	rowOf map[ID]int
+}
+
+// NewLinear returns an empty linear index.
+func NewLinear() *Linear {
+	return &Linear{rowOf: make(map[ID]int)}
+}
+
+// Insert implements Index.
+func (l *Linear) Insert(id ID, p Vec2) {
+	if i, ok := l.rowOf[id]; ok {
+		l.pts[i].Pos = p
+		return
+	}
+	l.rowOf[id] = len(l.pts)
+	l.pts = append(l.pts, Point{ID: id, Pos: p})
+}
+
+// Remove implements Index.
+func (l *Linear) Remove(id ID) bool {
+	i, ok := l.rowOf[id]
+	if !ok {
+		return false
+	}
+	last := len(l.pts) - 1
+	l.pts[i] = l.pts[last]
+	l.pts = l.pts[:last]
+	delete(l.rowOf, id)
+	if i != last {
+		l.rowOf[l.pts[i].ID] = i
+	}
+	return true
+}
+
+// Move implements Index.
+func (l *Linear) Move(id ID, p Vec2) { l.Insert(id, p) }
+
+// Pos implements Index.
+func (l *Linear) Pos(id ID) (Vec2, bool) {
+	i, ok := l.rowOf[id]
+	if !ok {
+		return Vec2{}, false
+	}
+	return l.pts[i].Pos, true
+}
+
+// Len implements Index.
+func (l *Linear) Len() int { return len(l.pts) }
+
+// QueryRect implements Index.
+func (l *Linear) QueryRect(r Rect, fn func(id ID, p Vec2) bool) {
+	for _, pt := range l.pts {
+		if r.Contains(pt.Pos) {
+			if !fn(pt.ID, pt.Pos) {
+				return
+			}
+		}
+	}
+}
+
+// QueryCircle implements Index.
+func (l *Linear) QueryCircle(c Vec2, radius float64, fn func(id ID, p Vec2) bool) {
+	r2 := radius * radius
+	for _, pt := range l.pts {
+		if pt.Pos.Dist2(c) <= r2 {
+			if !fn(pt.ID, pt.Pos) {
+				return
+			}
+		}
+	}
+}
+
+// KNN implements Index.
+func (l *Linear) KNN(c Vec2, k int) []Neighbor {
+	acc := newKNNAcc(k)
+	for _, pt := range l.pts {
+		acc.offer(pt.ID, pt.Pos, pt.Pos.Dist2(c))
+	}
+	return acc.results()
+}

@@ -1,0 +1,279 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// allIndexes builds one of each Index implementation over the same world.
+func allIndexes() map[string]Index {
+	world := NewRect(0, 0, 1000, 1000)
+	return map[string]Index{
+		"linear":   NewLinear(),
+		"grid":     NewGrid(25),
+		"quadtree": NewQuadTree(world),
+		"kdtree":   NewKDTree(),
+	}
+}
+
+func randPos(rng *rand.Rand) Vec2 {
+	return Vec2{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+}
+
+func sortedIDs(ids []ID) []ID {
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectRect(ix Index, r Rect) []ID {
+	var ids []ID
+	ix.QueryRect(r, func(id ID, _ Vec2) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return sortedIDs(ids)
+}
+
+func collectCircle(ix Index, c Vec2, rad float64) []ID {
+	var ids []ID
+	ix.QueryCircle(c, rad, func(id ID, _ Vec2) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return sortedIDs(ids)
+}
+
+func equalIDs(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexEquivalence drives identical random workloads (insert, move,
+// remove) through every index and checks that range, circle and kNN
+// queries agree with the linear baseline — the core correctness property
+// of the whole package.
+func TestIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	indexes := allIndexes()
+	ref := indexes["linear"]
+	live := map[ID]bool{}
+	next := ID(1)
+
+	for op := 0; op < 4000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // insert
+			id := next
+			next++
+			p := randPos(rng)
+			for _, ix := range indexes {
+				ix.Insert(id, p)
+			}
+			live[id] = true
+		case r < 8: // move
+			for id := range live {
+				p := randPos(rng)
+				for _, ix := range indexes {
+					ix.Move(id, p)
+				}
+				break
+			}
+		default: // remove
+			for id := range live {
+				for name, ix := range indexes {
+					if !ix.Remove(id) {
+						t.Fatalf("%s: Remove(%d) = false for live id", name, id)
+					}
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+
+	for name, ix := range indexes {
+		if ix.Len() != len(live) {
+			t.Fatalf("%s: Len = %d, want %d", name, ix.Len(), len(live))
+		}
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		c := randPos(rng)
+		r := NewRect(c.X-80, c.Y-60, c.X+120, c.Y+40)
+		rad := 30 + rng.Float64()*120
+		k := 1 + rng.Intn(20)
+
+		wantRect := collectRect(ref, r)
+		wantCircle := collectCircle(ref, c, rad)
+		wantKNN := ref.KNN(c, k)
+
+		for name, ix := range indexes {
+			if name == "linear" {
+				continue
+			}
+			if got := collectRect(ix, r); !equalIDs(got, wantRect) {
+				t.Fatalf("%s: rect query mismatch: got %d ids, want %d", name, len(got), len(wantRect))
+			}
+			if got := collectCircle(ix, c, rad); !equalIDs(got, wantCircle) {
+				t.Fatalf("%s: circle query mismatch: got %d ids, want %d", name, len(got), len(wantCircle))
+			}
+			gotKNN := ix.KNN(c, k)
+			if len(gotKNN) != len(wantKNN) {
+				t.Fatalf("%s: kNN returned %d, want %d", name, len(gotKNN), len(wantKNN))
+			}
+			for i := range gotKNN {
+				// Distances must agree; IDs may differ only on exact ties.
+				if math.Abs(gotKNN[i].Dist2-wantKNN[i].Dist2) > 1e-9 {
+					t.Fatalf("%s: kNN[%d] dist2 = %v, want %v", name, i, gotKNN[i].Dist2, wantKNN[i].Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexBasicsPerImplementation(t *testing.T) {
+	for name, ix := range allIndexes() {
+		t.Run(name, func(t *testing.T) {
+			if ix.Len() != 0 {
+				t.Fatal("fresh index not empty")
+			}
+			if ix.Remove(1) {
+				t.Fatal("Remove on empty should be false")
+			}
+			if _, ok := ix.Pos(1); ok {
+				t.Fatal("Pos on empty should be !ok")
+			}
+			ix.Insert(1, Vec2{10, 10})
+			ix.Insert(2, Vec2{20, 20})
+			if p, ok := ix.Pos(1); !ok || p != (Vec2{10, 10}) {
+				t.Fatalf("Pos(1) = %v,%v", p, ok)
+			}
+			// Insert of existing id moves it.
+			ix.Insert(1, Vec2{500, 500})
+			if ix.Len() != 2 {
+				t.Fatalf("Len after re-insert = %d, want 2", ix.Len())
+			}
+			if got := collectCircle(ix, Vec2{500, 500}, 5); !equalIDs(got, []ID{1}) {
+				t.Fatalf("circle after move = %v", got)
+			}
+			// KNN includes the query point's own entity.
+			nn := ix.KNN(Vec2{20, 20}, 1)
+			if len(nn) != 1 || nn[0].ID != 2 || nn[0].Dist2 != 0 {
+				t.Fatalf("KNN = %+v", nn)
+			}
+			// k greater than population returns all.
+			nn = ix.KNN(Vec2{0, 0}, 10)
+			if len(nn) != 2 {
+				t.Fatalf("KNN overshoot = %d results", len(nn))
+			}
+			if nn[0].Dist2 > nn[1].Dist2 {
+				t.Fatal("KNN results not sorted ascending")
+			}
+			// k <= 0 returns nothing.
+			if got := ix.KNN(Vec2{0, 0}, 0); len(got) != 0 {
+				t.Fatalf("KNN(0) = %v", got)
+			}
+			if !ix.Remove(1) || !ix.Remove(2) {
+				t.Fatal("Remove of live ids should be true")
+			}
+			if ix.Len() != 0 {
+				t.Fatalf("Len after removes = %d", ix.Len())
+			}
+		})
+	}
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	for name, ix := range allIndexes() {
+		t.Run(name, func(t *testing.T) {
+			for i := ID(1); i <= 20; i++ {
+				ix.Insert(i, Vec2{float64(i), float64(i)})
+			}
+			var n int
+			ix.QueryRect(NewRect(0, 0, 100, 100), func(ID, Vec2) bool {
+				n++
+				return n < 5
+			})
+			if n != 5 {
+				t.Fatalf("rect early stop visited %d", n)
+			}
+			n = 0
+			ix.QueryCircle(Vec2{10, 10}, 100, func(ID, Vec2) bool {
+				n++
+				return n < 3
+			})
+			if n != 3 {
+				t.Fatalf("circle early stop visited %d", n)
+			}
+		})
+	}
+}
+
+func TestGridCellBoundaries(t *testing.T) {
+	g := NewGrid(10)
+	// Points exactly on cell boundaries and negative coordinates.
+	pts := []Vec2{{0, 0}, {10, 10}, {-10, -10}, {-0.0001, 0}, {9.9999, 9.9999}}
+	for i, p := range pts {
+		g.Insert(ID(i+1), p)
+	}
+	got := collectRect(g, NewRect(-10, -10, 10, 10))
+	if len(got) != len(pts) {
+		t.Fatalf("boundary rect returned %d of %d points", len(got), len(pts))
+	}
+}
+
+func TestQuadTreePointsOutsideBounds(t *testing.T) {
+	q := NewQuadTree(NewRect(0, 0, 100, 100))
+	q.Insert(1, Vec2{500, 500}) // clamped into the tree, true position kept
+	q.Insert(2, Vec2{50, 50})
+	if got := collectRect(q, NewRect(400, 400, 600, 600)); !equalIDs(got, []ID{1}) {
+		t.Fatalf("outside-bounds point lost: %v", got)
+	}
+	nn := q.KNN(Vec2{499, 499}, 1)
+	if len(nn) != 1 || nn[0].ID != 1 {
+		t.Fatalf("KNN toward outside point = %+v", nn)
+	}
+	if !q.Remove(1) {
+		t.Fatal("failed to remove clamped point")
+	}
+}
+
+func TestKDTreeLazyRebuild(t *testing.T) {
+	kd := NewKDTree()
+	for i := ID(1); i <= 100; i++ {
+		kd.Insert(i, Vec2{float64(i), 0})
+	}
+	// Query triggers the deferred build.
+	if got := collectRect(kd, NewRect(0, -1, 10, 1)); len(got) != 10 {
+		t.Fatalf("got %d, want 10", len(got))
+	}
+	kd.Remove(5)
+	if got := collectRect(kd, NewRect(0, -1, 10, 1)); len(got) != 9 {
+		t.Fatalf("after remove got %d, want 9", len(got))
+	}
+	kd.Bulk([]Point{{ID: 7, Pos: Vec2{1, 1}}})
+	if kd.Len() != 1 {
+		t.Fatalf("Bulk should replace contents, len=%d", kd.Len())
+	}
+}
+
+func TestKNNAccumulatorTieBreaks(t *testing.T) {
+	acc := newKNNAcc(2)
+	acc.offer(3, Vec2{1, 0}, 1)
+	acc.offer(1, Vec2{0, 1}, 1)
+	acc.offer(2, Vec2{2, 0}, 4)
+	res := acc.results()
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 3 {
+		t.Fatalf("tie-break results = %+v", res)
+	}
+}

@@ -1,0 +1,193 @@
+package spatial
+
+import "sort"
+
+// KDTree is a bulk-built k-d tree over points. Games use k-d/BSP-style
+// binary partitioning for mostly-static sets; to fit the Index interface
+// the tree absorbs mutations into a dirty set and rebuilds lazily on the
+// next query. This mirrors the common engine pattern of rebuilding a
+// static index once per tick from the moved entities.
+type KDTree struct {
+	nodes []kdNode
+	root  int32
+	pos   map[ID]Vec2
+	dirty bool
+}
+
+type kdNode struct {
+	pt          Point
+	left, right int32 // -1 for none
+	axis        uint8 // 0 = X, 1 = Y
+}
+
+// NewKDTree returns an empty k-d tree.
+func NewKDTree() *KDTree {
+	return &KDTree{root: -1, pos: make(map[ID]Vec2)}
+}
+
+// Bulk replaces the contents with pts and builds immediately.
+func (t *KDTree) Bulk(pts []Point) {
+	t.pos = make(map[ID]Vec2, len(pts))
+	for _, p := range pts {
+		t.pos[p.ID] = p.Pos
+	}
+	t.rebuild()
+}
+
+// Insert implements Index.
+func (t *KDTree) Insert(id ID, p Vec2) {
+	t.pos[id] = p
+	t.dirty = true
+}
+
+// Remove implements Index.
+func (t *KDTree) Remove(id ID) bool {
+	if _, ok := t.pos[id]; !ok {
+		return false
+	}
+	delete(t.pos, id)
+	t.dirty = true
+	return true
+}
+
+// Move implements Index.
+func (t *KDTree) Move(id ID, p Vec2) { t.Insert(id, p) }
+
+// Pos implements Index.
+func (t *KDTree) Pos(id ID) (Vec2, bool) {
+	p, ok := t.pos[id]
+	return p, ok
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return len(t.pos) }
+
+// Rebuild forces an immediate rebuild; queries call it implicitly.
+func (t *KDTree) Rebuild() {
+	if t.dirty {
+		t.rebuild()
+	}
+}
+
+func (t *KDTree) rebuild() {
+	pts := make([]Point, 0, len(t.pos))
+	for id, p := range t.pos {
+		pts = append(pts, Point{ID: id, Pos: p})
+	}
+	// Sort for determinism: map iteration order would otherwise leak into
+	// tree shape.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].ID < pts[j].ID })
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(pts, 0)
+	t.dirty = false
+}
+
+func (t *KDTree) build(pts []Point, depth int) int32 {
+	if len(pts) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	mid := len(pts) / 2
+	sort.Slice(pts, func(i, j int) bool {
+		if axis == 0 {
+			if pts[i].Pos.X != pts[j].Pos.X {
+				return pts[i].Pos.X < pts[j].Pos.X
+			}
+		} else {
+			if pts[i].Pos.Y != pts[j].Pos.Y {
+				return pts[i].Pos.Y < pts[j].Pos.Y
+			}
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{pt: pts[mid], axis: axis, left: -1, right: -1})
+	left := t.build(pts[:mid], depth+1)
+	right := t.build(pts[mid+1:], depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// QueryRect implements Index.
+func (t *KDTree) QueryRect(r Rect, fn func(id ID, p Vec2) bool) {
+	t.Rebuild()
+	t.queryRect(t.root, r, fn)
+}
+
+func (t *KDTree) queryRect(ni int32, r Rect, fn func(id ID, p Vec2) bool) bool {
+	if ni < 0 {
+		return true
+	}
+	n := &t.nodes[ni]
+	if r.Contains(n.pt.Pos) {
+		if !fn(n.pt.ID, n.pt.Pos) {
+			return false
+		}
+	}
+	var coord, lo, hi float64
+	if n.axis == 0 {
+		coord, lo, hi = n.pt.Pos.X, r.Min.X, r.Max.X
+	} else {
+		coord, lo, hi = n.pt.Pos.Y, r.Min.Y, r.Max.Y
+	}
+	if lo <= coord {
+		if !t.queryRect(n.left, r, fn) {
+			return false
+		}
+	}
+	if hi >= coord {
+		if !t.queryRect(n.right, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryCircle implements Index.
+func (t *KDTree) QueryCircle(c Vec2, radius float64, fn func(id ID, p Vec2) bool) {
+	t.Rebuild()
+	r2 := radius * radius
+	bound := RectAround(c, radius)
+	t.queryRect(t.root, bound, func(id ID, p Vec2) bool {
+		if p.Dist2(c) <= r2 {
+			return fn(id, p)
+		}
+		return true
+	})
+}
+
+// KNN implements Index with the classic recursive nearest-neighbor
+// descent: visit the near side first, then the far side only if the
+// splitting plane is closer than the current kth-best.
+func (t *KDTree) KNN(c Vec2, k int) []Neighbor {
+	t.Rebuild()
+	if k <= 0 || len(t.pos) == 0 {
+		return nil
+	}
+	acc := newKNNAcc(k)
+	t.knn(t.root, c, acc)
+	return acc.results()
+}
+
+func (t *KDTree) knn(ni int32, c Vec2, acc *knnAcc) {
+	if ni < 0 {
+		return
+	}
+	n := &t.nodes[ni]
+	acc.offer(n.pt.ID, n.pt.Pos, n.pt.Pos.Dist2(c))
+	var diff float64
+	if n.axis == 0 {
+		diff = c.X - n.pt.Pos.X
+	} else {
+		diff = c.Y - n.pt.Pos.Y
+	}
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.knn(near, c, acc)
+	if diff*diff <= acc.worst() {
+		t.knn(far, c, acc)
+	}
+}

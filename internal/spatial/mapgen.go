@@ -1,0 +1,239 @@
+package spatial
+
+import "math/rand"
+
+// Dungeon is a generated rooms-and-corridors level. It exposes the same
+// world in the three representations the paper's Performance section
+// discusses: an occupancy grid (baseline), wall segments (for the BSP
+// line-of-sight index) and a designer-annotated navigation mesh.
+type Dungeon struct {
+	Grid  *GridMap
+	Mesh  *NavMesh
+	Walls []Segment
+	Rooms []Rect
+	// HidingRooms and DefensibleRooms record which room indexes the
+	// generator annotated, for test assertions.
+	HidingRooms     []int
+	DefensibleRooms []int
+}
+
+// GenerateDungeon carves nRooms rooms connected by L-shaped corridors into
+// a w×h cell grid (cell size 1, origin 0,0), then derives the navmesh by
+// greedy rectangle decomposition of the walkable cells — the same
+// voxelize-then-polygonize pipeline production navmesh tools use. Every
+// third room is annotated TagHiding and every fourth TagDefensible.
+func GenerateDungeon(rng *rand.Rand, w, h, nRooms int) *Dungeon {
+	g := NewGridMap(w, h, 1, Vec2{})
+	for i := range g.blocked {
+		g.blocked[i] = true
+	}
+	d := &Dungeon{Grid: g}
+
+	carve := func(x0, y0, x1, y1 int) {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				g.SetBlocked(x, y, false)
+			}
+		}
+	}
+
+	type roomBox struct{ x0, y0, x1, y1 int }
+	var rooms []roomBox
+	for len(rooms) < nRooms {
+		rw := 4 + rng.Intn(8)
+		rh := 4 + rng.Intn(8)
+		x0 := 1 + rng.Intn(w-rw-2)
+		y0 := 1 + rng.Intn(h-rh-2)
+		rooms = append(rooms, roomBox{x0, y0, x0 + rw - 1, y0 + rh - 1})
+	}
+	for _, r := range rooms {
+		carve(r.x0, r.y0, r.x1, r.y1)
+		d.Rooms = append(d.Rooms, NewRect(float64(r.x0), float64(r.y0), float64(r.x1+1), float64(r.y1+1)))
+	}
+	// Connect consecutive rooms with an L corridor through their centers.
+	for i := 1; i < len(rooms); i++ {
+		ax := (rooms[i-1].x0 + rooms[i-1].x1) / 2
+		ay := (rooms[i-1].y0 + rooms[i-1].y1) / 2
+		bx := (rooms[i].x0 + rooms[i].x1) / 2
+		by := (rooms[i].y0 + rooms[i].y1) / 2
+		if ax > bx {
+			ax, bx = bx, ax
+			// carve horizontal at by instead of ay when reversed: keep it
+			// simple and carve both stubs, which guarantees connectivity.
+			carve(ax, by, bx, by)
+			carve(ax, min(ay, by), ax, max(ay, by))
+			carve(bx, min(ay, by), bx, max(ay, by))
+			continue
+		}
+		carve(ax, ay, bx, ay)
+		carve(bx, min(ay, by), bx, max(ay, by))
+	}
+
+	d.Walls = g.wallSegments()
+	polys := g.decomposeRects()
+	// Annotate polygons whose centroid falls inside designated rooms.
+	for ri := range d.Rooms {
+		switch {
+		case ri%3 == 0:
+			d.HidingRooms = append(d.HidingRooms, ri)
+		case ri%4 == 0:
+			d.DefensibleRooms = append(d.DefensibleRooms, ri)
+		}
+	}
+	for pi := range polys {
+		c := polys[pi].Centroid()
+		for _, ri := range d.HidingRooms {
+			if d.Rooms[ri].Contains(c) {
+				polys[pi].Tags |= TagHiding
+			}
+		}
+		for _, ri := range d.DefensibleRooms {
+			if d.Rooms[ri].Contains(c) {
+				polys[pi].Tags |= TagDefensible
+			}
+		}
+	}
+	mesh, err := NewNavMesh(polys)
+	if err != nil {
+		// The decomposition emits axis-aligned CCW rectangles; a failure
+		// here is a generator bug, not a user error.
+		panic("spatial: dungeon navmesh: " + err.Error())
+	}
+	d.Mesh = mesh
+	return d
+}
+
+// RandomWalkable returns a uniformly random walkable world position.
+func (d *Dungeon) RandomWalkable(rng *rand.Rand) Vec2 {
+	for {
+		x := rng.Intn(d.Grid.W)
+		y := rng.Intn(d.Grid.H)
+		if !d.Grid.Blocked(x, y) {
+			return d.Grid.CenterOf(x, y)
+		}
+	}
+}
+
+// decomposeRects tiles the walkable region with maximal axis-aligned
+// rectangles (greedy row-major sweep). The rectangles tile exactly — no
+// overlaps — so collinear-edge adjacency yields a valid navmesh.
+func (m *GridMap) decomposeRects() []Polygon {
+	used := make([]bool, m.W*m.H)
+	var polys []Polygon
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Blocked(x, y) || used[y*m.W+x] {
+				continue
+			}
+			// Extend width.
+			x1 := x
+			for x1+1 < m.W && !m.Blocked(x1+1, y) && !used[y*m.W+x1+1] {
+				x1++
+			}
+			// Extend height while the whole strip is free.
+			y1 := y
+			for y1+1 < m.H {
+				ok := true
+				for xx := x; xx <= x1; xx++ {
+					if m.Blocked(xx, y1+1) || used[(y1+1)*m.W+xx] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+				y1++
+			}
+			for yy := y; yy <= y1; yy++ {
+				for xx := x; xx <= x1; xx++ {
+					used[yy*m.W+xx] = true
+				}
+			}
+			fx0 := m.Origin.X + float64(x)*m.CellSize
+			fy0 := m.Origin.Y + float64(y)*m.CellSize
+			fx1 := m.Origin.X + float64(x1+1)*m.CellSize
+			fy1 := m.Origin.Y + float64(y1+1)*m.CellSize
+			polys = append(polys, Polygon{Verts: []Vec2{
+				{fx0, fy0}, {fx1, fy0}, {fx1, fy1}, {fx0, fy1},
+			}})
+		}
+	}
+	return polys
+}
+
+// wallSegments extracts the boundary between walkable and blocked cells
+// as world-space segments for the BSP tree.
+func (m *GridMap) wallSegments() []Segment {
+	var segs []Segment
+	at := func(x, y int) Vec2 {
+		return Vec2{m.Origin.X + float64(x)*m.CellSize, m.Origin.Y + float64(y)*m.CellSize}
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Blocked(x, y) {
+				continue
+			}
+			if m.Blocked(x-1, y) {
+				segs = append(segs, Segment{at(x, y), at(x, y+1)})
+			}
+			if m.Blocked(x+1, y) {
+				segs = append(segs, Segment{at(x+1, y), at(x+1, y+1)})
+			}
+			if m.Blocked(x, y-1) {
+				segs = append(segs, Segment{at(x, y), at(x+1, y)})
+			}
+			if m.Blocked(x, y+1) {
+				segs = append(segs, Segment{at(x, y+1), at(x+1, y+1)})
+			}
+		}
+	}
+	return mergeCollinear(segs)
+}
+
+// mergeCollinear joins axis-aligned unit segments into maximal runs,
+// shrinking the BSP input dramatically.
+func mergeCollinear(segs []Segment) []Segment {
+	type key struct {
+		vertical bool
+		coord    float64
+	}
+	groups := map[key][]Segment{}
+	for _, s := range segs {
+		if s.A.X == s.B.X {
+			groups[key{true, s.A.X}] = append(groups[key{true, s.A.X}], s)
+		} else {
+			groups[key{false, s.A.Y}] = append(groups[key{false, s.A.Y}], s)
+		}
+	}
+	var out []Segment
+	for k, g := range groups {
+		// Sort by the varying coordinate and merge touching runs.
+		val := func(v Vec2) float64 {
+			if k.vertical {
+				return v.Y
+			}
+			return v.X
+		}
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				if val(g[j].A) < val(g[i].A) {
+					g[i], g[j] = g[j], g[i]
+				}
+			}
+		}
+		cur := g[0]
+		for _, s := range g[1:] {
+			if val(s.A) <= val(cur.B)+1e-9 {
+				if val(s.B) > val(cur.B) {
+					cur.B = s.B
+				}
+			} else {
+				out = append(out, cur)
+				cur = s
+			}
+		}
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package spatial
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Tag is a bitmask of designer annotations on navigation polygons — the
+// "extra semantic information" the paper highlights: whether a position is
+// a good hiding place, easily defensible, and so on.
+type Tag uint32
+
+// Designer annotation tags.
+const (
+	TagNone       Tag = 0
+	TagHiding     Tag = 1 << iota // good hiding place
+	TagDefensible                 // easily defended choke point
+	TagCover                      // provides cover from ranged attacks
+	TagHazard                     // damaging ground
+)
+
+// Has reports whether t contains all bits of q.
+func (t Tag) Has(q Tag) bool { return t&q == q }
+
+// PolyID indexes a polygon within a NavMesh.
+type PolyID int32
+
+// Polygon is one convex walkable region with designer annotations.
+type Polygon struct {
+	Verts []Vec2 // convex, counter-clockwise
+	Tags  Tag
+}
+
+// Centroid returns the vertex average, the node position used by A*.
+func (p Polygon) Centroid() Vec2 {
+	var c Vec2
+	for _, v := range p.Verts {
+		c = c.Add(v)
+	}
+	return c.Scale(1 / float64(len(p.Verts)))
+}
+
+// Contains reports whether q lies inside the convex polygon (boundary
+// inclusive).
+func (p Polygon) Contains(q Vec2) bool {
+	n := len(p.Verts)
+	for i := 0; i < n; i++ {
+		a, b := p.Verts[i], p.Verts[(i+1)%n]
+		if b.Sub(a).Cross(q.Sub(a)) < -segEps {
+			return false
+		}
+	}
+	return true
+}
+
+// Portal is the shared boundary interval between two adjacent polygons.
+type Portal struct {
+	To   PolyID
+	A, B Vec2 // endpoints of the shared interval
+}
+
+// Mid returns the portal midpoint, the waypoint used by the path builder.
+func (p Portal) Mid() Vec2 { return p.A.Lerp(p.B, 0.5) }
+
+// NavMesh is a designer-annotated navigation mesh: convex polygons plus
+// adjacency derived from collinear overlapping edges. See ref [12]
+// (Tozour, "Building a near-optimal navigation mesh").
+type NavMesh struct {
+	polys     []Polygon
+	adj       [][]Portal
+	centroids []Vec2
+}
+
+// NewNavMesh builds a mesh from polygons, deriving adjacency. Polygons
+// must be convex with CCW winding; NewNavMesh validates both.
+func NewNavMesh(polys []Polygon) (*NavMesh, error) {
+	for i, p := range polys {
+		if len(p.Verts) < 3 {
+			return nil, fmt.Errorf("spatial: polygon %d has %d vertices", i, len(p.Verts))
+		}
+		n := len(p.Verts)
+		for j := 0; j < n; j++ {
+			a, b, c := p.Verts[j], p.Verts[(j+1)%n], p.Verts[(j+2)%n]
+			if b.Sub(a).Cross(c.Sub(b)) < -segEps {
+				return nil, fmt.Errorf("spatial: polygon %d is not convex CCW at vertex %d", i, j)
+			}
+		}
+	}
+	m := &NavMesh{polys: polys, adj: make([][]Portal, len(polys))}
+	m.centroids = make([]Vec2, len(polys))
+	for i, p := range polys {
+		m.centroids[i] = p.Centroid()
+	}
+	for i := 0; i < len(polys); i++ {
+		for j := i + 1; j < len(polys); j++ {
+			if portal, ok := sharedEdge(polys[i], polys[j]); ok {
+				m.adj[i] = append(m.adj[i], Portal{To: PolyID(j), A: portal.A, B: portal.B})
+				m.adj[j] = append(m.adj[j], Portal{To: PolyID(i), A: portal.A, B: portal.B})
+			}
+		}
+	}
+	return m, nil
+}
+
+// sharedEdge finds a collinear overlapping boundary interval of positive
+// length between two convex polygons.
+func sharedEdge(p, q Polygon) (Segment, bool) {
+	np, nq := len(p.Verts), len(q.Verts)
+	for i := 0; i < np; i++ {
+		e1 := Segment{p.Verts[i], p.Verts[(i+1)%np]}
+		for j := 0; j < nq; j++ {
+			e2 := Segment{q.Verts[j], q.Verts[(j+1)%nq]}
+			if seg, ok := collinearOverlap(e1, e2); ok {
+				return seg, true
+			}
+		}
+	}
+	return Segment{}, false
+}
+
+// collinearOverlap returns the overlap interval of two collinear segments
+// if its length exceeds a tolerance.
+func collinearOverlap(e1, e2 Segment) (Segment, bool) {
+	d := e1.B.Sub(e1.A)
+	l := d.Len()
+	if l < segEps {
+		return Segment{}, false
+	}
+	// Both endpoints of e2 must lie on e1's line.
+	if math.Abs(e1.side(e2.A))/l > 1e-6 || math.Abs(e1.side(e2.B))/l > 1e-6 {
+		return Segment{}, false
+	}
+	dir := d.Scale(1 / l)
+	t0, t1 := 0.0, l
+	s0 := e2.A.Sub(e1.A).Dot(dir)
+	s1 := e2.B.Sub(e1.A).Dot(dir)
+	if s0 > s1 {
+		s0, s1 = s1, s0
+	}
+	lo := math.Max(t0, s0)
+	hi := math.Min(t1, s1)
+	if hi-lo < 1e-6 {
+		return Segment{}, false
+	}
+	return Segment{
+		A: e1.A.Add(dir.Scale(lo)),
+		B: e1.A.Add(dir.Scale(hi)),
+	}, true
+}
+
+// Len returns the number of polygons.
+func (m *NavMesh) Len() int { return len(m.polys) }
+
+// Poly returns the polygon with the given id.
+func (m *NavMesh) Poly(id PolyID) Polygon { return m.polys[id] }
+
+// Portals returns the adjacency list of a polygon. The slice is owned by
+// the mesh.
+func (m *NavMesh) Portals(id PolyID) []Portal { return m.adj[id] }
+
+// Locate returns the polygon containing p, or -1.
+func (m *NavMesh) Locate(p Vec2) PolyID {
+	for i := range m.polys {
+		if m.polys[i].Contains(p) {
+			return PolyID(i)
+		}
+	}
+	return -1
+}
+
+// PolysWithTag returns the ids of all polygons carrying every bit of tag.
+func (m *NavMesh) PolysWithTag(tag Tag) []PolyID {
+	var out []PolyID
+	for i := range m.polys {
+		if m.polys[i].Tags.Has(tag) {
+			out = append(out, PolyID(i))
+		}
+	}
+	return out
+}
+
+// Path is a navmesh path: the polygon corridor and the waypoint polyline.
+type Path struct {
+	Polys     []PolyID
+	Waypoints []Vec2
+	Cost      float64
+	// Expanded counts A* node expansions, the work metric E12 reports.
+	Expanded int
+}
+
+// FindPath runs A* over the polygon graph from start to goal. It returns
+// ok=false when either point is off-mesh or no corridor connects them.
+func (m *NavMesh) FindPath(start, goal Vec2) (Path, bool) {
+	from := m.Locate(start)
+	to := m.Locate(goal)
+	if from < 0 || to < 0 {
+		return Path{}, false
+	}
+	if from == to {
+		return Path{
+			Polys:     []PolyID{from},
+			Waypoints: []Vec2{start, goal},
+			Cost:      start.Dist(goal),
+		}, true
+	}
+	type ref struct {
+		poly   PolyID
+		parent int32 // index into visit order, -1 for start
+		via    Portal
+	}
+	visits := []ref{{poly: from, parent: -1}}
+	gScore := map[PolyID]float64{from: 0}
+	closed := map[PolyID]bool{}
+	pq := &astarPQ{}
+	heap.Push(pq, astarItem{node: 0, f: m.centroids[from].Dist(goal)})
+	expanded := 0
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(astarItem)
+		v := visits[cur.node]
+		if closed[v.poly] {
+			continue
+		}
+		closed[v.poly] = true
+		expanded++
+		if v.poly == to {
+			// Reconstruct corridor and waypoints.
+			var chain []ref
+			for i := cur.node; i >= 0; i = visits[i].parent {
+				chain = append(chain, visits[i])
+			}
+			p := Path{Expanded: expanded}
+			for i := len(chain) - 1; i >= 0; i-- {
+				p.Polys = append(p.Polys, chain[i].poly)
+			}
+			p.Waypoints = append(p.Waypoints, start)
+			for i := len(chain) - 2; i >= 0; i-- {
+				p.Waypoints = append(p.Waypoints, chain[i].via.Mid())
+			}
+			p.Waypoints = append(p.Waypoints, goal)
+			for i := 1; i < len(p.Waypoints); i++ {
+				p.Cost += p.Waypoints[i-1].Dist(p.Waypoints[i])
+			}
+			return p, true
+		}
+		for _, portal := range m.adj[v.poly] {
+			if closed[portal.To] {
+				continue
+			}
+			g := gScore[v.poly] + m.centroids[v.poly].Dist(m.centroids[portal.To])
+			if old, seen := gScore[portal.To]; seen && g >= old {
+				continue
+			}
+			gScore[portal.To] = g
+			visits = append(visits, ref{poly: portal.To, parent: cur.node, via: portal})
+			f := g + m.centroids[portal.To].Dist(goal)
+			heap.Push(pq, astarItem{node: int32(len(visits) - 1), f: f})
+		}
+	}
+	return Path{Expanded: expanded}, false
+}
+
+// NearestTagged runs Dijkstra from the polygon containing p and returns
+// the nearest polygon (by corridor distance) carrying tag. This is the
+// annotated semantic query of the paper: "find the closest hiding place I
+// can actually walk to."
+func (m *NavMesh) NearestTagged(p Vec2, tag Tag) (PolyID, float64, bool) {
+	from := m.Locate(p)
+	if from < 0 {
+		return -1, 0, false
+	}
+	dist := map[PolyID]float64{from: 0}
+	pq := &astarPQ{}
+	heap.Push(pq, astarItem{node: int32(from), f: 0})
+	closed := map[PolyID]bool{}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(astarItem)
+		id := PolyID(cur.node)
+		if closed[id] {
+			continue
+		}
+		closed[id] = true
+		if m.polys[id].Tags.Has(tag) {
+			return id, dist[id], true
+		}
+		for _, portal := range m.adj[id] {
+			d := dist[id] + m.centroids[id].Dist(m.centroids[portal.To])
+			if old, seen := dist[portal.To]; !seen || d < old {
+				dist[portal.To] = d
+				heap.Push(pq, astarItem{node: int32(portal.To), f: d})
+			}
+		}
+	}
+	return -1, 0, false
+}
+
+type astarItem struct {
+	node int32
+	f    float64
+}
+
+type astarPQ []astarItem
+
+func (h astarPQ) Len() int           { return len(h) }
+func (h astarPQ) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h astarPQ) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *astarPQ) Push(x any)        { *h = append(*h, x.(astarItem)) }
+func (h *astarPQ) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,257 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// twoRoomMesh is a corridor of three rectangles: A - B - C.
+func twoRoomMesh(t *testing.T) *NavMesh {
+	t.Helper()
+	rect := func(x0, y0, x1, y1 float64) Polygon {
+		return Polygon{Verts: []Vec2{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}}
+	}
+	a := rect(0, 0, 10, 10)
+	b := rect(10, 4, 20, 6)
+	c := rect(20, 0, 30, 10)
+	c.Tags = TagHiding
+	m, err := NewNavMesh([]Polygon{a, b, c})
+	if err != nil {
+		t.Fatalf("NewNavMesh: %v", err)
+	}
+	return m
+}
+
+func TestNavMeshAdjacency(t *testing.T) {
+	m := twoRoomMesh(t)
+	if len(m.Portals(0)) != 1 || m.Portals(0)[0].To != 1 {
+		t.Fatalf("poly 0 portals = %+v", m.Portals(0))
+	}
+	if len(m.Portals(1)) != 2 {
+		t.Fatalf("poly 1 portals = %+v", m.Portals(1))
+	}
+	// Portal between A and B is the overlap of their shared x=10 edges:
+	// the corridor mouth from y=4 to y=6.
+	p := m.Portals(0)[0]
+	lo, hi := p.A.Y, p.B.Y
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if p.A.X != 10 || p.B.X != 10 || lo != 4 || hi != 6 {
+		t.Fatalf("portal = %+v, want x=10 y∈[4,6]", p)
+	}
+}
+
+func TestNavMeshValidation(t *testing.T) {
+	if _, err := NewNavMesh([]Polygon{{Verts: []Vec2{{0, 0}, {1, 0}}}}); err == nil {
+		t.Error("2-vertex polygon should fail")
+	}
+	// Clockwise winding (not CCW) must be rejected.
+	cw := Polygon{Verts: []Vec2{{0, 0}, {0, 1}, {1, 1}, {1, 0}}}
+	if _, err := NewNavMesh([]Polygon{cw}); err == nil {
+		t.Error("CW polygon should fail")
+	}
+	// Non-convex polygon must be rejected.
+	bad := Polygon{Verts: []Vec2{{0, 0}, {4, 0}, {2, 1}, {4, 4}, {0, 4}}}
+	if _, err := NewNavMesh([]Polygon{bad}); err == nil {
+		t.Error("non-convex polygon should fail")
+	}
+}
+
+func TestNavMeshLocate(t *testing.T) {
+	m := twoRoomMesh(t)
+	if got := m.Locate(Vec2{5, 5}); got != 0 {
+		t.Fatalf("Locate(5,5) = %d", got)
+	}
+	if got := m.Locate(Vec2{15, 5}); got != 1 {
+		t.Fatalf("Locate(15,5) = %d", got)
+	}
+	if got := m.Locate(Vec2{15, 9}); got != -1 {
+		t.Fatalf("Locate off-mesh = %d, want -1", got)
+	}
+}
+
+func TestNavMeshFindPath(t *testing.T) {
+	m := twoRoomMesh(t)
+	path, ok := m.FindPath(Vec2{2, 2}, Vec2{28, 8})
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if len(path.Polys) != 3 || path.Polys[0] != 0 || path.Polys[2] != 2 {
+		t.Fatalf("corridor = %v", path.Polys)
+	}
+	if len(path.Waypoints) != 4 { // start, 2 portals, goal
+		t.Fatalf("waypoints = %v", path.Waypoints)
+	}
+	if path.Cost <= 26 { // straight-line distance is the lower bound
+		t.Fatalf("cost = %v, below euclidean floor", path.Cost)
+	}
+	if path.Expanded < 3 {
+		t.Fatalf("expanded = %d", path.Expanded)
+	}
+	// Same-polygon path.
+	p2, ok := m.FindPath(Vec2{1, 1}, Vec2{9, 9})
+	if !ok || len(p2.Polys) != 1 || len(p2.Waypoints) != 2 {
+		t.Fatalf("same-poly path = %+v ok=%v", p2, ok)
+	}
+	// Off-mesh endpoints fail.
+	if _, ok := m.FindPath(Vec2{-5, -5}, Vec2{5, 5}); ok {
+		t.Fatal("off-mesh start should fail")
+	}
+}
+
+func TestNavMeshDisconnected(t *testing.T) {
+	rect := func(x0, y0, x1, y1 float64) Polygon {
+		return Polygon{Verts: []Vec2{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}}
+	}
+	m, err := NewNavMesh([]Polygon{rect(0, 0, 10, 10), rect(50, 50, 60, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.FindPath(Vec2{5, 5}, Vec2{55, 55}); ok {
+		t.Fatal("disconnected components should have no path")
+	}
+}
+
+func TestNavMeshTags(t *testing.T) {
+	m := twoRoomMesh(t)
+	ids := m.PolysWithTag(TagHiding)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("PolysWithTag = %v", ids)
+	}
+	id, dist, ok := m.NearestTagged(Vec2{5, 5}, TagHiding)
+	if !ok || id != 2 || dist <= 0 {
+		t.Fatalf("NearestTagged = %v, %v, %v", id, dist, ok)
+	}
+	// Standing inside the tagged polygon: distance zero.
+	id, dist, ok = m.NearestTagged(Vec2{25, 5}, TagHiding)
+	if !ok || id != 2 || dist != 0 {
+		t.Fatalf("NearestTagged inside = %v, %v, %v", id, dist, ok)
+	}
+	if _, _, ok := m.NearestTagged(Vec2{5, 5}, TagHazard); ok {
+		t.Fatal("absent tag should report !ok")
+	}
+	if !TagHiding.Has(TagHiding) || TagHiding.Has(TagCover) {
+		t.Fatal("Tag.Has misbehaves")
+	}
+}
+
+func TestGridAStarStraightLine(t *testing.T) {
+	m := NewGridMap(20, 20, 1, Vec2{})
+	path, ok := m.FindPath(Vec2{0.5, 0.5}, Vec2{10.5, 0.5})
+	if !ok {
+		t.Fatal("no path on open grid")
+	}
+	if path.Cost < 9.9 || path.Cost > 10.1 {
+		t.Fatalf("straight path cost = %v, want ≈10", path.Cost)
+	}
+}
+
+func TestGridAStarAroundWall(t *testing.T) {
+	m := NewGridMap(20, 20, 1, Vec2{})
+	for y := 0; y < 15; y++ {
+		m.SetBlocked(10, y, true)
+	}
+	path, ok := m.FindPath(Vec2{5.5, 5.5}, Vec2{15.5, 5.5})
+	if !ok {
+		t.Fatal("no path around wall")
+	}
+	if path.Cost <= 10 {
+		t.Fatalf("detour cost = %v, should exceed straight distance", path.Cost)
+	}
+	// The path must not pass through the wall column.
+	for _, wp := range path.Waypoints {
+		x, y := m.CellOf(wp)
+		if m.Blocked(x, y) {
+			t.Fatalf("waypoint %v is inside a wall", wp)
+		}
+	}
+}
+
+func TestGridAStarNoPath(t *testing.T) {
+	m := NewGridMap(10, 10, 1, Vec2{})
+	for y := 0; y < 10; y++ {
+		m.SetBlocked(5, y, true)
+	}
+	if _, ok := m.FindPath(Vec2{2, 2}, Vec2{8, 2}); ok {
+		t.Fatal("sealed wall should have no path")
+	}
+	if _, ok := m.FindPath(Vec2{5.5, 2}, Vec2{8, 2}); ok {
+		t.Fatal("blocked start should fail")
+	}
+}
+
+func TestGridAStarNoCornerCutting(t *testing.T) {
+	m := NewGridMap(5, 5, 1, Vec2{})
+	m.SetBlocked(1, 0, true)
+	m.SetBlocked(0, 1, true)
+	// A diagonal from (0,0) to (1,1) would cut between two blocked cells.
+	path, ok := m.FindPath(Vec2{0.5, 0.5}, Vec2{1.5, 1.5})
+	if ok {
+		// Must go around; a legal route does not exist here because the
+		// start cell is boxed in.
+		t.Fatalf("corner-cut path returned: %+v", path)
+	}
+}
+
+func TestGenerateDungeon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := GenerateDungeon(rng, 80, 60, 8)
+	if d.Grid.WalkableCount() == 0 {
+		t.Fatal("dungeon has no walkable cells")
+	}
+	if d.Mesh.Len() == 0 {
+		t.Fatal("dungeon has no navmesh polygons")
+	}
+	if len(d.Walls) == 0 {
+		t.Fatal("dungeon has no wall segments")
+	}
+	if len(d.Mesh.PolysWithTag(TagHiding)) == 0 {
+		t.Fatal("dungeon has no hiding annotations")
+	}
+
+	// All rooms are connected: paths must exist between room centers on
+	// both representations, with comparable costs.
+	for i := 1; i < len(d.Rooms); i++ {
+		a := d.Rooms[0].Center()
+		b := d.Rooms[i].Center()
+		gp, ok := d.Grid.FindPath(a, b)
+		if !ok {
+			t.Fatalf("grid path room0→room%d missing", i)
+		}
+		np, ok := d.Mesh.FindPath(a, b)
+		if !ok {
+			t.Fatalf("mesh path room0→room%d missing", i)
+		}
+		if np.Expanded >= gp.Expanded {
+			t.Errorf("room0→room%d: mesh expanded %d ≥ grid %d; navmesh should explore far fewer nodes",
+				i, np.Expanded, gp.Expanded)
+		}
+	}
+
+	// Navmesh rectangles tile the walkable region exactly: total area
+	// equals walkable cell count (cell size 1).
+	var area float64
+	for i := 0; i < d.Mesh.Len(); i++ {
+		p := d.Mesh.Poly(PolyID(i))
+		area += (p.Verts[2].X - p.Verts[0].X) * (p.Verts[2].Y - p.Verts[0].Y)
+	}
+	if int(area+0.5) != d.Grid.WalkableCount() {
+		t.Fatalf("decomposition area %v != walkable %d", area, d.Grid.WalkableCount())
+	}
+}
+
+func TestDungeonRandomWalkable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := GenerateDungeon(rng, 60, 40, 5)
+	for i := 0; i < 100; i++ {
+		p := d.RandomWalkable(rng)
+		x, y := d.Grid.CellOf(p)
+		if d.Grid.Blocked(x, y) {
+			t.Fatalf("RandomWalkable returned blocked cell %v", p)
+		}
+		if d.Mesh.Locate(p) < 0 {
+			t.Fatalf("RandomWalkable point %v off-mesh", p)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package spatial
+
+// SmoothPath applies greedy string pulling to a waypoint polyline: from
+// each point it jumps to the furthest later waypoint with a clear sight
+// line, dropping the detour through portal midpoints that navmesh A*
+// produces. blocked reports whether the straight segment between two
+// points crosses geometry — pass BSPTree.Blocked.
+//
+// The result starts and ends at the original endpoints, never has more
+// waypoints than the input, and every returned segment satisfies
+// !blocked.
+func SmoothPath(waypoints []Vec2, blocked func(a, b Vec2) bool) []Vec2 {
+	if len(waypoints) <= 2 {
+		out := make([]Vec2, len(waypoints))
+		copy(out, waypoints)
+		return out
+	}
+	out := []Vec2{waypoints[0]}
+	i := 0
+	for i < len(waypoints)-1 {
+		// Furthest j > i directly visible from i.
+		j := i + 1
+		for k := len(waypoints) - 1; k > j; k-- {
+			if !blocked(waypoints[i], waypoints[k]) {
+				j = k
+				break
+			}
+		}
+		out = append(out, waypoints[j])
+		i = j
+	}
+	return out
+}
+
+// PathCost sums the segment lengths of a waypoint polyline.
+func PathCost(waypoints []Vec2) float64 {
+	var c float64
+	for i := 1; i < len(waypoints); i++ {
+		c += waypoints[i-1].Dist(waypoints[i])
+	}
+	return c
+}

@@ -1,0 +1,81 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSmoothPathTrivialCases(t *testing.T) {
+	never := func(a, b Vec2) bool { return false }
+	if got := SmoothPath(nil, never); len(got) != 0 {
+		t.Fatalf("nil path smoothed to %v", got)
+	}
+	two := []Vec2{{0, 0}, {5, 5}}
+	if got := SmoothPath(two, never); len(got) != 2 {
+		t.Fatalf("two-point path smoothed to %v", got)
+	}
+	// With clear sight everywhere, any polyline collapses to start+end.
+	zig := []Vec2{{0, 0}, {1, 9}, {2, -9}, {3, 9}, {10, 0}}
+	got := SmoothPath(zig, never)
+	if len(got) != 2 || got[0] != zig[0] || got[1] != zig[4] {
+		t.Fatalf("open-field smoothing = %v", got)
+	}
+}
+
+func TestSmoothPathRespectsWalls(t *testing.T) {
+	// A wall between start and end forces the path through the gap
+	// waypoint.
+	walls := []Segment{{Vec2{5, -10}, Vec2{5, 1}}, {Vec2{5, 3}, Vec2{5, 10}}}
+	tree := NewBSPTree(walls)
+	blocked := tree.Blocked
+	path := []Vec2{{0, 0}, {2, 1}, {5, 2}, {8, 1}, {10, 0}}
+	got := SmoothPath(path, blocked)
+	if len(got) >= len(path) {
+		t.Fatalf("smoothing did not shorten: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if blocked(got[i-1], got[i]) {
+			t.Fatalf("smoothed segment %v→%v crosses a wall", got[i-1], got[i])
+		}
+	}
+	if PathCost(got) > PathCost(path)+1e-9 {
+		t.Fatalf("smoothing increased cost: %v > %v", PathCost(got), PathCost(path))
+	}
+}
+
+// TestSmoothPathOnDungeon: smoothing navmesh paths must keep them legal
+// (no wall crossings) and never lengthen them, across many random pairs.
+func TestSmoothPathOnDungeon(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := GenerateDungeon(rng, 90, 70, 9)
+	tree := NewBSPTree(d.Walls)
+	improved := 0
+	for trial := 0; trial < 60; trial++ {
+		a, b := d.RandomWalkable(rng), d.RandomWalkable(rng)
+		path, ok := d.Mesh.FindPath(a, b)
+		if !ok {
+			t.Fatalf("no path between walkable points")
+		}
+		sm := SmoothPath(path.Waypoints, tree.Blocked)
+		if sm[0] != a || sm[len(sm)-1] != b {
+			t.Fatalf("smoothing moved endpoints")
+		}
+		if len(sm) > len(path.Waypoints) {
+			t.Fatalf("smoothing added waypoints")
+		}
+		for i := 1; i < len(sm); i++ {
+			if tree.Blocked(sm[i-1], sm[i]) {
+				t.Fatalf("trial %d: smoothed segment crosses wall", trial)
+			}
+		}
+		if PathCost(sm) > PathCost(path.Waypoints)+1e-9 {
+			t.Fatalf("trial %d: smoothing lengthened path", trial)
+		}
+		if PathCost(sm) < PathCost(path.Waypoints)-1e-9 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("smoothing never improved any path; suspicious")
+	}
+}

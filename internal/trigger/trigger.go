@@ -1,0 +1,200 @@
+// Package trigger implements the event-trigger subsystem of data-driven
+// design: designers attach "when <event> if <condition> then <action>"
+// rules to content, and the engine fires them as the simulation emits
+// events. The content pipeline compiles XML trigger declarations into
+// these rules, with GSL scripts as conditions and actions.
+package trigger
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gamedb/internal/entity"
+)
+
+// Event is one occurrence in the simulation: a named happening with an
+// optional subject entity and payload fields.
+type Event struct {
+	Name   string
+	Entity entity.ID
+	Fields map[string]entity.Value
+}
+
+// Field returns a payload field, or null when absent.
+func (e Event) Field(name string) entity.Value {
+	if v, ok := e.Fields[name]; ok {
+		return v
+	}
+	return entity.Null()
+}
+
+// Rule is one trigger. Cond may be nil (always fire). Higher Priority
+// fires first; ties fire in registration order. Once rules unregister
+// themselves after their first firing.
+type Rule struct {
+	Name     string
+	Event    string
+	Priority int
+	Once     bool
+	Cond     func(Event) (bool, error)
+	Action   func(Event) error
+}
+
+// ErrCascadeDepth reports a runaway trigger cascade (triggers firing
+// events that fire triggers, beyond the configured depth).
+var ErrCascadeDepth = errors.New("trigger: cascade depth exceeded")
+
+// Engine routes events to registered rules. It is not safe for concurrent
+// use; the world fires events from the simulation goroutine, matching how
+// engines process triggers inside the frame.
+type Engine struct {
+	byEvent  map[string][]*registered
+	nextSeq  int
+	queue    []Event
+	maxDepth int
+	// Fired counts rule activations since construction, by rule name.
+	fired map[string]int64
+}
+
+type registered struct {
+	rule *Rule
+	seq  int
+	dead bool
+}
+
+// NewEngine returns an empty trigger engine. maxCascade bounds how many
+// rounds of trigger-emitted events Drain will process (≤ 0 selects 16).
+func NewEngine(maxCascade int) *Engine {
+	if maxCascade <= 0 {
+		maxCascade = 16
+	}
+	return &Engine{
+		byEvent:  make(map[string][]*registered),
+		maxDepth: maxCascade,
+		fired:    make(map[string]int64),
+	}
+}
+
+// Register adds a rule. Rules with empty Event or nil Action are
+// rejected.
+func (en *Engine) Register(r *Rule) error {
+	if r.Event == "" {
+		return fmt.Errorf("trigger: rule %q has no event", r.Name)
+	}
+	if r.Action == nil {
+		return fmt.Errorf("trigger: rule %q has no action", r.Name)
+	}
+	reg := &registered{rule: r, seq: en.nextSeq}
+	en.nextSeq++
+	lst := append(en.byEvent[r.Event], reg)
+	sort.SliceStable(lst, func(i, j int) bool {
+		if lst[i].rule.Priority != lst[j].rule.Priority {
+			return lst[i].rule.Priority > lst[j].rule.Priority
+		}
+		return lst[i].seq < lst[j].seq
+	})
+	en.byEvent[r.Event] = lst
+	return nil
+}
+
+// Unregister removes every rule with the given name, reporting how many
+// were removed.
+func (en *Engine) Unregister(name string) int {
+	n := 0
+	for ev, lst := range en.byEvent {
+		kept := lst[:0]
+		for _, reg := range lst {
+			if reg.rule.Name == name {
+				n++
+				continue
+			}
+			kept = append(kept, reg)
+		}
+		en.byEvent[ev] = kept
+	}
+	return n
+}
+
+// Rules returns the number of live rules.
+func (en *Engine) Rules() int {
+	n := 0
+	for _, lst := range en.byEvent {
+		n += len(lst)
+	}
+	return n
+}
+
+// FiredCount reports how many times the named rule has fired.
+func (en *Engine) FiredCount(name string) int64 { return en.fired[name] }
+
+// Fire delivers one event synchronously to matching rules, in priority
+// order. It returns the number of rules whose action ran. Actions may
+// Post follow-up events; those stay queued until Drain.
+func (en *Engine) Fire(ev Event) (int, error) {
+	lst := en.byEvent[ev.Name]
+	fired := 0
+	var dead bool
+	for _, reg := range lst {
+		if reg.dead {
+			dead = true
+			continue
+		}
+		r := reg.rule
+		if r.Cond != nil {
+			ok, err := r.Cond(ev)
+			if err != nil {
+				return fired, fmt.Errorf("trigger: rule %q condition: %w", r.Name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := r.Action(ev); err != nil {
+			return fired, fmt.Errorf("trigger: rule %q action: %w", r.Name, err)
+		}
+		fired++
+		en.fired[r.Name]++
+		if r.Once {
+			reg.dead = true
+			dead = true
+		}
+	}
+	if dead {
+		kept := lst[:0]
+		for _, reg := range lst {
+			if !reg.dead {
+				kept = append(kept, reg)
+			}
+		}
+		en.byEvent[ev.Name] = kept
+	}
+	return fired, nil
+}
+
+// Post queues an event for the next Drain. Actions use Post to emit
+// follow-up events without unbounded reentrancy.
+func (en *Engine) Post(ev Event) { en.queue = append(en.queue, ev) }
+
+// Drain processes queued events, including events posted by actions while
+// draining, up to the cascade depth. It returns the total number of rule
+// activations.
+func (en *Engine) Drain() (int, error) {
+	total := 0
+	for depth := 0; len(en.queue) > 0; depth++ {
+		if depth >= en.maxDepth {
+			en.queue = en.queue[:0]
+			return total, ErrCascadeDepth
+		}
+		batch := en.queue
+		en.queue = nil
+		for _, ev := range batch {
+			n, err := en.Fire(ev)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}

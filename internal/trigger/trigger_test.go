@@ -1,0 +1,177 @@
+package trigger
+
+import (
+	"errors"
+	"testing"
+
+	"gamedb/internal/entity"
+)
+
+func TestRegisterValidation(t *testing.T) {
+	en := NewEngine(0)
+	if err := en.Register(&Rule{Name: "x", Action: func(Event) error { return nil }}); err == nil {
+		t.Fatal("missing event should fail")
+	}
+	if err := en.Register(&Rule{Name: "x", Event: "e"}); err == nil {
+		t.Fatal("missing action should fail")
+	}
+	if err := en.Register(&Rule{Name: "x", Event: "e", Action: func(Event) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d", en.Rules())
+	}
+}
+
+func TestFireOrderAndCondition(t *testing.T) {
+	en := NewEngine(0)
+	var order []string
+	mk := func(name string, prio int, cond func(Event) (bool, error)) *Rule {
+		return &Rule{
+			Name: name, Event: "hit", Priority: prio, Cond: cond,
+			Action: func(Event) error {
+				order = append(order, name)
+				return nil
+			},
+		}
+	}
+	en.Register(mk("low", 1, nil))
+	en.Register(mk("high", 10, nil))
+	en.Register(mk("mid-a", 5, nil))
+	en.Register(mk("mid-b", 5, nil)) // same priority: registration order
+	en.Register(mk("never", 99, func(Event) (bool, error) { return false, nil }))
+
+	n, err := en.Fire(Event{Name: "hit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("fired %d, want 4", n)
+	}
+	want := []string{"high", "mid-a", "mid-b", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if en.FiredCount("high") != 1 || en.FiredCount("never") != 0 {
+		t.Fatal("FiredCount wrong")
+	}
+}
+
+func TestEventFieldsAndSubject(t *testing.T) {
+	en := NewEngine(0)
+	var gotDamage int64
+	var gotSubject entity.ID
+	en.Register(&Rule{
+		Name: "dmg", Event: "damage",
+		Cond: func(ev Event) (bool, error) {
+			return ev.Field("amount").Int() > 10, nil
+		},
+		Action: func(ev Event) error {
+			gotDamage = ev.Field("amount").Int()
+			gotSubject = ev.Entity
+			return nil
+		},
+	})
+	en.Fire(Event{Name: "damage", Entity: 7, Fields: map[string]entity.Value{"amount": entity.Int(5)}})
+	if gotDamage != 0 {
+		t.Fatal("condition should have filtered small damage")
+	}
+	en.Fire(Event{Name: "damage", Entity: 7, Fields: map[string]entity.Value{"amount": entity.Int(50)}})
+	if gotDamage != 50 || gotSubject != 7 {
+		t.Fatalf("damage = %d subject = %d", gotDamage, gotSubject)
+	}
+	if !(Event{}).Field("missing").IsNull() {
+		t.Fatal("absent field should be null")
+	}
+}
+
+func TestOnceRules(t *testing.T) {
+	en := NewEngine(0)
+	count := 0
+	en.Register(&Rule{
+		Name: "spawn-boss", Event: "door-open", Once: true,
+		Action: func(Event) error { count++; return nil },
+	})
+	en.Fire(Event{Name: "door-open"})
+	en.Fire(Event{Name: "door-open"})
+	if count != 1 {
+		t.Fatalf("once rule fired %d times", count)
+	}
+	if en.Rules() != 0 {
+		t.Fatalf("once rule should unregister; Rules = %d", en.Rules())
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	en := NewEngine(0)
+	act := func(Event) error { return nil }
+	en.Register(&Rule{Name: "a", Event: "e1", Action: act})
+	en.Register(&Rule{Name: "a", Event: "e2", Action: act})
+	en.Register(&Rule{Name: "b", Event: "e1", Action: act})
+	if n := en.Unregister("a"); n != 2 {
+		t.Fatalf("Unregister removed %d, want 2", n)
+	}
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1", en.Rules())
+	}
+}
+
+func TestActionErrorsPropagate(t *testing.T) {
+	en := NewEngine(0)
+	boom := errors.New("boom")
+	en.Register(&Rule{Name: "bad", Event: "e", Action: func(Event) error { return boom }})
+	if _, err := en.Fire(Event{Name: "e"}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	en2 := NewEngine(0)
+	en2.Register(&Rule{Name: "badcond", Event: "e",
+		Cond:   func(Event) (bool, error) { return false, boom },
+		Action: func(Event) error { return nil }})
+	if _, err := en2.Fire(Event{Name: "e"}); !errors.Is(err, boom) {
+		t.Fatalf("cond err = %v", err)
+	}
+}
+
+func TestPostAndDrainCascade(t *testing.T) {
+	en := NewEngine(8)
+	depth := 0
+	en.Register(&Rule{
+		Name: "chain", Event: "tick",
+		Action: func(ev Event) error {
+			depth++
+			if depth < 3 {
+				en.Post(Event{Name: "tick"})
+			}
+			return nil
+		},
+	})
+	en.Post(Event{Name: "tick"})
+	n, err := en.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || depth != 3 {
+		t.Fatalf("cascade fired %d (depth %d), want 3", n, depth)
+	}
+}
+
+func TestDrainDepthLimit(t *testing.T) {
+	en := NewEngine(4)
+	en.Register(&Rule{
+		Name: "loop", Event: "tick",
+		Action: func(Event) error {
+			en.Post(Event{Name: "tick"})
+			return nil
+		},
+	})
+	en.Post(Event{Name: "tick"})
+	if _, err := en.Drain(); !errors.Is(err, ErrCascadeDepth) {
+		t.Fatalf("err = %v, want ErrCascadeDepth", err)
+	}
+	// The queue must be cleared so the engine recovers.
+	if n, err := en.Drain(); err != nil || n != 0 {
+		t.Fatalf("post-overflow Drain = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,342 @@
+// Package txn implements the concurrency-control substrate the paper's
+// Consistency section measures games against: serial execution, a global
+// lock, ordered two-phase locking, and optimistic concurrency control.
+// These are the "traditional approaches such as locking transactions"
+// that are "often too slow for games"; the bubble package provides the
+// games-native alternative, and experiment E4 races all of them.
+package txn
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one lockable resource (one entity's row in the world).
+type Key uint32
+
+// Txn is one declared-read/write-set transaction. The executor applies a
+// fixed, deterministic body: read every Reads key, then add the derived
+// value to every Writes key. Declared sets model game actions, whose
+// touched entities are known up front (attack X, trade with Y).
+type Txn struct {
+	Reads  []Key
+	Writes []Key
+	// Work simulates computation between read and write (loop
+	// iterations), so that concurrency has something to overlap.
+	Work int
+}
+
+// Store is the shared state transactions operate on.
+type Store struct {
+	vals  []int64
+	locks []sync.RWMutex
+	vers  []atomic.Uint64
+}
+
+// NewStore returns a store with n keys, all zero.
+func NewStore(n int) *Store {
+	return &Store{
+		vals:  make([]int64, n),
+		locks: make([]sync.RWMutex, n),
+		vers:  make([]atomic.Uint64, n),
+	}
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.vals) }
+
+// Value returns the current value of k (unsynchronized; call between
+// executor runs).
+func (s *Store) Value(k Key) int64 { return s.vals[k] }
+
+// Sum returns the sum of all values (unsynchronized).
+func (s *Store) Sum() int64 {
+	var t int64
+	for _, v := range s.vals {
+		t += v
+	}
+	return t
+}
+
+// Reset zeroes all values and versions.
+func (s *Store) Reset() {
+	for i := range s.vals {
+		s.vals[i] = 0
+		s.vers[i].Store(0)
+	}
+}
+
+// body is the transaction logic shared by all executors: reads feed a
+// checksum, spin-work simulates script execution, each write key gains
+// +1 (so the final store sum equals total committed writes, an invariant
+// the tests verify).
+func body(s *Store, t *Txn, read func(Key) int64, write func(Key, int64)) {
+	var sum int64
+	for _, k := range t.Reads {
+		sum += read(k)
+	}
+	x := sum
+	for i := 0; i < t.Work; i++ {
+		x = x*1664525 + 1013904223 // LCG spin, defeats dead-code elimination
+	}
+	for _, k := range t.Writes {
+		write(k, read(k)+1+(x&0)) // x&0 keeps the data dependency alive
+	}
+}
+
+// Stats reports an executor run.
+type Stats struct {
+	Committed int64
+	Aborted   int64 // OCC retries; zero for blocking executors
+}
+
+// Executor runs a batch of transactions against a store with the given
+// parallelism and returns commit/abort counts. Every executor commits
+// each transaction exactly once (OCC retries until success).
+type Executor interface {
+	Name() string
+	Run(s *Store, txns []*Txn, workers int) Stats
+}
+
+// Serial executes transactions one by one on the calling goroutine: the
+// single-threaded game server baseline.
+type Serial struct{}
+
+// Name implements Executor.
+func (Serial) Name() string { return "serial" }
+
+// Run implements Executor.
+func (Serial) Run(s *Store, txns []*Txn, _ int) Stats {
+	for _, t := range txns {
+		body(s, t,
+			func(k Key) int64 { return s.vals[k] },
+			func(k Key, v int64) { s.vals[k] = v })
+	}
+	return Stats{Committed: int64(len(txns))}
+}
+
+// GlobalLock executes transactions across workers that all serialize on
+// one mutex — parallel hardware, zero parallel benefit, pure contention.
+type GlobalLock struct{}
+
+// Name implements Executor.
+func (GlobalLock) Name() string { return "global-lock" }
+
+// Run implements Executor.
+func (GlobalLock) Run(s *Store, txns []*Txn, workers int) Stats {
+	var mu sync.Mutex
+	run := func(t *Txn) {
+		mu.Lock()
+		defer mu.Unlock()
+		body(s, t,
+			func(k Key) int64 { return s.vals[k] },
+			func(k Key, v int64) { s.vals[k] = v })
+	}
+	fanOut(txns, workers, run)
+	return Stats{Committed: int64(len(txns))}
+}
+
+// TwoPL executes with per-key reader/writer locks acquired in sorted key
+// order (deadlock-free conservative 2PL over the declared sets) and
+// released after commit.
+type TwoPL struct{}
+
+// Name implements Executor.
+func (TwoPL) Name() string { return "2pl" }
+
+// lockPlan is a txn's deduplicated, sorted lock acquisition order.
+type lockPlan struct {
+	keys  []Key
+	write []bool
+}
+
+func planLocks(t *Txn) lockPlan {
+	mode := map[Key]bool{}
+	for _, k := range t.Reads {
+		if _, ok := mode[k]; !ok {
+			mode[k] = false
+		}
+	}
+	for _, k := range t.Writes {
+		mode[k] = true
+	}
+	keys := make([]Key, 0, len(mode))
+	for k := range mode {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	plan := lockPlan{keys: keys, write: make([]bool, len(keys))}
+	for i, k := range keys {
+		plan.write[i] = mode[k]
+	}
+	return plan
+}
+
+// Run implements Executor.
+func (TwoPL) Run(s *Store, txns []*Txn, workers int) Stats {
+	run := func(t *Txn) {
+		plan := planLocks(t)
+		for i, k := range plan.keys {
+			if plan.write[i] {
+				s.locks[k].Lock()
+			} else {
+				s.locks[k].RLock()
+			}
+		}
+		body(s, t,
+			func(k Key) int64 { return s.vals[k] },
+			func(k Key, v int64) { s.vals[k] = v })
+		for i := len(plan.keys) - 1; i >= 0; i-- {
+			if plan.write[i] {
+				s.locks[plan.keys[i]].Unlock()
+			} else {
+				s.locks[plan.keys[i]].RUnlock()
+			}
+		}
+	}
+	fanOut(txns, workers, run)
+	return Stats{Committed: int64(len(txns))}
+}
+
+// OCC executes optimistically: read key versions, compute, then validate
+// and install under per-key write locks, retrying the transaction on
+// conflict.
+type OCC struct{}
+
+// Name implements Executor.
+func (OCC) Name() string { return "occ" }
+
+// Run implements Executor.
+func (OCC) Run(s *Store, txns []*Txn, workers int) Stats {
+	var aborted atomic.Int64
+	run := func(t *Txn) {
+		plan := planLocks(t)
+		for {
+			// Read phase: snapshot versions of the whole footprint.
+			snap := make([]uint64, len(plan.keys))
+			for i, k := range plan.keys {
+				snap[i] = s.vers[k].Load()
+			}
+			reads := make(map[Key]int64, len(t.Reads))
+			for _, k := range t.Reads {
+				reads[k] = atomic.LoadInt64(&s.vals[k])
+			}
+			// Compute phase.
+			type writeOp struct {
+				k Key
+				v int64
+			}
+			var pending []writeOp
+			body(s, t,
+				func(k Key) int64 {
+					if v, ok := reads[k]; ok {
+						return v
+					}
+					return atomic.LoadInt64(&s.vals[k])
+				},
+				func(k Key, v int64) { pending = append(pending, writeOp{k, v}) })
+			// Validate + install under write locks (sorted order).
+			for i, k := range plan.keys {
+				if plan.write[i] {
+					s.locks[k].Lock()
+				}
+			}
+			valid := true
+			for i, k := range plan.keys {
+				if s.vers[k].Load() != snap[i] {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				for _, w := range pending {
+					atomic.StoreInt64(&s.vals[w.k], w.v)
+					s.vers[w.k].Add(1)
+				}
+			}
+			for i := len(plan.keys) - 1; i >= 0; i-- {
+				if plan.write[i] {
+					s.locks[plan.keys[i]].Unlock()
+				}
+			}
+			if valid {
+				return
+			}
+			aborted.Add(1)
+		}
+	}
+	fanOut(txns, workers, run)
+	return Stats{Committed: int64(len(txns)), Aborted: aborted.Load()}
+}
+
+// Partitioned executes pre-partitioned transaction groups: groups run in
+// parallel, transactions within a group run serially with no locking at
+// all. Feeding it causality bubbles yields the paper's games-native
+// scheme: if conflicts can only happen inside a bubble, bubbles are free
+// parallelism.
+type Partitioned struct {
+	// Groups holds the partition; Run ignores its txns argument's order
+	// and uses Groups instead.
+	Groups [][]*Txn
+}
+
+// Name implements Executor.
+func (Partitioned) Name() string { return "bubbles" }
+
+// Run implements Executor. txns is accepted for interface symmetry; the
+// partition in Groups is what executes.
+func (p Partitioned) Run(s *Store, txns []*Txn, workers int) Stats {
+	var committed atomic.Int64
+	if workers <= 0 {
+		workers = 1
+	}
+	idx := atomic.Int64{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := idx.Add(1) - 1
+				if int(g) >= len(p.Groups) {
+					return
+				}
+				for _, t := range p.Groups[g] {
+					body(s, t,
+						func(k Key) int64 { return s.vals[k] },
+						func(k Key, v int64) { s.vals[k] = v })
+					committed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Stats{Committed: committed.Load()}
+}
+
+// fanOut distributes txns across workers via an atomic cursor.
+func fanOut(txns []*Txn, workers int, run func(*Txn)) {
+	if workers <= 1 {
+		for _, t := range txns {
+			run(t)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if int(i) >= len(txns) {
+					return
+				}
+				run(txns[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

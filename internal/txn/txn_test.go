@@ -1,0 +1,172 @@
+package txn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genTxns builds transactions over nKeys keys with footprint size fp.
+// hotFrac of transactions touch only the first few "hot" keys, creating
+// contention.
+func genTxns(rng *rand.Rand, n, nKeys, fp int, hotFrac float64) []*Txn {
+	txns := make([]*Txn, n)
+	hotKeys := nKeys / 20
+	if hotKeys < 2 {
+		hotKeys = 2
+	}
+	for i := range txns {
+		pick := func() Key {
+			if rng.Float64() < hotFrac {
+				return Key(rng.Intn(hotKeys))
+			}
+			return Key(rng.Intn(nKeys))
+		}
+		t := &Txn{Work: 50}
+		seen := map[Key]bool{}
+		for len(t.Reads) < fp {
+			k := pick()
+			if !seen[k] {
+				seen[k] = true
+				t.Reads = append(t.Reads, k)
+			}
+		}
+		for len(t.Writes) < fp/2+1 {
+			k := pick()
+			if !seen[k] {
+				seen[k] = true
+				t.Writes = append(t.Writes, k)
+			}
+		}
+		txns[i] = t
+	}
+	return txns
+}
+
+// totalWrites computes the expected store sum after all txns commit.
+func totalWrites(txns []*Txn) int64 {
+	var n int64
+	for _, t := range txns {
+		n += int64(len(t.Writes))
+	}
+	return n
+}
+
+func TestExecutorsPreserveInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const nKeys = 500
+	txns := genTxns(rng, 2000, nKeys, 4, 0.3)
+	want := totalWrites(txns)
+	execs := []Executor{Serial{}, GlobalLock{}, TwoPL{}, OCC{}}
+	for _, ex := range execs {
+		for _, workers := range []int{1, 4} {
+			s := NewStore(nKeys)
+			stats := ex.Run(s, txns, workers)
+			if stats.Committed != int64(len(txns)) {
+				t.Fatalf("%s/%d: committed %d, want %d", ex.Name(), workers, stats.Committed, len(txns))
+			}
+			if got := s.Sum(); got != want {
+				t.Fatalf("%s/%d: store sum %d, want %d (lost or duplicated writes)",
+					ex.Name(), workers, got, want)
+			}
+		}
+	}
+}
+
+func TestOCCReportsAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	// Extreme contention: everyone writes the same two keys.
+	txns := make([]*Txn, 800)
+	for i := range txns {
+		txns[i] = &Txn{Reads: []Key{0}, Writes: []Key{1}, Work: 200}
+		_ = rng
+	}
+	s := NewStore(4)
+	stats := OCC{}.Run(s, txns, 8)
+	if stats.Committed != 800 {
+		t.Fatalf("committed = %d", stats.Committed)
+	}
+	if s.Sum() != 800 {
+		t.Fatalf("sum = %d", s.Sum())
+	}
+	// With everyone hammering one key, some aborts are essentially
+	// certain under 8 workers; allow zero only in degenerate schedulers.
+	t.Logf("OCC aborts under contention: %d", stats.Aborted)
+}
+
+func TestPartitionedExecutor(t *testing.T) {
+	// Build disjoint groups: keys [0..9] in group 0, [10..19] in group 1, ...
+	const groups = 8
+	var all []*Txn
+	part := make([][]*Txn, groups)
+	for g := 0; g < groups; g++ {
+		base := Key(g * 10)
+		for i := 0; i < 50; i++ {
+			tx := &Txn{
+				Reads:  []Key{base, base + 1},
+				Writes: []Key{base + Key(i%10)},
+				Work:   20,
+			}
+			part[g] = append(part[g], tx)
+			all = append(all, tx)
+		}
+	}
+	s := NewStore(groups * 10)
+	stats := Partitioned{Groups: part}.Run(s, nil, 4)
+	if stats.Committed != int64(len(all)) {
+		t.Fatalf("committed = %d, want %d", stats.Committed, len(all))
+	}
+	if got, want := s.Sum(), totalWrites(all); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	s := NewStore(3)
+	Serial{}.Run(s, []*Txn{{Writes: []Key{0, 1, 2}}}, 1)
+	if s.Sum() != 3 {
+		t.Fatalf("sum = %d", s.Sum())
+	}
+	s.Reset()
+	if s.Sum() != 0 || s.Value(1) != 0 {
+		t.Fatal("Reset did not clear store")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPlanLocksDedup(t *testing.T) {
+	tx := &Txn{Reads: []Key{5, 3, 5}, Writes: []Key{3, 9}}
+	plan := planLocks(tx)
+	if len(plan.keys) != 3 {
+		t.Fatalf("plan keys = %v", plan.keys)
+	}
+	for i := 1; i < len(plan.keys); i++ {
+		if plan.keys[i-1] >= plan.keys[i] {
+			t.Fatalf("plan not sorted: %v", plan.keys)
+		}
+	}
+	// Key 3 is read+write → write mode.
+	for i, k := range plan.keys {
+		switch k {
+		case 3, 9:
+			if !plan.write[i] {
+				t.Fatalf("key %d should be write-locked", k)
+			}
+		case 5:
+			if plan.write[i] {
+				t.Fatal("key 5 should be read-locked")
+			}
+		}
+	}
+}
+
+func TestExecutorNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, ex := range []Executor{Serial{}, GlobalLock{}, TwoPL{}, OCC{}, Partitioned{}} {
+		names[ex.Name()] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("executor names not unique: %v", names)
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math/rand"
+
+	"gamedb/internal/combat"
+	"gamedb/internal/spatial"
+)
+
+// RaidEventKind labels raid simulation events.
+type RaidEventKind uint8
+
+// Raid event kinds. Boss kills and rare loot are the "important events"
+// the intelligent-checkpointing experiment must not lose.
+const (
+	RaidDamage RaidEventKind = iota
+	RaidHeal
+	RaidTaunt
+	RaidPlayerDeath
+	RaidLootDrop
+	RaidBossKill
+)
+
+// String names the event kind.
+func (k RaidEventKind) String() string {
+	switch k {
+	case RaidDamage:
+		return "damage"
+	case RaidHeal:
+		return "heal"
+	case RaidTaunt:
+		return "taunt"
+	case RaidPlayerDeath:
+		return "player-death"
+	case RaidLootDrop:
+		return "loot-drop"
+	case RaidBossKill:
+		return "boss-kill"
+	default:
+		return "?"
+	}
+}
+
+// RaidEvent is one simulated combat action.
+type RaidEvent struct {
+	Tick      int64
+	Kind      RaidEventKind
+	Actor     combat.ID
+	Amount    int64
+	Important bool
+}
+
+// Raider is one raid member.
+type Raider struct {
+	ID     combat.ID
+	DPS    float64
+	Tank   bool
+	Healer bool
+	Pos    spatial.Vec2
+	Alive  bool
+}
+
+// Raid simulates a boss encounter: a tank holding threat, healers
+// generating scaled threat, DPS ramping, occasional tank-swap taunts,
+// player deaths, loot drops, and finally a boss kill. It drives both the
+// aggro experiment (threat dynamics) and the checkpointing experiment
+// (important-event stream).
+type Raid struct {
+	Boss     *combat.ThreatTable
+	BossHP   int64
+	BossMax  int64
+	Raiders  []Raider
+	Events   []RaidEvent
+	tick     int64
+	rng      *rand.Rand
+	finished bool
+}
+
+// NewRaid builds an encounter with nDPS damage dealers plus one tank and
+// one healer, and a boss with bossHP health.
+func NewRaid(rng *rand.Rand, nDPS int, bossHP int64) *Raid {
+	r := &Raid{
+		Boss:    combat.NewThreatTable(),
+		BossHP:  bossHP,
+		BossMax: bossHP,
+		rng:     rng,
+	}
+	r.Raiders = append(r.Raiders,
+		Raider{ID: 1, DPS: 40, Tank: true, Alive: true, Pos: spatial.Vec2{X: 1}},
+		Raider{ID: 2, DPS: 0, Healer: true, Alive: true, Pos: spatial.Vec2{X: 20}},
+	)
+	for i := 0; i < nDPS; i++ {
+		r.Raiders = append(r.Raiders, Raider{
+			ID:    combat.ID(3 + i),
+			DPS:   60 + rng.Float64()*30,
+			Alive: true,
+			Pos:   spatial.Vec2{X: 5 + rng.Float64()*10, Y: rng.Float64()*10 - 5},
+		})
+	}
+	return r
+}
+
+// Finished reports whether the boss is dead.
+func (r *Raid) Finished() bool { return r.finished }
+
+// Tick returns the current encounter tick.
+func (r *Raid) Tick() int64 { return r.tick }
+
+// Step advances one combat tick, appending generated events. It returns
+// the events generated this tick (a sub-slice of Events).
+func (r *Raid) Step() []RaidEvent {
+	if r.finished {
+		return nil
+	}
+	r.tick++
+	start := len(r.Events)
+	emit := func(kind RaidEventKind, actor combat.ID, amount int64, important bool) {
+		r.Events = append(r.Events, RaidEvent{
+			Tick: r.tick, Kind: kind, Actor: actor, Amount: amount, Important: important,
+		})
+	}
+	for i := range r.Raiders {
+		rd := &r.Raiders[i]
+		if !rd.Alive {
+			continue
+		}
+		switch {
+		case rd.Healer:
+			// Healing generates half threat, split conceptually.
+			heal := int64(30 + r.rng.Intn(20))
+			emit(RaidHeal, rd.ID, heal, false)
+			r.Boss.AddThreat(rd.ID, float64(heal)*0.5)
+		case rd.Tank:
+			dmg := int64(rd.DPS * (0.8 + r.rng.Float64()*0.4))
+			// Tank abilities multiply threat.
+			emit(RaidDamage, rd.ID, dmg, false)
+			r.Boss.AddThreat(rd.ID, float64(dmg)*3)
+			r.BossHP -= dmg
+		default:
+			dmg := int64(rd.DPS * (0.8 + r.rng.Float64()*0.4))
+			emit(RaidDamage, rd.ID, dmg, false)
+			r.Boss.AddThreat(rd.ID, float64(dmg))
+			r.BossHP -= dmg
+		}
+	}
+	// Occasional events.
+	if r.rng.Float64() < 0.01 {
+		// Off-tank taunt drill.
+		emit(RaidTaunt, 1, 0, false)
+		r.Boss.Taunt(1)
+	}
+	if r.rng.Float64() < 0.004 {
+		// A DPS dies to a mechanic.
+		for i := range r.Raiders {
+			rd := &r.Raiders[i]
+			if rd.Alive && !rd.Tank && !rd.Healer {
+				rd.Alive = false
+				r.Boss.Remove(rd.ID)
+				emit(RaidPlayerDeath, rd.ID, 0, false)
+				break
+			}
+		}
+	}
+	if r.rng.Float64() < 0.002 {
+		emit(RaidLootDrop, 0, int64(r.rng.Intn(1000)), true)
+	}
+	if r.BossHP <= 0 {
+		r.finished = true
+		emit(RaidBossKill, 0, r.BossMax, true)
+		emit(RaidLootDrop, 0, 5000, true)
+	}
+	return r.Events[start:]
+}
+
+// RunToEnd steps until the boss dies or maxTicks elapses, returning all
+// events.
+func (r *Raid) RunToEnd(maxTicks int64) []RaidEvent {
+	for !r.finished && r.tick < maxTicks {
+		r.Step()
+	}
+	return r.Events
+}
+
+// AlivePoints returns positions of living raiders, jittered by sigma —
+// simulating each client's slightly divergent replicated view for the
+// aggro experiment.
+func (r *Raid) AlivePoints(rng *rand.Rand, sigma float64) []spatial.Point {
+	var out []spatial.Point
+	for _, rd := range r.Raiders {
+		if !rd.Alive {
+			continue
+		}
+		out = append(out, spatial.Point{ID: rd.ID, Pos: spatial.Vec2{
+			X: rd.Pos.X + rng.NormFloat64()*sigma,
+			Y: rd.Pos.Y + rng.NormFloat64()*sigma,
+		}})
+	}
+	return out
+}

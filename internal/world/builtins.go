@@ -1,0 +1,195 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"gamedb/internal/entity"
+	"gamedb/internal/script"
+	"gamedb/internal/spatial"
+)
+
+// builtins exposes the world to GSL scripts: state access (get/set),
+// spatial queries (nearby/dist), movement, events and lifecycle. These
+// are the host functions a game engine gives its designers.
+func (w *World) builtins() []script.Builtin {
+	asID := func(v script.Value) (entity.ID, error) {
+		i, ok := v.AsInt()
+		if !ok {
+			return 0, fmt.Errorf("world: entity id must be int, got %s", v.Kind())
+		}
+		return entity.ID(i), nil
+	}
+	return []script.Builtin{
+		{Name: "get", MinArgs: 2, MaxArgs: 2, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			col, ok := args[1].AsStr()
+			if !ok {
+				return script.Null(), fmt.Errorf("world: get column must be string")
+			}
+			v, err := w.Get(id, col)
+			if err != nil {
+				return script.Null(), err
+			}
+			return script.FromEntity(v), nil
+		}},
+		{Name: "set", MinArgs: 3, MaxArgs: 3, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			col, ok := args[1].AsStr()
+			if !ok {
+				return script.Null(), fmt.Errorf("world: set column must be string")
+			}
+			ev, err := args[2].ToEntity()
+			if err != nil {
+				return script.Null(), err
+			}
+			// Scripts write ints where columns want floats; coerce.
+			if table, okT := w.tableOf[id]; okT {
+				if ci, okC := w.tables[table].Schema().Col(col); okC {
+					if w.tables[table].Schema().ColAt(ci).Kind == entity.KindFloat {
+						if f, okF := ev.AsFloat(); okF {
+							ev = entity.Float(f)
+						}
+					}
+				}
+			}
+			return script.Null(), w.Set(id, col, ev)
+		}},
+		{Name: "nearby", MinArgs: 2, MaxArgs: 2, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			r, ok := args[1].AsFloat()
+			if !ok {
+				return script.Null(), fmt.Errorf("world: nearby radius must be numeric")
+			}
+			ids := w.Nearby(id, r)
+			out := make([]script.Value, len(ids))
+			for i, got := range ids {
+				out[i] = script.Int(int64(got))
+			}
+			return script.List(out...), nil
+		}},
+		{Name: "dist", MinArgs: 2, MaxArgs: 2, Fn: func(args []script.Value) (script.Value, error) {
+			a, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			b, err := asID(args[1])
+			if err != nil {
+				return script.Null(), err
+			}
+			pa, okA := w.Pos(a)
+			pb, okB := w.Pos(b)
+			if !okA || !okB {
+				return script.Float(math.Inf(1)), nil
+			}
+			return script.Float(pa.Dist(pb)), nil
+		}},
+		{Name: "pos_x", MinArgs: 1, MaxArgs: 1, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			p, ok := w.Pos(id)
+			if !ok {
+				return script.Null(), fmt.Errorf("world: entity %d has no position", id)
+			}
+			return script.Float(p.X), nil
+		}},
+		{Name: "pos_y", MinArgs: 1, MaxArgs: 1, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			p, ok := w.Pos(id)
+			if !ok {
+				return script.Null(), fmt.Errorf("world: entity %d has no position", id)
+			}
+			return script.Float(p.Y), nil
+		}},
+		{Name: "move_toward", MinArgs: 4, MaxArgs: 4, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			tx, ok1 := args[1].AsFloat()
+			ty, ok2 := args[2].AsFloat()
+			step, ok3 := args[3].AsFloat()
+			if !ok1 || !ok2 || !ok3 {
+				return script.Null(), fmt.Errorf("world: move_toward wants numbers")
+			}
+			p, ok := w.Pos(id)
+			if !ok {
+				return script.Null(), fmt.Errorf("world: entity %d has no position", id)
+			}
+			to := spatial.Vec2{X: tx, Y: ty}.Sub(p)
+			d := to.Len()
+			var np spatial.Vec2
+			if d <= step {
+				np = spatial.Vec2{X: tx, Y: ty}
+			} else {
+				np = p.Add(to.Scale(step / d))
+			}
+			if err := w.Set(id, "x", entity.Float(np.X)); err != nil {
+				return script.Null(), err
+			}
+			return script.Null(), w.Set(id, "y", entity.Float(np.Y))
+		}},
+		{Name: "emit", MinArgs: 2, MaxArgs: 3, Fn: func(args []script.Value) (script.Value, error) {
+			name, ok := args[0].AsStr()
+			if !ok {
+				return script.Null(), fmt.Errorf("world: emit event name must be string")
+			}
+			id, err := asID(args[1])
+			if err != nil {
+				return script.Null(), err
+			}
+			amount := entity.Null()
+			if len(args) == 3 {
+				amount, err = args[2].ToEntity()
+				if err != nil {
+					return script.Null(), err
+				}
+			}
+			w.Post(name, id, amount)
+			return script.Null(), nil
+		}},
+		{Name: "despawn", MinArgs: 1, MaxArgs: 1, Fn: func(args []script.Value) (script.Value, error) {
+			id, err := asID(args[0])
+			if err != nil {
+				return script.Null(), err
+			}
+			return script.Null(), w.Despawn(id)
+		}},
+		{Name: "spawn", MinArgs: 3, MaxArgs: 3, Fn: func(args []script.Value) (script.Value, error) {
+			arch, ok := args[0].AsStr()
+			if !ok {
+				return script.Null(), fmt.Errorf("world: spawn archetype must be string")
+			}
+			x, ok1 := args[1].AsFloat()
+			y, ok2 := args[2].AsFloat()
+			if !ok1 || !ok2 {
+				return script.Null(), fmt.Errorf("world: spawn position must be numeric")
+			}
+			id, err := w.Spawn(arch, spatial.Vec2{X: x, Y: y})
+			if err != nil {
+				return script.Null(), err
+			}
+			return script.Int(int64(id)), nil
+		}},
+		{Name: "rand_float", MinArgs: 0, MaxArgs: 0, Fn: func([]script.Value) (script.Value, error) {
+			return script.Float(w.rng.Float64()), nil
+		}},
+		{Name: "tick", MinArgs: 0, MaxArgs: 0, Fn: func([]script.Value) (script.Value, error) {
+			return script.Int(w.tick), nil
+		}},
+	}
+}

@@ -1,0 +1,38 @@
+package world
+
+import (
+	"fmt"
+
+	"gamedb/internal/query"
+)
+
+// Select runs a declarative predicate query over one of the world's
+// tables, letting the planner pick an index (hash for equality, ordered
+// for ranges) the way refs [11]/[13] advocate: game logic states *what*,
+// the engine chooses *how*. It returns the rows, their descriptor and
+// the chosen access path.
+//
+// The world must not be mutated while the result is being consumed;
+// call from the simulation goroutine between ticks.
+func (w *World) Select(table string, pred query.Expr) ([]query.Tuple, *query.Desc, string, error) {
+	t, ok := w.tables[table]
+	if !ok {
+		return nil, nil, "", fmt.Errorf("world: unknown table %q", table)
+	}
+	op, path := query.PlanSelect(t, pred)
+	rows, desc, err := query.Run(op)
+	if err != nil {
+		return nil, nil, path, err
+	}
+	return rows, desc, path, nil
+}
+
+// CountWhere runs Select and returns only the row count.
+func (w *World) CountWhere(table string, pred query.Expr) (int, error) {
+	t, ok := w.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("world: unknown table %q", table)
+	}
+	op, _ := query.PlanSelect(t, pred)
+	return query.Count(op)
+}

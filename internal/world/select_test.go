@@ -1,0 +1,154 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/query"
+	"gamedb/internal/spatial"
+)
+
+func TestWorldSelectUsesPlanner(t *testing.T) {
+	w := loadArena(t)
+	tab, _ := w.Table("units")
+	if err := tab.CreateHashIndex("faction"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateOrderedIndex("hp"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		arch := "grunt"
+		if i%3 == 0 {
+			arch = "dummy"
+		}
+		if _, err := w.Spawn(arch, spatial.Vec2{X: float64(i), Y: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, d, path, err := w.Select("units", query.Eq(query.Col("units.faction"), query.ConstStr("blue")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "index-eq(faction)" {
+		t.Fatalf("path = %q", path)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("blue units = %d, want 10", len(rows))
+	}
+	fi, _ := d.Col("units.faction")
+	for _, r := range rows {
+		if r[fi] != entity.Str("blue") {
+			t.Fatalf("leaked row %v", r)
+		}
+	}
+
+	// Range over hp uses the ordered index; grunts have hp 40.
+	n, err := w.CountWhere("units", query.And(
+		query.Ge(query.Col("units.hp"), query.ConstInt(20)),
+		query.Le(query.Col("units.hp"), query.ConstInt(50))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("hp range count = %d, want 20 grunts", n)
+	}
+
+	// Unknown table errors.
+	if _, _, _, err := w.Select("nope", nil); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+	if _, err := w.CountWhere("nope", nil); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+}
+
+// TestEndToEndShard exercises every world subsystem together for many
+// ticks: scripted behavior mutating indexed state, triggers cascading,
+// declarative queries between ticks, snapshot/restore mid-run.
+func TestEndToEndShard(t *testing.T) {
+	const pack = `
+<contentpack name="stress">
+  <schema table="units">
+    <column name="hp" kind="int" default="100"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="stress" kind="int"/>
+  </schema>
+  <archetype name="mob" table="units" script="mill">
+    <set column="hp" value="60"/>
+  </archetype>
+  <script name="mill">
+fn on_tick(self) {
+  move_toward(self, 50.0, 50.0, 0.8);
+  let crowd = nearby(self, 6.0);
+  if len(crowd) > 4 {
+    emit("crowded", self, len(crowd));
+  }
+}
+  </script>
+  <trigger name="stress-up" event="crowded">
+    <when>amount &gt; 4</when>
+    <do>set(self, "stress", get(self, "stress") + 1);</do>
+  </trigger>
+</contentpack>`
+	c, errs := content.LoadAndCompile(strings.NewReader(pack))
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	w := New(Config{Seed: 5, CellSize: 8})
+	if err := w.LoadPack(c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := w.Spawn("mob", spatial.Vec2{X: float64(i * 3 % 100), Y: float64(i * 7 % 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap []byte
+	for tick := 0; tick < 120; tick++ {
+		st, err := w.Step()
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if st.ScriptErrors > 0 {
+			t.Fatalf("tick %d: script error: %v", tick, w.LastScriptError)
+		}
+		if tick == 60 {
+			snap, err = w.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Everyone converged on the rally point; crowding must have fired.
+	stressed, err := w.CountWhere("units", query.Gt(query.Col("units.stress"), query.ConstInt(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stressed == 0 {
+		t.Fatal("no entity ever got crowded; simulation shape wrong")
+	}
+	// Restore mid-run snapshot and keep simulating without errors.
+	if err := w.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if w.Tick() != 61 {
+		t.Fatalf("restored tick = %d", w.Tick())
+	}
+	for tick := 0; tick < 30; tick++ {
+		st, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ScriptCalls != 60 {
+			t.Fatalf("post-restore script calls = %d, want 60", st.ScriptCalls)
+		}
+	}
+	if w.Entities() != 60 {
+		t.Fatalf("entities = %d", w.Entities())
+	}
+}

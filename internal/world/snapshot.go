@@ -1,0 +1,108 @@
+package world
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gamedb/internal/entity"
+	"gamedb/internal/spatial"
+)
+
+// snapshotDoc is the JSON image of a world's persistent state. Scripts,
+// triggers and archetypes are content, not state — they reload from the
+// pack, exactly as a real game reloads code and data after a crash.
+type snapshotDoc struct {
+	Tick      int64                `json:"tick"`
+	NextID    entity.ID            `json:"next_id"`
+	Tables    []tableDoc           `json:"tables"`
+	Behaviors map[entity.ID]string `json:"behaviors"`
+}
+
+type tableDoc struct {
+	Name string           `json:"name"`
+	Cols []colDoc         `json:"cols"`
+	IDs  []entity.ID      `json:"ids"`
+	Rows [][]entity.Value `json:"rows"`
+}
+
+type colDoc struct {
+	Name    string       `json:"name"`
+	Kind    uint8        `json:"kind"`
+	Default entity.Value `json:"default"`
+}
+
+// Snapshot serializes the world's persistent state (tick, tables,
+// behavior roster) for checkpointing.
+func (w *World) Snapshot() ([]byte, error) {
+	doc := snapshotDoc{
+		Tick:      w.tick,
+		NextID:    w.nextID,
+		Behaviors: w.behaviors,
+	}
+	for _, name := range w.TableNames() {
+		t := w.tables[name]
+		td := tableDoc{Name: name}
+		for _, c := range t.Schema().Cols() {
+			td.Cols = append(td.Cols, colDoc{Name: c.Name, Kind: uint8(c.Kind), Default: c.Default})
+		}
+		t.Scan(func(id entity.ID, row []entity.Value) bool {
+			td.IDs = append(td.IDs, id)
+			cp := make([]entity.Value, len(row))
+			copy(cp, row)
+			td.Rows = append(td.Rows, cp)
+			return true
+		})
+		doc.Tables = append(doc.Tables, td)
+	}
+	return json.Marshal(doc)
+}
+
+// Restore replaces the world's persistent state from a snapshot. Loaded
+// content (scripts, triggers, archetypes, frames) is retained.
+func (w *World) Restore(snap []byte) error {
+	var doc snapshotDoc
+	if err := json.Unmarshal(snap, &doc); err != nil {
+		return fmt.Errorf("world: corrupt snapshot: %w", err)
+	}
+	w.ResetState()
+	for _, td := range doc.Tables {
+		cols := make([]entity.Column, len(td.Cols))
+		for i, c := range td.Cols {
+			cols[i] = entity.Column{Name: c.Name, Kind: entity.Kind(c.Kind), Default: c.Default}
+		}
+		s, err := entity.NewSchema(cols...)
+		if err != nil {
+			return fmt.Errorf("world: snapshot table %q: %w", td.Name, err)
+		}
+		t, err := w.CreateTable(td.Name, s)
+		if err != nil {
+			return err
+		}
+		if len(td.IDs) != len(td.Rows) {
+			return fmt.Errorf("world: snapshot table %q: %d ids, %d rows", td.Name, len(td.IDs), len(td.Rows))
+		}
+		for i, id := range td.IDs {
+			if err := t.InsertRow(id, td.Rows[i]); err != nil {
+				return err
+			}
+			w.tableOf[id] = td.Name
+		}
+	}
+	w.tick = doc.Tick
+	w.nextID = doc.NextID
+	for id, s := range doc.Behaviors {
+		w.behaviors[id] = s
+	}
+	return nil
+}
+
+// ResetState clears tables, index and rosters (a crash), keeping loaded
+// content.
+func (w *World) ResetState() {
+	w.tables = make(map[string]*entity.Table)
+	w.tableOf = make(map[entity.ID]string)
+	w.behaviors = make(map[entity.ID]string)
+	w.index = spatial.NewGrid(w.cfg.CellSize)
+	w.tick = 0
+	w.nextID = 0
+}

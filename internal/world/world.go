@@ -1,0 +1,438 @@
+// Package world is the tick-based game server that integrates every
+// substrate: the entity store holds state, a spatial grid indexes
+// positions (kept in sync through table change notifications, the way a
+// database maintains indexes), GSL scripts drive per-entity behavior
+// under a per-tick fuel budget, triggers route events, and content packs
+// populate all of it. The persistence, replication and concurrency
+// subsystems attach to this loop in the examples and experiments.
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/script"
+	"gamedb/internal/spatial"
+	"gamedb/internal/trigger"
+)
+
+// Config parameterizes a world.
+type Config struct {
+	// Seed drives every random decision for reproducibility.
+	Seed int64
+	// CellSize is the spatial index cell size (default 16).
+	CellSize float64
+	// ScriptFuel is the per-script per-tick fuel budget (default
+	// script.DefaultFuel).
+	ScriptFuel int64
+	// TickDT is simulated seconds per tick (default 0.1).
+	TickDT float64
+}
+
+// World is a running game shard.
+type World struct {
+	cfg Config
+	rng *rand.Rand
+
+	tables     map[string]*entity.Table
+	tableOf    map[entity.ID]string
+	behaviors  map[entity.ID]string
+	archetypes map[string]*content.Archetype
+	scripts    map[string]*script.Interp
+	frames     []content.UIFrame
+
+	index *spatial.Grid
+	trig  *trigger.Engine
+
+	nextID entity.ID
+	tick   int64
+
+	// LastScriptError keeps the most recent behavior error for
+	// diagnostics; the tick itself continues (one bad designer script
+	// must not stop the shard).
+	LastScriptError error
+}
+
+// TickStats summarizes one tick.
+type TickStats struct {
+	Tick         int64
+	Entities     int
+	ScriptCalls  int
+	ScriptErrors int
+	ScriptSkips  int
+	FuelUsed     int64
+	TriggerFired int
+}
+
+// New builds an empty world.
+func New(cfg Config) *World {
+	if cfg.CellSize <= 0 {
+		cfg.CellSize = 16
+	}
+	if cfg.ScriptFuel <= 0 {
+		cfg.ScriptFuel = script.DefaultFuel
+	}
+	if cfg.TickDT <= 0 {
+		cfg.TickDT = 0.1
+	}
+	return &World{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		tables:     make(map[string]*entity.Table),
+		tableOf:    make(map[entity.ID]string),
+		behaviors:  make(map[entity.ID]string),
+		archetypes: make(map[string]*content.Archetype),
+		scripts:    make(map[string]*script.Interp),
+		index:      spatial.NewGrid(cfg.CellSize),
+		trig:       trigger.NewEngine(0),
+	}
+}
+
+// Tick returns the current tick number.
+func (w *World) Tick() int64 { return w.tick }
+
+// Triggers exposes the trigger engine for host-registered rules.
+func (w *World) Triggers() *trigger.Engine { return w.trig }
+
+// Frames returns UI frames loaded from content packs.
+func (w *World) Frames() []content.UIFrame { return w.frames }
+
+// Index exposes the spatial index (read-only use).
+func (w *World) Index() *spatial.Grid { return w.index }
+
+// isSpatial reports whether a schema carries float x and y columns.
+func isSpatial(s *entity.Schema) bool {
+	xi, okX := s.Col("x")
+	yi, okY := s.Col("y")
+	return okX && okY &&
+		s.ColAt(xi).Kind == entity.KindFloat && s.ColAt(yi).Kind == entity.KindFloat
+}
+
+// CreateTable registers a table. Tables with float x/y columns are
+// spatially indexed automatically via change notifications.
+func (w *World) CreateTable(name string, s *entity.Schema) (*entity.Table, error) {
+	if _, dup := w.tables[name]; dup {
+		return nil, fmt.Errorf("world: table %q already exists", name)
+	}
+	t := entity.NewTable(name, s)
+	if isSpatial(s) {
+		t.OnChange(func(c entity.Change) {
+			switch c.Kind {
+			case entity.ChangeInsert:
+				p := spatial.Vec2{X: t.MustGet(c.ID, "x").Float(), Y: t.MustGet(c.ID, "y").Float()}
+				w.index.Insert(spatial.ID(c.ID), p)
+			case entity.ChangeUpdate:
+				if c.Col == "x" || c.Col == "y" {
+					p := spatial.Vec2{X: t.MustGet(c.ID, "x").Float(), Y: t.MustGet(c.ID, "y").Float()}
+					w.index.Move(spatial.ID(c.ID), p)
+				}
+			case entity.ChangeDelete:
+				w.index.Remove(spatial.ID(c.ID))
+			}
+		})
+	}
+	w.tables[name] = t
+	return t, nil
+}
+
+// Table returns a registered table.
+func (w *World) Table(name string) (*entity.Table, bool) {
+	t, ok := w.tables[name]
+	return t, ok
+}
+
+// TableNames returns registered table names, sorted.
+func (w *World) TableNames() []string {
+	names := make([]string, 0, len(w.tables))
+	for n := range w.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadPack instantiates a compiled content pack: tables, scripts,
+// triggers, UI frames, archetypes and initial spawns.
+func (w *World) LoadPack(c *content.Compiled) error {
+	for name, s := range c.Schemas {
+		if _, err := w.CreateTable(name, s); err != nil {
+			return err
+		}
+	}
+	for name, a := range c.Archetypes {
+		if _, dup := w.archetypes[name]; dup {
+			return fmt.Errorf("world: archetype %q already loaded", name)
+		}
+		w.archetypes[name] = a
+	}
+	for name, cs := range c.Scripts {
+		if _, dup := w.scripts[name]; dup {
+			return fmt.Errorf("world: script %q already loaded", name)
+		}
+		w.scripts[name] = script.NewInterp(cs.Prog, script.Options{
+			Fuel:     w.cfg.ScriptFuel,
+			Builtins: w.builtins(),
+		})
+	}
+	for _, ct := range c.Triggers {
+		if err := w.bindTrigger(ct); err != nil {
+			return err
+		}
+	}
+	w.frames = append(w.frames, c.Frames...)
+	for _, sp := range c.Spawns {
+		for i := 0; i < sp.Count; i++ {
+			pos := spatial.Vec2{
+				X: sp.X + (w.rng.Float64()*2-1)*sp.Spread,
+				Y: sp.Y + (w.rng.Float64()*2-1)*sp.Spread,
+			}
+			if _, err := w.Spawn(sp.Archetype, pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bindTrigger wraps a compiled trigger's GSL programs as a trigger.Rule.
+func (w *World) bindTrigger(ct *content.CompiledTrigger) error {
+	actIn := script.NewInterp(ct.Act, script.Options{
+		Fuel:     w.cfg.ScriptFuel,
+		Builtins: w.builtins(),
+	})
+	rule := &trigger.Rule{
+		Name:     ct.Name,
+		Event:    ct.Event,
+		Priority: ct.Priority,
+		Once:     ct.Once,
+		Action: func(ev trigger.Event) error {
+			_, err := actIn.Call("act",
+				script.Int(int64(ev.Entity)), script.FromEntity(ev.Field("amount")))
+			return err
+		},
+	}
+	if ct.Cond != nil {
+		condIn := script.NewInterp(ct.Cond, script.Options{
+			Fuel:     w.cfg.ScriptFuel,
+			Builtins: w.builtins(),
+		})
+		rule.Cond = func(ev trigger.Event) (bool, error) {
+			v, err := condIn.Call("cond",
+				script.Int(int64(ev.Entity)), script.FromEntity(ev.Field("amount")))
+			if err != nil {
+				return false, err
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return false, fmt.Errorf("trigger %q condition returned %s", ct.Name, v.Kind())
+			}
+			return b, nil
+		}
+	}
+	return w.trig.Register(rule)
+}
+
+// Spawn instantiates an archetype at pos and returns the new entity id.
+func (w *World) Spawn(archetype string, pos spatial.Vec2) (entity.ID, error) {
+	a, ok := w.archetypes[archetype]
+	if !ok {
+		return 0, fmt.Errorf("world: unknown archetype %q", archetype)
+	}
+	vals := make(map[string]entity.Value, len(a.Values)+2)
+	for k, v := range a.Values {
+		vals[k] = v
+	}
+	t := w.tables[a.Table]
+	if _, has := t.Schema().Col("x"); has {
+		vals["x"] = entity.Float(pos.X)
+		vals["y"] = entity.Float(pos.Y)
+	}
+	id, err := w.SpawnRaw(a.Table, vals)
+	if err != nil {
+		return 0, err
+	}
+	if a.Script != "" {
+		w.behaviors[id] = a.Script
+	}
+	return id, nil
+}
+
+// SpawnRaw inserts a new entity with explicit values into a table.
+func (w *World) SpawnRaw(table string, vals map[string]entity.Value) (entity.ID, error) {
+	t, ok := w.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("world: unknown table %q", table)
+	}
+	w.nextID++
+	id := w.nextID
+	if err := t.Insert(id, vals); err != nil {
+		w.nextID--
+		return 0, err
+	}
+	w.tableOf[id] = table
+	return id, nil
+}
+
+// Despawn removes an entity from its table, the spatial index and the
+// behavior roster.
+func (w *World) Despawn(id entity.ID) error {
+	table, ok := w.tableOf[id]
+	if !ok {
+		return fmt.Errorf("world: unknown entity %d", id)
+	}
+	if err := w.tables[table].Delete(id); err != nil {
+		return err
+	}
+	delete(w.tableOf, id)
+	delete(w.behaviors, id)
+	return nil
+}
+
+// Get reads a column of any entity.
+func (w *World) Get(id entity.ID, col string) (entity.Value, error) {
+	table, ok := w.tableOf[id]
+	if !ok {
+		return entity.Null(), fmt.Errorf("world: unknown entity %d", id)
+	}
+	return w.tables[table].Get(id, col)
+}
+
+// Set writes a column of any entity.
+func (w *World) Set(id entity.ID, col string, v entity.Value) error {
+	table, ok := w.tableOf[id]
+	if !ok {
+		return fmt.Errorf("world: unknown entity %d", id)
+	}
+	return w.tables[table].Set(id, col, v)
+}
+
+// Pos returns an entity's indexed position.
+func (w *World) Pos(id entity.ID) (spatial.Vec2, bool) {
+	return w.index.Pos(spatial.ID(id))
+}
+
+// Nearby returns ids within radius of the entity, excluding it, sorted
+// by id for determinism.
+func (w *World) Nearby(id entity.ID, radius float64) []entity.ID {
+	p, ok := w.Pos(id)
+	if !ok {
+		return nil
+	}
+	var out []entity.ID
+	w.index.QueryCircle(p, radius, func(got spatial.ID, _ spatial.Vec2) bool {
+		if entity.ID(got) != id {
+			out = append(out, entity.ID(got))
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Post queues an event for the tick's trigger drain.
+func (w *World) Post(name string, id entity.ID, amount entity.Value) {
+	w.trig.Post(trigger.Event{
+		Name: name, Entity: id,
+		Fields: map[string]entity.Value{"amount": amount},
+	})
+}
+
+// Entities returns the total entity count.
+func (w *World) Entities() int { return len(w.tableOf) }
+
+// Step advances one tick: behaviors run (fuel-bounded), queued events
+// drain, simple physics integrate (tables with vx/vy columns).
+func (w *World) Step() (TickStats, error) {
+	w.tick++
+	st := TickStats{Tick: w.tick, Entities: len(w.tableOf)}
+
+	// Behavior phase. Snapshot the roster (scripts may spawn/despawn).
+	ids := make([]entity.ID, 0, len(w.behaviors))
+	for id := range w.behaviors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, in := range w.scripts {
+		in.ResetFuel()
+	}
+	exhausted := map[string]bool{}
+	for _, id := range ids {
+		name := w.behaviors[id]
+		if exhausted[name] {
+			st.ScriptSkips++
+			continue
+		}
+		in := w.scripts[name]
+		if in == nil || in.Program().Fns["on_tick"] == nil {
+			continue
+		}
+		if _, stillHere := w.tableOf[id]; !stillHere {
+			continue // despawned earlier this tick
+		}
+		_, err := in.Resume("on_tick", script.Int(int64(id)))
+		st.ScriptCalls++
+		if err != nil {
+			if isFuelErr(err) {
+				exhausted[name] = true
+				st.ScriptSkips++
+			} else {
+				st.ScriptErrors++
+				w.LastScriptError = err
+			}
+		}
+	}
+	for _, in := range w.scripts {
+		st.FuelUsed += in.FuelUsed()
+	}
+
+	// Trigger phase.
+	fired, err := w.trig.Drain()
+	st.TriggerFired = fired
+	if err != nil {
+		return st, err
+	}
+
+	// Physics phase: integrate velocity columns.
+	for _, name := range w.TableNames() {
+		t := w.tables[name]
+		s := t.Schema()
+		if !isSpatial(s) {
+			continue
+		}
+		if _, hasVX := s.Col("vx"); !hasVX {
+			continue
+		}
+		if _, hasVY := s.Col("vy"); !hasVY {
+			continue
+		}
+		for _, id := range t.IDs() {
+			vx := t.MustGet(id, "vx").Float()
+			vy := t.MustGet(id, "vy").Float()
+			if vx == 0 && vy == 0 {
+				continue
+			}
+			x := t.MustGet(id, "x").Float() + vx*w.cfg.TickDT
+			y := t.MustGet(id, "y").Float() + vy*w.cfg.TickDT
+			t.Set(id, "x", entity.Float(x))
+			t.Set(id, "y", entity.Float(y))
+		}
+	}
+	return st, nil
+}
+
+func isFuelErr(err error) bool {
+	for e := err; e != nil; {
+		if e == script.ErrFuel {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
