@@ -4,6 +4,7 @@
 package gamedb_test
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"gamedb/internal/replica"
 	"gamedb/internal/schema"
 	"gamedb/internal/script"
+	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
 	"gamedb/internal/txn"
 	"gamedb/internal/workload"
@@ -379,6 +381,96 @@ fn main() { let s = 0; let i = 0; while i < 1000 { s = s + i; i = i + 1; } retur
 			script.CheckRestricted(prog)
 		}
 	})
+}
+
+// shardBenchRuntime builds an n-shard runtime with `units` drifting
+// units on a side×side map (the shared shard.SeedDriftingCrowd
+// scenario, so bench, shardsim and the example race the same world).
+func shardBenchRuntime(b *testing.B, n, units int, side, band float64) *shard.Runtime {
+	b.Helper()
+	rt, err := shard.New(shard.Config{
+		Seed:      42,
+		Shards:    n,
+		World:     spatial.NewRect(0, 0, side, side),
+		CellSize:  16,
+		TickDT:    0.5,
+		GhostBand: band,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	if err := shard.SeedDriftingCrowd(rt, units, side, 42, 40); err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkE13ShardedTick: one tick of the drifting-crowd scenario on a
+// plain single world vs the sharded runtime at 1/2/4/8 shards. The
+// single-world run is the no-coordinator baseline; shards-1 isolates
+// barrier overhead; higher counts add parallelism (and handoff + ghost
+// work at the boundaries).
+func BenchmarkE13ShardedTick(b *testing.B) {
+	const units, side = 2000, 2000.0
+	b.Run("single-world-baseline", func(b *testing.B) {
+		w := world.New(world.Config{Seed: 42, CellSize: 16, TickDT: 0.5})
+		s, err := shard.DriftingCrowdSchema()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.CreateTable("units", s); err != nil {
+			b.Fatal(err)
+		}
+		if err := shard.ForEachCrowdSpawn(units, side, 42, 40, func(vals map[string]entity.Value) error {
+			_, err := w.SpawnRaw("units", vals)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			rt := shardBenchRuntime(b, n, units, side, 24)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+			b.ReportMetric(float64(rt.HandoffTotal.Load())/float64(b.N), "handoffs/tick")
+		})
+	}
+}
+
+// BenchmarkE13GhostBandOverhead: the cost of ghost replication at 4
+// shards as the mirrored border band widens (a negative band disables
+// ghosts entirely — the "band-off" baseline).
+func BenchmarkE13GhostBandOverhead(b *testing.B) {
+	for _, band := range []float64{-1, 24, 96} {
+		name := fmt.Sprintf("band-%.0f", band)
+		if band < 0 {
+			name = "band-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := shardBenchRuntime(b, 4, 2000, 2000, band)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rt.GhostShipTotal.Load())/float64(b.N), "ghost-ships/tick")
+		})
+	}
 }
 
 // BenchmarkE12NavMesh: pathfinding per representation plus BSP sight.

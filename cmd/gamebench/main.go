@@ -1,10 +1,12 @@
 // Command gamebench regenerates every experiment table in DESIGN.md's
 // index (E1–E12), printing them in paper style. Use -quick for reduced
-// sizes and -only to run a single experiment.
+// sizes, -only to run a single experiment, and -json for
+// machine-readable results (the BENCH_*.json perf-trajectory format).
 //
-//	gamebench            # full suite
-//	gamebench -quick     # CI-sized suite
-//	gamebench -only E7   # one experiment
+//	gamebench                    # full suite
+//	gamebench -quick             # CI-sized suite
+//	gamebench -only E7           # one experiment
+//	gamebench -json > BENCH.json # machine-readable results
 package main
 
 import (
@@ -14,11 +16,13 @@ import (
 	"time"
 
 	"gamedb/internal/experiment"
+	"gamedb/internal/metrics"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E7 or A1)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout instead of tables")
 	flag.Parse()
 
 	drivers := experiment.All()
@@ -31,13 +35,39 @@ func main() {
 		drivers = []experiment.Driver{d}
 	}
 
-	fmt.Printf("gamedb experiment suite — %d experiment(s), quick=%v\n\n", len(drivers), *quick)
+	if !*jsonOut {
+		fmt.Printf("gamedb experiment suite — %d experiment(s), quick=%v\n\n", len(drivers), *quick)
+	}
 	start := time.Now()
+	rep := metrics.BenchReport{Suite: "gamebench"}
 	for _, d := range drivers {
 		t0 := time.Now()
 		tbl := d.Run(*quick)
+		elapsed := time.Since(t0)
+		if *jsonOut {
+			rep.Records = append(rep.Records, metrics.BenchRecord{
+				Name:    d.ID,
+				NsPerOp: float64(elapsed.Nanoseconds()),
+				Extra: map[string]any{
+					"title": d.Title,
+					// quick runs are orders of magnitude smaller;
+					// perf trajectories must not mix the two.
+					"quick":  *quick,
+					"header": tbl.Header,
+					"rows":   tbl.Rows,
+				},
+			})
+			continue
+		}
 		tbl.Fprint(os.Stdout)
-		fmt.Printf("  [%s in %s]\n\n", d.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  [%s in %s]\n\n", d.ID, elapsed.Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := metrics.WriteBenchJSON(os.Stdout, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "gamebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("suite completed in %s\n", time.Since(start).Round(time.Millisecond))
 }

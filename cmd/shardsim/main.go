@@ -1,0 +1,163 @@
+// Command shardsim races a seed-fixed drifting-crowd scenario across
+// shard counts: the same world is run on 1, 2, 4, ... region shards and
+// the runtime reports tick throughput, handoff rate, ghost-band traffic
+// and the final world hash — which must be identical for every shard
+// count (cross-shard handoff and ghost replication preserve
+// physics-driven state bit-exactly; script behaviors reading neighbors
+// would instead see the weakened Coarse ghost view).
+//
+//	shardsim                          # race 1,2,4,8 shards
+//	shardsim -shards 1,4 -ticks 500   # custom race
+//	shardsim -json > BENCH_shard.json # machine-readable results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"gamedb/internal/metrics"
+	"gamedb/internal/shard"
+	"gamedb/internal/spatial"
+)
+
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+type raceResult struct {
+	shards         int
+	ticksPerSec    float64
+	entitiesPerSec float64
+	handoffsPerTik float64
+	ghosts         int
+	ghostShips     int64
+	stepP99NS      float64
+	hash           uint64
+	elapsed        time.Duration
+}
+
+func runRace(shards, entities, ticks int, seed int64, side, band float64, rebalance int64) (raceResult, error) {
+	rt, err := shard.New(shard.Config{
+		Seed:           seed,
+		Shards:         shards,
+		World:          spatial.NewRect(0, 0, side, side),
+		CellSize:       16,
+		TickDT:         0.5,
+		GhostBand:      band,
+		RebalanceEvery: rebalance,
+	})
+	if err != nil {
+		return raceResult{}, err
+	}
+	defer rt.Close()
+
+	if err := shard.SeedDriftingCrowd(rt, entities, side, seed, 40); err != nil {
+		return raceResult{}, err
+	}
+
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		if _, err := rt.Step(); err != nil {
+			return raceResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	secs := elapsed.Seconds()
+	return raceResult{
+		shards:         shards,
+		ticksPerSec:    float64(ticks) / secs,
+		entitiesPerSec: float64(ticks) * float64(entities) / secs,
+		handoffsPerTik: float64(rt.HandoffTotal.Load()) / float64(ticks),
+		ghosts:         rt.Ghosts(),
+		ghostShips:     rt.GhostShipTotal.Load(),
+		stepP99NS:      rt.StepNS.Quantile(0.99),
+		hash:           rt.Hash(),
+		elapsed:        elapsed,
+	}, nil
+}
+
+func main() {
+	shardList := flag.String("shards", "1,2,4,8", "comma-separated shard counts to race")
+	entities := flag.Int("entities", 4000, "entities in the scenario")
+	ticks := flag.Int("ticks", 200, "ticks to simulate per race")
+	seed := flag.Int64("seed", 2009, "scenario seed")
+	side := flag.Float64("side", 2000, "world side length")
+	band := flag.Float64("band", 24, "ghost border band width (negative disables ghosts)")
+	rebalance := flag.Int64("rebalance", 50, "rebalance boundaries every N ticks (0 = static)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
+	flag.Parse()
+
+	counts, err := parseShardList(*shardList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	if !*jsonOut {
+		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d cores\n\n",
+			*entities, *side, *side, *ticks, runtime.GOMAXPROCS(0))
+	}
+	tbl := metrics.NewTable("sharded world runtime race",
+		"shards", "ticks/sec", "entities/sec", "handoffs/tick", "ghosts", "ghost-ships", "hash")
+	rep := metrics.BenchReport{Suite: "shardsim"}
+	var firstHash uint64
+	hashesAgree := true
+	for i, n := range counts {
+		res, err := runRace(n, *entities, *ticks, *seed, *side, *band, *rebalance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			firstHash = res.hash
+		} else if res.hash != firstHash {
+			hashesAgree = false
+		}
+		tbl.AddRowf(res.shards, res.ticksPerSec, res.entitiesPerSec,
+			res.handoffsPerTik, res.ghosts, res.ghostShips,
+			fmt.Sprintf("%016x", res.hash))
+		rep.Records = append(rep.Records, metrics.BenchRecord{
+			Name:           fmt.Sprintf("shardsim/shards-%d", n),
+			NsPerOp:        float64(res.elapsed.Nanoseconds()) / float64(*ticks),
+			EntitiesPerSec: res.entitiesPerSec,
+			Extra: map[string]any{
+				"ticks_per_sec":     res.ticksPerSec,
+				"handoffs_per_tick": res.handoffsPerTik,
+				"ghosts":            res.ghosts,
+				"ghost_ships":       res.ghostShips,
+				"step_p99_ns":       res.stepP99NS,
+				"hash":              fmt.Sprintf("%016x", res.hash),
+			},
+		})
+	}
+	if *jsonOut {
+		if err := metrics.WriteBenchJSON(os.Stdout, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		tbl.Note = "hash must be identical across shard counts: handoff + ghost replication preserve state bit-exactly"
+		tbl.Fprint(os.Stdout)
+	}
+	if !hashesAgree {
+		fmt.Fprintln(os.Stderr, "shardsim: FAIL — world hash diverged across shard counts")
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Println("\nall shard counts produced the identical world hash ✓")
+	}
+}

@@ -1,24 +1,39 @@
-// MMO shard: the causality-bubble pipeline end to end. A hotspot crowd
-// moves around a large map; every tick the shard predicts reachability
-// from velocity and acceleration bounds (EVE's differential-equation
-// trick in closed form), partitions the map into bubbles, and executes
-// that tick's interaction transactions bubble-parallel — racing the
-// classic lock-based alternatives on the way.
+// MMO shard: the paper's scale story end to end, in two acts.
+//
+// Act 1 — within one shard: a hotspot crowd moves around a large map;
+// every tick the shard predicts reachability from velocity and
+// acceleration bounds (EVE's differential-equation trick in closed
+// form), partitions the map into causality bubbles, and executes that
+// tick's interaction transactions bubble-parallel — racing the classic
+// lock-based alternatives on the way.
+//
+// Act 2 — across shards: the same map is split into region shards under
+// gamedb.OpenSharded; 1, 2, 4 and 8 shards race the identical
+// seed-fixed crowd, with cross-shard handoff and ghost replication
+// keeping the final world hash identical for every shard count.
 package main
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
+	"gamedb"
 	"gamedb/internal/bubble"
+	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
 	"gamedb/internal/txn"
 	"gamedb/internal/workload"
 )
 
 func main() {
+	singleShardBubbles()
+	shardedRuntimeRace()
+}
+
+func singleShardBubbles() {
 	const (
 		players = 2000
 		side    = 4000.0
@@ -75,4 +90,64 @@ func main() {
 	run("bubbles", txn.Partitioned{Groups: groups})
 
 	fmt.Println("\nbubbles execute lock-free: distinct bubbles cannot conflict within the horizon.")
+}
+
+// shardedRuntimeRace splits the map into region shards and races shard
+// counts over the identical seed-fixed crowd.
+func shardedRuntimeRace() {
+	const (
+		players = 2000
+		side    = 2000.0
+		ticks   = 150
+		seed    = 2009
+	)
+	fmt.Printf("\nsharded world runtime: %d players, %d ticks per shard count\n\n", players, ticks)
+	fmt.Println("shards  ticks/sec  handoffs/tick  ghosts  world-hash")
+
+	var firstHash uint64
+	hashesAgree := true
+	for _, n := range []int{1, 2, 4, 8} {
+		eng, err := gamedb.OpenSharded(gamedb.ShardedOptions{
+			Seed:           seed,
+			Shards:         n,
+			World:          gamedb.NewRect(0, 0, side, side),
+			TickDT:         0.5,
+			GhostBand:      24,
+			RebalanceEvery: 25,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt := eng.Runtime
+		// Seed-fixed spawn stream: identical crowd for every shard count.
+		if err := shard.SeedDriftingCrowd(rt, players, side, seed, 40); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := 0; i < ticks; i++ {
+			if _, err := eng.Tick(); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		hash := eng.Hash()
+		if n == 1 {
+			firstHash = hash
+		}
+		mark := "✓"
+		if hash != firstHash {
+			mark = "✗"
+			hashesAgree = false
+		}
+		fmt.Printf("%6d  %9.1f  %13.2f  %6d  %016x %s\n",
+			n, float64(ticks)/elapsed.Seconds(),
+			float64(rt.HandoffTotal.Load())/float64(ticks), rt.Ghosts(), hash, mark)
+		eng.Close()
+	}
+	if hashesAgree {
+		fmt.Println("\nhandoff + ghost replication keep the world hash identical for every shard count.")
+	} else {
+		fmt.Println("\nFAIL: world hash diverged across shard counts.")
+		os.Exit(1)
+	}
 }

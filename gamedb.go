@@ -29,6 +29,7 @@ import (
 	"gamedb/internal/entity"
 	"gamedb/internal/persist"
 	"gamedb/internal/replica"
+	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
 	"gamedb/internal/world"
 )
@@ -38,6 +39,26 @@ type Engine = core.Engine
 
 // Options configures New.
 type Options = core.Options
+
+// ShardedEngine is a world partitioned into N region shards, each
+// ticking in its own goroutine under a tick-barrier coordinator that
+// performs cross-shard entity handoff and ghost replication; see
+// core.ShardedEngine and internal/shard for method docs.
+type ShardedEngine = core.ShardedEngine
+
+// ShardedOptions configures OpenSharded.
+type ShardedOptions = core.ShardedOptions
+
+// ShardStepStats summarizes one sharded tick (handoffs, ghost traffic,
+// parallel/barrier wall time).
+type ShardStepStats = shard.StepStats
+
+// Rect is an axis-aligned world-space rectangle (shard regions, the
+// world bounds passed to OpenSharded).
+type Rect = spatial.Rect
+
+// NewRect builds a rectangle from extreme coordinates.
+func NewRect(x0, y0, x1, y1 float64) Rect { return spatial.NewRect(x0, y0, x1, y1) }
 
 // World is the tick-based simulation a shard runs.
 type World = world.World
@@ -84,3 +105,10 @@ type (
 
 // New builds an engine.
 func New(opts Options) (*Engine, error) { return core.New(opts) }
+
+// OpenSharded builds a sharded world runtime: the map is partitioned
+// into opts.Shards spatial regions, each running as an independent
+// world on its own goroutine; a tick barrier migrates entities that
+// cross region boundaries and mirrors border-band neighbors as
+// read-only ghosts so boundary-straddling queries stay correct.
+func OpenSharded(opts ShardedOptions) (*ShardedEngine, error) { return core.NewSharded(opts) }

@@ -1,0 +1,3 @@
+module gamedb
+
+go 1.24

@@ -224,3 +224,49 @@ func TestDensitySweepShrinksBubbles(t *testing.T) {
 		t.Fatalf("sweep should show variation: %v", counts)
 	}
 }
+
+func TestAllStationaryCrowd(t *testing.T) {
+	// With zero velocity and zero acceleration every reach is 0, so
+	// bubbles are exactly the connected components of the "within
+	// InteractRange" graph: a chain of entities 4 apart under range 5 is
+	// one bubble; break the chain and it splits.
+	cfg := Config{Horizon: 10, InteractRange: 5}
+	var ents []Entity
+	for i := 0; i < 50; i++ {
+		ents = append(ents, Entity{ID: spatial.ID(i + 1), Pos: spatial.Vec2{X: float64(i) * 4, Y: 0}})
+	}
+	p := Compute(ents, cfg)
+	if p.NumBubbles() != 1 || p.MaxSize() != 50 {
+		t.Fatalf("chain crowd: bubbles=%d max=%d, want 1 bubble of 50", p.NumBubbles(), p.MaxSize())
+	}
+	// Move the second half 100 units away: exactly two bubbles.
+	for i := 25; i < 50; i++ {
+		ents[i].Pos.X += 100
+	}
+	p = Compute(ents, cfg)
+	if p.NumBubbles() != 2 || p.MaxSize() != 25 {
+		t.Fatalf("broken chain: bubbles=%d max=%d, want 2 bubbles of 25", p.NumBubbles(), p.MaxSize())
+	}
+	// A long horizon must not merge stationary entities: reach stays 0.
+	p = Compute(ents, Config{Horizon: 1e6, InteractRange: 5})
+	if p.NumBubbles() != 2 {
+		t.Fatalf("horizon leaked into stationary reach: bubbles=%d", p.NumBubbles())
+	}
+}
+
+func TestZeroConfigDegenerate(t *testing.T) {
+	// Horizon 0 and range 0: only exactly co-located entities can
+	// conflict; everyone else is a singleton bubble.
+	ents := []Entity{
+		{ID: 1, Pos: spatial.Vec2{X: 0, Y: 0}, Vel: spatial.Vec2{X: 99, Y: 0}, MaxAccel: 99},
+		{ID: 2, Pos: spatial.Vec2{X: 0, Y: 0}},
+		{ID: 3, Pos: spatial.Vec2{X: 1, Y: 0}},
+	}
+	p := Compute(ents, Config{})
+	if p.NumBubbles() != 2 {
+		t.Fatalf("bubbles = %d, want 2 (co-located pair + singleton)", p.NumBubbles())
+	}
+	if !p.SameBubble(1, 2) || p.SameBubble(1, 3) {
+		t.Fatal("zero-config membership wrong")
+	}
+}

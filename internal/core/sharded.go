@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/replica"
+	"gamedb/internal/shard"
+	"gamedb/internal/spatial"
+	"gamedb/internal/world"
+)
+
+// ShardedOptions configures OpenSharded. World and Shards are required;
+// everything else defaults like Options.
+type ShardedOptions struct {
+	// Seed drives all randomness, reproducibly across shard counts.
+	Seed int64
+	// Shards is the number of region shards.
+	Shards int
+	// World is the map rectangle partitioned across shards.
+	World spatial.Rect
+
+	// CellSize, ScriptFuel and TickDT configure each shard's world.
+	CellSize   float64
+	ScriptFuel int64
+	TickDT     float64
+
+	// GhostBand is the mirrored border width (≥ the interaction range;
+	// 0 = default 2×CellSize, negative disables ghosts); GhostFields
+	// optionally overrides the consistency specs for ghost refresh
+	// (default: x/y as Coarse).
+	GhostBand   float64
+	GhostFields []replica.FieldSpec
+
+	// RebalanceEvery enables load-driven boundary rebalancing every
+	// that many ticks (0 = static partition).
+	RebalanceEvery int64
+}
+
+// ShardedEngine is a sharded world runtime behind the same content and
+// tick surface as Engine: one world partitioned into region shards,
+// each ticking on its own goroutine under a barrier coordinator.
+type ShardedEngine struct {
+	Runtime *shard.Runtime
+}
+
+// NewSharded builds a sharded engine.
+func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
+	if opts.World.Width() <= 0 || opts.World.Height() <= 0 {
+		return nil, fmt.Errorf("core: sharded engine needs a world rect with positive area")
+	}
+	rt, err := shard.New(shard.Config{
+		Seed:           opts.Seed,
+		Shards:         opts.Shards,
+		World:          opts.World,
+		CellSize:       opts.CellSize,
+		ScriptFuel:     opts.ScriptFuel,
+		TickDT:         opts.TickDT,
+		GhostBand:      opts.GhostBand,
+		GhostFields:    opts.GhostFields,
+		RebalanceEvery: opts.RebalanceEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{Runtime: rt}, nil
+}
+
+// LoadPackXML loads a content pack from XML into every shard; the pack's
+// spawns run once, each entity materializing on the shard owning its
+// position. Initial ghost mirrors are synchronized before return.
+func (e *ShardedEngine) LoadPackXML(r io.Reader) error {
+	c, errs := content.LoadAndCompile(r)
+	if len(errs) > 0 {
+		msg := "core: content pack rejected:"
+		for _, err := range errs {
+			msg += "\n  " + err.Error()
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	if err := e.Runtime.LoadPack(c); err != nil {
+		return err
+	}
+	return e.Runtime.Sync()
+}
+
+// Tick advances all shards one step through the tick barrier.
+func (e *ShardedEngine) Tick() (shard.StepStats, error) { return e.Runtime.Step() }
+
+// Spawn instantiates an archetype on the shard owning pos.
+func (e *ShardedEngine) Spawn(archetype string, pos spatial.Vec2) (entity.ID, error) {
+	return e.Runtime.Spawn(archetype, pos)
+}
+
+// Entities returns the owned-entity total across shards.
+func (e *ShardedEngine) Entities() int { return e.Runtime.Entities() }
+
+// Hash returns the deterministic digest of the owned world state; equal
+// seeds yield equal hashes for any shard count.
+func (e *ShardedEngine) Hash() uint64 { return e.Runtime.Hash() }
+
+// ShardWorld returns shard i's world for inspection.
+func (e *ShardedEngine) ShardWorld(i int) *world.World { return e.Runtime.ShardWorld(i) }
+
+// Close stops the shard goroutines.
+func (e *ShardedEngine) Close() { e.Runtime.Close() }

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchRecord is one machine-readable benchmark result, the unit of the
+// BENCH_*.json perf-trajectory files emitted by cmd/gamebench -json and
+// cmd/shardsim -json.
+type BenchRecord struct {
+	// Name identifies the measured operation (e.g. "E4/bubbles",
+	// "shardsim/shards-4").
+	Name string `json:"name"`
+	// NsPerOp is the mean wall time of one operation in nanoseconds.
+	// What "one operation" means is per record and named by Name: one
+	// tick for shardsim records, one full experiment run for gamebench
+	// records — compare NsPerOp across runs of the same record, not
+	// across suites.
+	NsPerOp float64 `json:"ns_per_op"`
+	// EntitiesPerSec is operation throughput in entities processed per
+	// second (0 when the operation has no natural entity count).
+	EntitiesPerSec float64 `json:"entities_per_sec,omitempty"`
+	// Extra carries benchmark-specific figures (handoff rates, ghost
+	// counts, table cells) without widening the schema.
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// BenchReport is the top-level JSON document: an identifying label plus
+// the records.
+type BenchReport struct {
+	Suite   string        `json:"suite"`
+	Records []BenchRecord `json:"records"`
+}
+
+// WriteBenchJSON writes the report as indented JSON.
+func WriteBenchJSON(w io.Writer, rep BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

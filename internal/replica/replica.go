@@ -60,6 +60,33 @@ type FieldSpec struct {
 	Period int64
 }
 
+// ShouldShip reports whether a changed value ships on tick under the
+// field's consistency class, given the last-shipped value and its tick.
+// Both client replication and shard ghost refresh decide through this
+// one policy.
+func (f FieldSpec) ShouldShip(cur, sent float64, tick, sentTick int64) bool {
+	if cur == sent {
+		return false
+	}
+	switch f.Class {
+	case Exact:
+		return true
+	case Coarse:
+		if math.Abs(cur-sent) > f.Epsilon {
+			return true
+		}
+		return f.MaxAge > 0 && tick-sentTick >= f.MaxAge
+	case Cosmetic:
+		period := f.Period
+		if period <= 0 {
+			period = 1
+		}
+		return tick%period == 0
+	default:
+		return true
+	}
+}
+
 // ID identifies a replicated entity.
 type ID = spatial.ID
 
@@ -257,27 +284,7 @@ func (s *Server) flushClient(c *Client) {
 		ticks := c.sentTick[id]
 		for fi, spec := range s.specs {
 			cur := src[fi]
-			if cur == sent[fi] {
-				continue // nothing new to ship
-			}
-			ship := false
-			switch spec.Class {
-			case Exact:
-				ship = true
-			case Coarse:
-				if math.Abs(cur-sent[fi]) > spec.Epsilon {
-					ship = true
-				} else if spec.MaxAge > 0 && s.tick-ticks[fi] >= spec.MaxAge {
-					ship = true
-				}
-			case Cosmetic:
-				period := spec.Period
-				if period <= 0 {
-					period = 1
-				}
-				ship = s.tick%period == 0
-			}
-			if ship {
+			if spec.ShouldShip(cur, sent[fi], s.tick, ticks[fi]) {
 				repl[fi] = cur
 				sent[fi] = cur
 				ticks[fi] = s.tick

@@ -1,0 +1,661 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/metrics"
+	"gamedb/internal/replica"
+	"gamedb/internal/spatial"
+	"gamedb/internal/world"
+)
+
+// scriptIDBase is where shard-local (script-driven) entity id allocation
+// starts. Coordinator-assigned ids count up from 1, so the two ranges
+// cannot collide in any realistic run.
+const scriptIDBase = entity.ID(1) << 32
+
+// Config parameterizes a sharded runtime.
+type Config struct {
+	// Seed drives every random decision (pack spawn jitter, per-shard
+	// world RNGs) for reproducibility across shard counts.
+	Seed int64
+	// Shards is the number of region shards (default 1).
+	Shards int
+	// World is the map rectangle partitioned across shards.
+	World spatial.Rect
+
+	// CellSize, ScriptFuel and TickDT pass through to each shard's
+	// world.Config.
+	CellSize   float64
+	ScriptFuel int64
+	TickDT     float64
+
+	// GhostBand is the width of the border strip mirrored into
+	// neighboring shards as read-only ghosts. It should be at least the
+	// game's interaction range. 0 means the default (2×CellSize); a
+	// negative value disables ghost replication.
+	GhostBand float64
+	// GhostFields lists the columns re-shipped to existing ghosts each
+	// barrier, with replica consistency classes deciding when a value
+	// ships. Defaults to x and y as Coarse fields (epsilon = 1% of a
+	// cell, MaxAge 20 ticks). Ghost creation always ships the full row.
+	GhostFields []replica.FieldSpec
+
+	// RebalanceEvery shifts region boundaries toward equalized load
+	// every that many ticks using per-shard entity counts (0 = never).
+	RebalanceEvery int64
+	// RebalanceMaxShift bounds one rebalance step as a fraction of the
+	// world width (default 0.02).
+	RebalanceMaxShift float64
+}
+
+// StepStats summarizes one sharded tick.
+type StepStats struct {
+	Tick     int64
+	Entities int // world total, ghosts excluded
+	Ghosts   int // ghost mirrors currently materialized
+	// Handoffs is the number of entities migrated between shards at
+	// this barrier; GhostShips counts field updates shipped to existing
+	// ghosts; GhostSnapshots counts ghosts created (full-row ships).
+	Handoffs       int
+	GhostShips     int
+	GhostSnapshots int
+	// Shards aggregates the per-shard world.TickStats of the parallel
+	// phase. Note the convention difference: TickStats.Entities counts
+	// every row the shard world ticked, ghost mirrors included, while
+	// StepStats.Entities above counts owned entities only — summing
+	// Shards[i].Entities double-counts the border bands.
+	Shards []world.TickStats
+	// ParallelNS is the wall time of the parallel tick phase;
+	// BarrierNS the wall time of handoff + ghost maintenance.
+	ParallelNS int64
+	BarrierNS  int64
+}
+
+type shardResult struct {
+	stats world.TickStats
+	err   error
+}
+
+// ghostRec tracks one ghost mirror's last-shipped field values.
+type ghostRec struct {
+	sent     []float64
+	sentTick []int64
+	present  []bool // field exists in the entity's table schema
+}
+
+// Runtime runs N region shards under a tick-barrier coordinator.
+type Runtime struct {
+	cfg    Config
+	part   *Partitioner
+	worlds []*world.World
+	rng    *rand.Rand
+	specs  []replica.FieldSpec
+
+	// ghostRecs[i] holds shard i's ghost mirrors keyed by entity id.
+	ghostRecs []map[entity.ID]*ghostRec
+
+	nextID entity.ID
+	tick   int64
+
+	tickCh []chan struct{}
+	doneCh []chan shardResult
+
+	// LocalCount[i] is shard i's owned-entity count, refreshed at each
+	// barrier; Rebalance consumes it. HandoffTotal, GhostShipTotal and
+	// GhostSnapshotTotal accumulate across the run.
+	LocalCount         []metrics.Counter
+	HandoffTotal       metrics.Counter
+	GhostShipTotal     metrics.Counter
+	GhostSnapshotTotal metrics.Counter
+	// StepNS records per-tick wall time (parallel + barrier).
+	StepNS metrics.Histogram
+}
+
+// New builds a sharded runtime and starts one goroutine per shard.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.CellSize <= 0 {
+		cfg.CellSize = 16
+	}
+	if cfg.GhostBand == 0 {
+		cfg.GhostBand = 2 * cfg.CellSize
+	}
+	if cfg.GhostBand < 0 {
+		cfg.GhostBand = 0
+	}
+	if len(cfg.GhostFields) == 0 {
+		eps := cfg.CellSize * 0.01
+		cfg.GhostFields = []replica.FieldSpec{
+			{Name: "x", Class: replica.Coarse, Epsilon: eps, MaxAge: 20},
+			{Name: "y", Class: replica.Coarse, Epsilon: eps, MaxAge: 20},
+		}
+	}
+	part, err := NewPartitioner(cfg.World, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	n := part.N()
+	rt := &Runtime{
+		cfg:        cfg,
+		part:       part,
+		worlds:     make([]*world.World, n),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		specs:      cfg.GhostFields,
+		ghostRecs:  make([]map[entity.ID]*ghostRec, n),
+		tickCh:     make([]chan struct{}, n),
+		doneCh:     make([]chan shardResult, n),
+		LocalCount: make([]metrics.Counter, n),
+	}
+	for i := 0; i < n; i++ {
+		w := world.New(world.Config{
+			// Shard worlds share the seed lineage but must not share a
+			// stream: offset by shard index.
+			Seed:       cfg.Seed + int64(i)*7919,
+			CellSize:   cfg.CellSize,
+			ScriptFuel: cfg.ScriptFuel,
+			TickDT:     cfg.TickDT,
+		})
+		// Script-driven spawns allocate from disjoint residue classes so
+		// ids never collide across shards (or with coordinator ids).
+		w.SetIDAllocator(scriptIDBase+entity.ID(i+1), uint64(n))
+		rt.worlds[i] = w
+		rt.ghostRecs[i] = make(map[entity.ID]*ghostRec)
+		rt.tickCh[i] = make(chan struct{})
+		rt.doneCh[i] = make(chan shardResult, 1)
+		go rt.shardLoop(i)
+	}
+	return rt, nil
+}
+
+// shardLoop is shard i's goroutine: tick on demand until Close.
+func (rt *Runtime) shardLoop(i int) {
+	w := rt.worlds[i]
+	for range rt.tickCh[i] {
+		st, err := w.Step()
+		rt.doneCh[i] <- shardResult{stats: st, err: err}
+	}
+}
+
+// Close stops the shard goroutines. The runtime must not be used after.
+func (rt *Runtime) Close() {
+	for _, ch := range rt.tickCh {
+		close(ch)
+	}
+}
+
+// Shards returns the number of region shards.
+func (rt *Runtime) Shards() int { return rt.part.N() }
+
+// Tick returns the barrier tick counter.
+func (rt *Runtime) Tick() int64 { return rt.tick }
+
+// Partitioner exposes the region partitioner (read-mostly use).
+func (rt *Runtime) Partitioner() *Partitioner { return rt.part }
+
+// ShardWorld returns shard i's world for inspection. Outside Step the
+// coordinator owns all shard worlds, so reads are safe; mutations should
+// go through Runtime methods.
+func (rt *Runtime) ShardWorld(i int) *world.World { return rt.worlds[i] }
+
+// Entities returns the owned-entity total across shards (ghosts are
+// mirrors, not entities, and are excluded).
+func (rt *Runtime) Entities() int {
+	n := 0
+	for _, w := range rt.worlds {
+		n += w.LocalEntities()
+	}
+	return n
+}
+
+// Ghosts returns the number of ghost mirrors currently materialized.
+func (rt *Runtime) Ghosts() int {
+	n := 0
+	for _, w := range rt.worlds {
+		n += w.GhostCount()
+	}
+	return n
+}
+
+// LoadPack instantiates a compiled content pack across all shards:
+// content (tables, scripts, triggers, archetypes) loads into every shard
+// world; the pack's spawns run on the coordinator RNG so each entity
+// materializes once, on the shard owning its position, with identical
+// ids and positions for every shard count.
+func (rt *Runtime) LoadPack(c *content.Compiled) error {
+	for _, w := range rt.worlds {
+		if err := w.LoadContent(c); err != nil {
+			return err
+		}
+	}
+	return world.ForEachSpawn(c, rt.rng, func(archetype string, pos spatial.Vec2) error {
+		_, err := rt.Spawn(archetype, pos)
+		return err
+	})
+}
+
+// Spawn instantiates an archetype on the shard owning pos, under a
+// coordinator-assigned globally unique id.
+func (rt *Runtime) Spawn(archetype string, pos spatial.Vec2) (entity.ID, error) {
+	rt.nextID++
+	id := rt.nextID
+	si := rt.part.Locate(pos)
+	if err := rt.worlds[si].SpawnAt(id, archetype, pos); err != nil {
+		rt.nextID--
+		return 0, err
+	}
+	return id, nil
+}
+
+// SpawnRaw inserts an entity with explicit values on the shard owning
+// its x/y position (shard 0 when the table is not spatial).
+func (rt *Runtime) SpawnRaw(table string, vals map[string]entity.Value) (entity.ID, error) {
+	si := 0
+	if x, okX := vals["x"].AsFloat(); okX {
+		if y, okY := vals["y"].AsFloat(); okY {
+			si = rt.part.Locate(spatial.Vec2{X: x, Y: y})
+		}
+	}
+	rt.nextID++
+	id := rt.nextID
+	if err := rt.worlds[si].SpawnRawAt(id, table, vals); err != nil {
+		rt.nextID--
+		return 0, err
+	}
+	return id, nil
+}
+
+// Owner returns the shard currently holding the entity as a local (the
+// world containing a non-ghost row for it), or -1.
+func (rt *Runtime) Owner(id entity.ID) int {
+	for i, w := range rt.worlds {
+		if _, ok := w.TableOf(id); ok && !w.IsGhost(id) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Step advances the sharded world one tick: every shard steps in
+// parallel, then the tick barrier rebalances regions (when due), hands
+// off entities that crossed a boundary, and refreshes ghost mirrors.
+func (rt *Runtime) Step() (StepStats, error) {
+	rt.tick++
+	st := StepStats{Tick: rt.tick}
+
+	t0 := time.Now()
+	for i := range rt.tickCh {
+		rt.tickCh[i] <- struct{}{}
+	}
+	var firstErr error
+	st.Shards = make([]world.TickStats, len(rt.worlds))
+	for i := range rt.doneCh {
+		res := <-rt.doneCh[i]
+		st.Shards[i] = res.stats
+		if res.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, res.err)
+		}
+	}
+	st.ParallelNS = time.Since(t0).Nanoseconds()
+	if firstErr != nil {
+		return st, firstErr
+	}
+
+	t1 := time.Now()
+	counts := make([]int64, len(rt.worlds))
+	for i, w := range rt.worlds {
+		rt.LocalCount[i].Reset()
+		rt.LocalCount[i].Add(int64(w.LocalEntities()))
+		counts[i] = rt.LocalCount[i].Load()
+	}
+	if rt.cfg.RebalanceEvery > 0 && rt.tick%rt.cfg.RebalanceEvery == 0 {
+		rt.part.Rebalance(counts, rt.cfg.RebalanceMaxShift)
+	}
+	migs, desired, err := rt.collectBarrier()
+	if err != nil {
+		return st, err
+	}
+	if err := rt.applyHandoff(migs); err != nil {
+		return st, err
+	}
+	st.Handoffs = len(migs)
+	ships, snaps, err := rt.reconcileGhosts(desired)
+	if err != nil {
+		return st, err
+	}
+	st.GhostShips, st.GhostSnapshots = ships, snaps
+	st.BarrierNS = time.Since(t1).Nanoseconds()
+
+	for _, w := range rt.worlds {
+		st.Entities += w.LocalEntities()
+		st.Ghosts += w.GhostCount()
+	}
+	rt.StepNS.Record(float64(st.ParallelNS + st.BarrierNS))
+	return st, nil
+}
+
+// Sync runs the barrier phases (handoff + ghost refresh) without
+// stepping, materializing initial ghosts after loading and spawning.
+func (rt *Runtime) Sync() error {
+	migs, desired, err := rt.collectBarrier()
+	if err != nil {
+		return err
+	}
+	if err := rt.applyHandoff(migs); err != nil {
+		return err
+	}
+	_, _, err = rt.reconcileGhosts(desired)
+	return err
+}
+
+// migration is one entity crossing a region boundary.
+type migration struct {
+	id       entity.ID
+	src, dst int
+	table    string
+	row      []entity.Value
+	behavior string
+}
+
+// ghostCandidate is one (entity, destination shard) mirror requirement.
+type ghostCandidate struct {
+	id    entity.ID
+	owner int
+	table string
+}
+
+// collectBarrier makes one pass over every shard's rows and gathers
+// both barrier work lists: entities whose position left their region
+// (migrations) and entities within GhostBand of another region (ghost
+// candidates, keyed per destination shard). Candidate ownership is the
+// post-handoff owner, so ghost reconciliation can run right after the
+// migrations apply without rescanning.
+func (rt *Runtime) collectBarrier() ([]migration, []map[entity.ID]ghostCandidate, error) {
+	n := rt.part.N()
+	ghostsOn := rt.cfg.GhostBand > 0 && n > 1
+	band2 := rt.cfg.GhostBand * rt.cfg.GhostBand
+	regions := rt.part.Regions()
+	desired := make([]map[entity.ID]ghostCandidate, n)
+	for i := range desired {
+		desired[i] = make(map[entity.ID]ghostCandidate)
+	}
+	var migs []migration
+	for si, w := range rt.worlds {
+		for _, name := range w.TableNames() {
+			t, _ := w.Table(name)
+			for _, id := range t.IDs() {
+				if w.IsGhost(id) {
+					continue
+				}
+				pos, ok := w.Pos(id)
+				if !ok {
+					continue // non-spatial entities never migrate or mirror
+				}
+				owner := rt.part.Locate(pos)
+				if owner != si {
+					row, err := t.Row(id)
+					if err != nil {
+						return nil, nil, err
+					}
+					beh, _ := w.Behavior(id)
+					migs = append(migs, migration{id: id, src: si, dst: owner, table: name, row: row, behavior: beh})
+				}
+				if !ghostsOn {
+					continue
+				}
+				for di := 0; di < n; di++ {
+					if di == owner {
+						continue
+					}
+					if regions[di].Dist2(pos) <= band2 {
+						desired[di][id] = ghostCandidate{id: id, owner: owner, table: name}
+					}
+				}
+			}
+		}
+	}
+	return migs, desired, nil
+}
+
+// applyHandoff migrates the collected entities in ascending entity-id
+// order so the result is deterministic for any shard count. The row
+// materializes on the destination before the source despawns it, so a
+// failed insert (e.g. a schema missing on one shard) leaves the entity
+// intact on its source.
+func (rt *Runtime) applyHandoff(migs []migration) error {
+	sort.Slice(migs, func(i, j int) bool { return migs[i].id < migs[j].id })
+	for _, m := range migs {
+		dst := rt.worlds[m.dst]
+		// The destination may hold a ghost mirror of this entity; the
+		// authoritative row replaces it.
+		if dst.IsGhost(m.id) {
+			if err := dst.Despawn(m.id); err != nil {
+				return err
+			}
+			delete(rt.ghostRecs[m.dst], m.id)
+		}
+		if err := dst.InsertRow(m.id, m.table, m.row); err != nil {
+			return err
+		}
+		if err := rt.worlds[m.src].Despawn(m.id); err != nil {
+			return err
+		}
+		if m.behavior != "" {
+			dst.SetBehavior(m.id, m.behavior)
+		}
+	}
+	rt.HandoffTotal.Add(int64(len(migs)))
+	return nil
+}
+
+// reconcileGhosts updates every shard's ghost set against the desired
+// border-band candidates. New ghosts ship their full row; existing
+// ghosts re-ship only GhostFields, each under its replica consistency
+// class (Coarse position updates ship when drift exceeds epsilon or the
+// mirror grows stale). Returns (field ships, full snapshots).
+func (rt *Runtime) reconcileGhosts(desired []map[entity.ID]ghostCandidate) (int, int, error) {
+	n := rt.part.N()
+	ships, snaps := 0, 0
+	for di := 0; di < n; di++ {
+		dst := rt.worlds[di]
+		recs := rt.ghostRecs[di]
+		// Expire mirrors that left the band (or whose owner despawned).
+		// Sweep the world's ghost set as well as our recs: a snapshot
+		// Restore can resurrect mirror rows this runtime has no rec for.
+		goneSet := make(map[entity.ID]bool)
+		for id := range recs {
+			if _, still := desired[di][id]; !still {
+				goneSet[id] = true
+			}
+		}
+		for _, id := range dst.GhostIDs() {
+			if _, still := desired[di][id]; !still {
+				goneSet[id] = true
+			}
+		}
+		gone := make([]entity.ID, 0, len(goneSet))
+		for id := range goneSet {
+			gone = append(gone, id)
+		}
+		sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+		for _, id := range gone {
+			if dst.IsGhost(id) {
+				if err := dst.Despawn(id); err != nil {
+					return ships, snaps, err
+				}
+			}
+			delete(recs, id)
+		}
+		// Create or refresh the rest, in id order for determinism.
+		ids := make([]entity.ID, 0, len(desired[di]))
+		for id := range desired[di] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			cand := desired[di][id]
+			src := rt.worlds[cand.owner]
+			t, _ := src.Table(cand.table)
+			rec, known := recs[id]
+			// A known rec whose row is gone means something on the
+			// hosting shard despawned the mirror (scripts can despawn
+			// any id Nearby returns). The mirror is derived state, so
+			// self-heal by re-snapshotting instead of wedging the
+			// barrier on a Set against a missing row.
+			if known && !dst.IsGhost(id) {
+				delete(recs, id)
+				known = false
+			}
+			if !known {
+				// An unknown in-band mirror may still have a row (a
+				// Restore resurrected it without our bookkeeping);
+				// drop the orphan and re-snapshot from the owner.
+				if dst.IsGhost(id) {
+					if err := dst.Despawn(id); err != nil {
+						return ships, snaps, err
+					}
+				}
+				row, err := t.Row(id)
+				if err != nil {
+					return ships, snaps, err
+				}
+				if err := dst.InsertRow(id, cand.table, row); err != nil {
+					return ships, snaps, err
+				}
+				dst.SetGhost(id, true)
+				rec = rt.newGhostRec(t, id)
+				recs[id] = rec
+				snaps++
+				continue
+			}
+			for fi, spec := range rt.specs {
+				if !rec.present[fi] {
+					continue
+				}
+				// Compare as float but ship the raw value, preserving
+				// the column's native kind (int hp mirrors as int).
+				raw := t.MustGet(id, spec.Name)
+				cur, okF := raw.AsFloat()
+				if !okF {
+					continue
+				}
+				if !spec.ShouldShip(cur, rec.sent[fi], rt.tick, rec.sentTick[fi]) {
+					continue
+				}
+				if err := dst.Set(id, spec.Name, raw); err != nil {
+					return ships, snaps, err
+				}
+				rec.sent[fi] = cur
+				rec.sentTick[fi] = rt.tick
+				ships++
+			}
+		}
+	}
+	rt.GhostShipTotal.Add(int64(ships))
+	rt.GhostSnapshotTotal.Add(int64(snaps))
+	return ships, snaps, nil
+}
+
+// newGhostRec snapshots the spec'd fields of a freshly mirrored entity.
+func (rt *Runtime) newGhostRec(t *entity.Table, id entity.ID) *ghostRec {
+	rec := &ghostRec{
+		sent:     make([]float64, len(rt.specs)),
+		sentTick: make([]int64, len(rt.specs)),
+		present:  make([]bool, len(rt.specs)),
+	}
+	s := t.Schema()
+	for fi, spec := range rt.specs {
+		if _, ok := s.Col(spec.Name); !ok {
+			continue
+		}
+		if v, okF := t.MustGet(id, spec.Name).AsFloat(); okF {
+			rec.present[fi] = true
+			rec.sent[fi] = v
+			rec.sentTick[fi] = rt.tick
+		}
+	}
+	return rec
+}
+
+// Hash returns a deterministic FNV-64a digest of the owned world state
+// (every non-ghost row, globally sorted by entity id). The same seed
+// yields the same hash on every run, and for state driven by per-entity
+// physics and coordinator spawns the hash is also identical for any
+// shard count — handoff preserves rows bit-exactly and ghosts are
+// excluded as derived state. Behaviors that observe neighbors or spawn
+// from scripts see the weakened cross-shard view (Coarse-stale ghosts,
+// per-shard id streams), so their state may legitimately differ from a
+// single-shard run — the paper's "inconsistent, but very similar"
+// tier, traded for partitionability.
+func (rt *Runtime) Hash() uint64 {
+	type rowRef struct {
+		id    entity.ID
+		table string
+		row   []entity.Value
+	}
+	var rows []rowRef
+	for _, w := range rt.worlds {
+		for _, name := range w.TableNames() {
+			t, _ := w.Table(name)
+			t.Scan(func(id entity.ID, row []entity.Value) bool {
+				if w.IsGhost(id) {
+					return true
+				}
+				cp := make([]entity.Value, len(row))
+				copy(cp, row)
+				rows = append(rows, rowRef{id: id, table: name, row: cp})
+				return true
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].id != rows[j].id {
+			return rows[i].id < rows[j].id
+		}
+		return rows[i].table < rows[j].table
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range rows {
+		h.Write([]byte(r.table))
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.id))
+		h.Write(buf[:])
+		for _, v := range r.row {
+			hashValue(h, v, buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// hashValue folds one cell into the digest, bit-exactly for floats.
+func hashValue(h interface{ Write([]byte) (int, error) }, v entity.Value, buf []byte) {
+	buf[0] = byte(v.Kind())
+	h.Write(buf[:1])
+	switch v.Kind() {
+	case entity.KindInt:
+		binary.LittleEndian.PutUint64(buf, uint64(v.Int()))
+		h.Write(buf[:8])
+	case entity.KindFloat:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v.Float()))
+		h.Write(buf[:8])
+	case entity.KindString:
+		h.Write([]byte(v.Str()))
+	case entity.KindBool:
+		if v.Bool() {
+			buf[0] = 1
+		} else {
+			buf[0] = 0
+		}
+		h.Write(buf[:1])
+	}
+}

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"math/rand"
+
+	"gamedb/internal/entity"
+)
+
+// DriftingCrowdSchema returns the schema the drifting-crowd demo
+// scenario simulates: indexed position, velocity integrated by world
+// physics, and an int hp column so kind-preservation paths stay
+// exercised.
+func DriftingCrowdSchema() (*entity.Schema, error) {
+	return entity.NewSchema(
+		entity.Column{Name: "x", Kind: entity.KindFloat},
+		entity.Column{Name: "y", Kind: entity.KindFloat},
+		entity.Column{Name: "vx", Kind: entity.KindFloat},
+		entity.Column{Name: "vy", Kind: entity.KindFloat},
+		entity.Column{Name: "hp", Kind: entity.KindInt, Default: entity.Int(100)},
+	)
+}
+
+// ForEachCrowdSpawn draws the seed-fixed drifting-crowd spawn stream —
+// positions in [0,side)², velocities in [-speed, speed), four rng draws
+// per entity — and hands each row's values to fn. It is the single
+// source of the stream: SeedDriftingCrowd and the single-world baseline
+// in bench_test.go both route through it, so "sharded vs baseline"
+// always compares the identical workload.
+func ForEachCrowdSpawn(units int, side float64, seed int64, speed float64, fn func(vals map[string]entity.Value) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < units; i++ {
+		if err := fn(map[string]entity.Value{
+			"x":  entity.Float(rng.Float64() * side),
+			"y":  entity.Float(rng.Float64() * side),
+			"vx": entity.Float((rng.Float64()*2 - 1) * speed),
+			"vy": entity.Float((rng.Float64()*2 - 1) * speed),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedDriftingCrowd creates the "units" table on every shard and spawns
+// `units` entities from the ForEachCrowdSpawn stream, then syncs
+// initial ghosts. The stream depends only on the seed, never the shard
+// count, so every shard count simulates the identical world —
+// cmd/shardsim, the E13 benchmarks and examples/mmo-shard all race
+// this one scenario.
+func SeedDriftingCrowd(rt *Runtime, units int, side float64, seed int64, speed float64) error {
+	s, err := DriftingCrowdSchema()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < rt.Shards(); i++ {
+		if _, err := rt.ShardWorld(i).CreateTable("units", s); err != nil {
+			return err
+		}
+	}
+	if err := ForEachCrowdSpawn(units, side, seed, speed, func(vals map[string]entity.Value) error {
+		_, err := rt.SpawnRaw("units", vals)
+		return err
+	}); err != nil {
+		return err
+	}
+	return rt.Sync()
+}

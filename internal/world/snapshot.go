@@ -3,6 +3,7 @@ package world
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"gamedb/internal/entity"
 	"gamedb/internal/spatial"
@@ -16,6 +17,14 @@ type snapshotDoc struct {
 	NextID    entity.ID            `json:"next_id"`
 	Tables    []tableDoc           `json:"tables"`
 	Behaviors map[entity.ID]string `json:"behaviors"`
+	// Ghosts lists the rows that are read-only mirrors of entities
+	// owned by another shard; restoring must re-mark them or a shard
+	// world would claim its neighbors' entities as its own.
+	Ghosts []entity.ID `json:"ghosts,omitempty"`
+	// IDStride preserves the shard world's id-allocator residue class;
+	// without it a restored shard would hand script spawns ids that
+	// collide with other shards. 0 (old snapshots) means 1.
+	IDStride entity.ID `json:"id_stride,omitempty"`
 }
 
 type tableDoc struct {
@@ -37,8 +46,13 @@ func (w *World) Snapshot() ([]byte, error) {
 	doc := snapshotDoc{
 		Tick:      w.tick,
 		NextID:    w.nextID,
+		IDStride:  w.idStride,
 		Behaviors: w.behaviors,
 	}
+	for id := range w.ghosts {
+		doc.Ghosts = append(doc.Ghosts, id)
+	}
+	sort.Slice(doc.Ghosts, func(i, j int) bool { return doc.Ghosts[i] < doc.Ghosts[j] })
 	for _, name := range w.TableNames() {
 		t := w.tables[name]
 		td := tableDoc{Name: name}
@@ -90,8 +104,15 @@ func (w *World) Restore(snap []byte) error {
 	}
 	w.tick = doc.Tick
 	w.nextID = doc.NextID
+	w.idStride = doc.IDStride
+	if w.idStride == 0 {
+		w.idStride = 1
+	}
 	for id, s := range doc.Behaviors {
 		w.behaviors[id] = s
+	}
+	for _, id := range doc.Ghosts {
+		w.ghosts[id] = true
 	}
 	return nil
 }
@@ -102,6 +123,7 @@ func (w *World) ResetState() {
 	w.tables = make(map[string]*entity.Table)
 	w.tableOf = make(map[entity.ID]string)
 	w.behaviors = make(map[entity.ID]string)
+	w.ghosts = make(map[entity.ID]bool)
 	w.index = spatial.NewGrid(w.cfg.CellSize)
 	w.tick = 0
 	w.nextID = 0

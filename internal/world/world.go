@@ -44,11 +44,18 @@ type World struct {
 	scripts    map[string]*script.Interp
 	frames     []content.UIFrame
 
+	// ghosts marks read-only mirror rows of entities owned by another
+	// shard (see internal/shard). Ghosts are visible to spatial queries
+	// and reads but run no behaviors and are skipped by physics; the
+	// shard runtime refreshes them at each tick barrier.
+	ghosts map[entity.ID]bool
+
 	index *spatial.Grid
 	trig  *trigger.Engine
 
-	nextID entity.ID
-	tick   int64
+	nextID   entity.ID
+	idStride entity.ID
+	tick     int64
 
 	// LastScriptError keeps the most recent behavior error for
 	// diagnostics; the tick itself continues (one bad designer script
@@ -86,9 +93,24 @@ func New(cfg Config) *World {
 		behaviors:  make(map[entity.ID]string),
 		archetypes: make(map[string]*content.Archetype),
 		scripts:    make(map[string]*script.Interp),
+		ghosts:     make(map[entity.ID]bool),
 		index:      spatial.NewGrid(cfg.CellSize),
 		trig:       trigger.NewEngine(0),
+		idStride:   1,
 	}
+}
+
+// SetIDAllocator makes locally assigned entity IDs start at next and
+// advance by stride. The shard runtime gives each shard a disjoint
+// residue class so script-driven spawns on different shards can never
+// collide.
+func (w *World) SetIDAllocator(next entity.ID, stride uint64) {
+	if stride == 0 {
+		stride = 1
+	}
+	// nextID holds the last assigned id (SpawnRaw pre-increments).
+	w.nextID = next - entity.ID(stride)
+	w.idStride = entity.ID(stride)
 }
 
 // Tick returns the current tick number.
@@ -157,6 +179,42 @@ func (w *World) TableNames() []string {
 // LoadPack instantiates a compiled content pack: tables, scripts,
 // triggers, UI frames, archetypes and initial spawns.
 func (w *World) LoadPack(c *content.Compiled) error {
+	if err := w.LoadContent(c); err != nil {
+		return err
+	}
+	return ForEachSpawn(c, w.rng, func(archetype string, pos spatial.Vec2) error {
+		_, err := w.Spawn(archetype, pos)
+		return err
+	})
+}
+
+// ForEachSpawn iterates a pack's spawn definitions in declaration
+// order, drawing each instance's jittered position from rng (two draws
+// per instance, x then y). It is the single source of the spawn
+// position stream: the single-world LoadPack and the shard runtime's
+// coordinator both route through it, which is what makes pack spawns
+// land at identical positions regardless of shard count.
+func ForEachSpawn(c *content.Compiled, rng *rand.Rand, fn func(archetype string, pos spatial.Vec2) error) error {
+	for _, sp := range c.Spawns {
+		for i := 0; i < sp.Count; i++ {
+			pos := spatial.Vec2{
+				X: sp.X + (rng.Float64()*2-1)*sp.Spread,
+				Y: sp.Y + (rng.Float64()*2-1)*sp.Spread,
+			}
+			if err := fn(sp.Archetype, pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadContent instantiates everything in a compiled pack except its
+// spawns: tables, scripts, triggers, UI frames and archetypes. The shard
+// runtime loads content into every shard but performs the pack's spawns
+// itself so each entity materializes on exactly one shard (and at the
+// same position regardless of shard count).
+func (w *World) LoadContent(c *content.Compiled) error {
 	for name, s := range c.Schemas {
 		if _, err := w.CreateTable(name, s); err != nil {
 			return err
@@ -183,17 +241,6 @@ func (w *World) LoadPack(c *content.Compiled) error {
 		}
 	}
 	w.frames = append(w.frames, c.Frames...)
-	for _, sp := range c.Spawns {
-		for i := 0; i < sp.Count; i++ {
-			pos := spatial.Vec2{
-				X: sp.X + (w.rng.Float64()*2-1)*sp.Spread,
-				Y: sp.Y + (w.rng.Float64()*2-1)*sp.Spread,
-			}
-			if _, err := w.Spawn(sp.Archetype, pos); err != nil {
-				return err
-			}
-		}
-	}
 	return nil
 }
 
@@ -237,9 +284,22 @@ func (w *World) bindTrigger(ct *content.CompiledTrigger) error {
 
 // Spawn instantiates an archetype at pos and returns the new entity id.
 func (w *World) Spawn(archetype string, pos spatial.Vec2) (entity.ID, error) {
+	w.nextID += w.idStride
+	id := w.nextID
+	if err := w.SpawnAt(id, archetype, pos); err != nil {
+		w.nextID -= w.idStride
+		return 0, err
+	}
+	return id, nil
+}
+
+// SpawnAt instantiates an archetype at pos under a caller-chosen entity
+// id. The shard runtime uses it to assign globally unique ids across
+// shards; the id must not collide with this world's allocator range.
+func (w *World) SpawnAt(id entity.ID, archetype string, pos spatial.Vec2) error {
 	a, ok := w.archetypes[archetype]
 	if !ok {
-		return 0, fmt.Errorf("world: unknown archetype %q", archetype)
+		return fmt.Errorf("world: unknown archetype %q", archetype)
 	}
 	vals := make(map[string]entity.Value, len(a.Values)+2)
 	for k, v := range a.Values {
@@ -250,30 +310,63 @@ func (w *World) Spawn(archetype string, pos spatial.Vec2) (entity.ID, error) {
 		vals["x"] = entity.Float(pos.X)
 		vals["y"] = entity.Float(pos.Y)
 	}
-	id, err := w.SpawnRaw(a.Table, vals)
-	if err != nil {
-		return 0, err
+	if err := w.SpawnRawAt(id, a.Table, vals); err != nil {
+		return err
 	}
 	if a.Script != "" {
 		w.behaviors[id] = a.Script
 	}
-	return id, nil
+	return nil
 }
 
 // SpawnRaw inserts a new entity with explicit values into a table.
 func (w *World) SpawnRaw(table string, vals map[string]entity.Value) (entity.ID, error) {
-	t, ok := w.tables[table]
-	if !ok {
-		return 0, fmt.Errorf("world: unknown table %q", table)
-	}
-	w.nextID++
+	w.nextID += w.idStride
 	id := w.nextID
-	if err := t.Insert(id, vals); err != nil {
-		w.nextID--
+	if err := w.SpawnRawAt(id, table, vals); err != nil {
+		w.nextID -= w.idStride
 		return 0, err
 	}
-	w.tableOf[id] = table
 	return id, nil
+}
+
+// SpawnRawAt inserts a new entity with explicit values and a
+// caller-chosen id into a table. The id must be globally fresh: a table
+// only detects duplicates within itself, so without this check a
+// cross-table collision would silently repoint the entity and orphan
+// the old row.
+func (w *World) SpawnRawAt(id entity.ID, table string, vals map[string]entity.Value) error {
+	if prev, exists := w.tableOf[id]; exists {
+		return fmt.Errorf("world: entity %d already exists in table %q", id, prev)
+	}
+	t, ok := w.tables[table]
+	if !ok {
+		return fmt.Errorf("world: unknown table %q", table)
+	}
+	if err := t.Insert(id, vals); err != nil {
+		return err
+	}
+	w.tableOf[id] = table
+	return nil
+}
+
+// InsertRow inserts a positional row (schema order) with a caller-chosen
+// id — the fast path cross-shard handoff uses to rematerialize a
+// serialized entity exactly. Like SpawnRawAt, the id must be globally
+// fresh.
+func (w *World) InsertRow(id entity.ID, table string, row []entity.Value) error {
+	if prev, exists := w.tableOf[id]; exists {
+		return fmt.Errorf("world: entity %d already exists in table %q", id, prev)
+	}
+	t, ok := w.tables[table]
+	if !ok {
+		return fmt.Errorf("world: unknown table %q", table)
+	}
+	if err := t.InsertRow(id, row); err != nil {
+		return err
+	}
+	w.tableOf[id] = table
+	return nil
 }
 
 // Despawn removes an entity from its table, the spatial index and the
@@ -288,7 +381,60 @@ func (w *World) Despawn(id entity.ID) error {
 	}
 	delete(w.tableOf, id)
 	delete(w.behaviors, id)
+	delete(w.ghosts, id)
 	return nil
+}
+
+// SetBehavior attaches (or, with script "", detaches) a behavior script
+// to an entity. Handoff uses it to carry behaviors across shards.
+func (w *World) SetBehavior(id entity.ID, script string) {
+	if script == "" {
+		delete(w.behaviors, id)
+		return
+	}
+	w.behaviors[id] = script
+}
+
+// Behavior returns the entity's behavior script name, if any.
+func (w *World) Behavior(id entity.ID) (string, bool) {
+	s, ok := w.behaviors[id]
+	return s, ok
+}
+
+// TableOf returns the name of the table holding the entity.
+func (w *World) TableOf(id entity.ID) (string, bool) {
+	t, ok := w.tableOf[id]
+	return t, ok
+}
+
+// SetGhost marks or unmarks an entity as a ghost: a read-only mirror of
+// an entity owned by a neighboring shard. Ghosts participate in spatial
+// queries and reads but run no behaviors and are not integrated by
+// physics — their state only changes when the shard runtime re-ships it.
+func (w *World) SetGhost(id entity.ID, ghost bool) {
+	if ghost {
+		w.ghosts[id] = true
+	} else {
+		delete(w.ghosts, id)
+	}
+}
+
+// IsGhost reports whether the entity is a ghost mirror.
+func (w *World) IsGhost(id entity.ID) bool { return w.ghosts[id] }
+
+// GhostCount returns the number of ghost mirrors present.
+func (w *World) GhostCount() int { return len(w.ghosts) }
+
+// GhostIDs returns the ids of all ghost mirrors, sorted. The shard
+// runtime uses it to reconcile mirrors that exist in the world but not
+// in its own bookkeeping (e.g. resurrected by a snapshot Restore).
+func (w *World) GhostIDs() []entity.ID {
+	out := make([]entity.ID, 0, len(w.ghosts))
+	for id := range w.ghosts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Get reads a column of any entity.
@@ -340,8 +486,12 @@ func (w *World) Post(name string, id entity.ID, amount entity.Value) {
 	})
 }
 
-// Entities returns the total entity count.
+// Entities returns the total entity count, ghosts included.
 func (w *World) Entities() int { return len(w.tableOf) }
+
+// LocalEntities returns the count of entities this world owns (total
+// minus ghost mirrors).
+func (w *World) LocalEntities() int { return len(w.tableOf) - len(w.ghosts) }
 
 // Step advances one tick: behaviors run (fuel-bounded), queued events
 // drain, simple physics integrate (tables with vx/vy columns).
@@ -409,6 +559,9 @@ func (w *World) Step() (TickStats, error) {
 			continue
 		}
 		for _, id := range t.IDs() {
+			if w.ghosts[id] {
+				continue // mirrors move only when their owner re-ships them
+			}
 			vx := t.MustGet(id, "vx").Float()
 			vy := t.MustGet(id, "vy").Float()
 			if vx == 0 && vy == 0 {
