@@ -5,6 +5,7 @@ package gamedb_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -469,6 +470,87 @@ func BenchmarkE13GhostBandOverhead(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(rt.GhostShipTotal.Load())/float64(b.N), "ghost-ships/tick")
+		})
+	}
+}
+
+const benchCrowdPack = `
+<contentpack name="crowd">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="met" kind="int"/>
+  </schema>
+  <archetype name="unit" table="units" script="mingle"/>
+  <script name="mingle">
+fn on_tick(self) {
+  let ns = nearby(self, 8.0);
+  let n = len(ns);
+  if n == 0 { return; }
+  let cx = 0.0;
+  let cy = 0.0;
+  for id in ns {
+    cx = cx + get(id, "x");
+    cy = cy + get(id, "y");
+  }
+  move_toward(self, cx / n, cy / n, 0.5);
+  add(self, "met", n);
+}
+  </script>
+</contentpack>`
+
+// parallelTickWorld builds the E14 scenario: a script-heavy crowd where
+// every entity runs an interpreted behavior each tick (neighbor scan +
+// centroid math + buffered writes), the workload the state-effect
+// pipeline exists to parallelize.
+func parallelTickWorld(b *testing.B, n, workers int) *world.World {
+	b.Helper()
+	c, errs := content.LoadAndCompile(strings.NewReader(benchCrowdPack))
+	if len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	w := world.New(world.Config{Seed: 42, CellSize: 8, ScriptFuel: 1 << 40, Workers: workers})
+	if err := w.LoadPack(c); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	side := 160 * math.Sqrt(float64(n)/2000)
+	for i := 0; i < n; i++ {
+		p := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		if _, err := w.Spawn("unit", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w
+}
+
+// BenchmarkE14ParallelTick: one tick of a 2.5k-entity behavior-driven
+// crowd as the query phase fans across 1/2/4/8 workers. The state-effect
+// pipeline keeps the world hash identical at every width, so the only
+// difference is throughput; apply-ns/op isolates the effect-buffer merge
+// overhead that the parallel speedup pays for. (Speedup needs cores:
+// GOMAXPROCS caps what any worker count can deliver.)
+func BenchmarkE14ParallelTick(b *testing.B) {
+	const units = 2500
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			w := parallelTickWorld(b, units, workers)
+			b.ResetTimer()
+			var queryNS, applyNS int64
+			for i := 0; i < b.N; i++ {
+				st, err := w.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.ScriptErrors > 0 {
+					b.Fatal(w.LastScriptError)
+				}
+				queryNS += st.QueryNS
+				applyNS += st.ApplyNS
+			}
+			b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+			b.ReportMetric(float64(applyNS)/float64(b.N), "apply-ns/op")
+			b.ReportMetric(float64(queryNS)/float64(b.N), "query-ns/op")
 		})
 	}
 }

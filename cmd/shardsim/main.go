@@ -8,6 +8,8 @@
 //
 //	shardsim                          # race 1,2,4,8 shards
 //	shardsim -shards 1,4 -ticks 500   # custom race
+//	shardsim -workers 4               # W query-phase workers per shard;
+//	                                  # the hash must still agree
 //	shardsim -json > BENCH_shard.json # machine-readable results
 package main
 
@@ -49,10 +51,11 @@ type raceResult struct {
 	elapsed        time.Duration
 }
 
-func runRace(shards, entities, ticks int, seed int64, side, band float64, rebalance int64) (raceResult, error) {
+func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64) (raceResult, error) {
 	rt, err := shard.New(shard.Config{
 		Seed:           seed,
 		Shards:         shards,
+		Workers:        workers,
 		World:          spatial.NewRect(0, 0, side, side),
 		CellSize:       16,
 		TickDT:         0.5,
@@ -98,6 +101,7 @@ func main() {
 	side := flag.Float64("side", 2000, "world side length")
 	band := flag.Float64("band", 24, "ghost border band width (negative disables ghosts)")
 	rebalance := flag.Int64("rebalance", 50, "rebalance boundaries every N ticks (0 = static)")
+	workers := flag.Int("workers", 1, "per-shard query-phase workers (hash is identical for any value)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
 	flag.Parse()
 
@@ -108,8 +112,8 @@ func main() {
 	}
 
 	if !*jsonOut {
-		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d cores\n\n",
-			*entities, *side, *side, *ticks, runtime.GOMAXPROCS(0))
+		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d workers/shard, %d cores\n\n",
+			*entities, *side, *side, *ticks, *workers, runtime.GOMAXPROCS(0))
 	}
 	tbl := metrics.NewTable("sharded world runtime race",
 		"shards", "ticks/sec", "entities/sec", "handoffs/tick", "ghosts", "ghost-ships", "hash")
@@ -117,7 +121,7 @@ func main() {
 	var firstHash uint64
 	hashesAgree := true
 	for i, n := range counts {
-		res, err := runRace(n, *entities, *ticks, *seed, *side, *band, *rebalance)
+		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -135,6 +139,7 @@ func main() {
 			NsPerOp:        float64(res.elapsed.Nanoseconds()) / float64(*ticks),
 			EntitiesPerSec: res.entitiesPerSec,
 			Extra: map[string]any{
+				"workers":           *workers,
 				"ticks_per_sec":     res.ticksPerSec,
 				"handoffs_per_tick": res.handoffsPerTik,
 				"ghosts":            res.ghosts,

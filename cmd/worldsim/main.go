@@ -3,7 +3,8 @@
 // demonstration of the data-driven pipeline: XML in, simulation out.
 //
 //	worldsim -pack game.xml -ticks 100
-//	worldsim                  # runs the embedded demo pack
+//	worldsim                              # runs the embedded demo pack
+//	worldsim -workers 4 -json > BENCH.json # parallel tick, bench record
 package main
 
 import (
@@ -11,8 +12,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gamedb/internal/content"
+	"gamedb/internal/metrics"
 	"gamedb/internal/world"
 )
 
@@ -63,6 +66,8 @@ func main() {
 	ticks := flag.Int("ticks", 50, "ticks to simulate")
 	seed := flag.Int64("seed", 1, "world seed")
 	every := flag.Int("report", 10, "print stats every N ticks")
+	workers := flag.Int("workers", 1, "query-phase worker goroutines (state is identical for any value)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	flag.Parse()
 
 	var src string
@@ -84,26 +89,73 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	w := world.New(world.Config{Seed: *seed})
+	w := world.New(world.Config{Seed: *seed, Workers: *workers})
 	if err := w.LoadPack(c); err != nil {
 		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("loaded pack %q: %d entities across %v\n", c.Name, w.Entities(), w.TableNames())
+	if !*jsonOut {
+		fmt.Printf("loaded pack %q: %d entities across %v (%d workers)\n",
+			c.Name, w.Entities(), w.TableNames(), *workers)
+	}
 
+	var effects, conflicts, queryNS, applyNS int64
+	scriptErrors, scriptSkips := 0, 0
+	entityTicks := 0
+	start := time.Now()
 	for i := 0; i < *ticks; i++ {
 		st, err := w.Step()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worldsim: tick %d: %v\n", st.Tick, err)
 			os.Exit(1)
 		}
-		if *every > 0 && int(st.Tick)%*every == 0 {
-			fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d fuel=%d errors=%d\n",
-				st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.FuelUsed, st.ScriptErrors)
+		effects += int64(st.Effects)
+		conflicts += int64(st.EffectConflicts)
+		queryNS += st.QueryNS
+		applyNS += st.ApplyNS
+		scriptErrors += st.ScriptErrors
+		scriptSkips += st.ScriptSkips
+		entityTicks += st.Entities
+		if !*jsonOut && *every > 0 && int(st.Tick)%*every == 0 {
+			fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d effects=%d fuel=%d errors=%d\n",
+				st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.Effects, st.FuelUsed, st.ScriptErrors)
 		}
+	}
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		rep := metrics.BenchReport{Suite: "worldsim"}
+		rep.Records = append(rep.Records, metrics.BenchRecord{
+			Name:           fmt.Sprintf("worldsim/workers-%d", *workers),
+			NsPerOp:        float64(elapsed.Nanoseconds()) / float64(*ticks),
+			EntitiesPerSec: float64(entityTicks) / elapsed.Seconds(),
+			Extra: map[string]any{
+				"workers":          *workers,
+				"ticks":            *ticks,
+				"effects_per_tick": float64(effects) / float64(*ticks),
+				"effect_conflicts": conflicts,
+				"script_errors":    scriptErrors,
+				"script_skips":     scriptSkips,
+				"query_ns_per_op":  float64(queryNS) / float64(*ticks),
+				"apply_ns_per_op":  float64(applyNS) / float64(*ticks),
+			},
+		})
+		if err := metrics.WriteBenchJSON(os.Stdout, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+			os.Exit(1)
+		}
+		// A bench record over a world whose behaviors are failing is
+		// measuring nothing; make that loud on stderr.
+		if scriptErrors > 0 {
+			fmt.Fprintf(os.Stderr, "worldsim: warning: %d script errors during the run (last: %v)\n",
+				scriptErrors, w.LastScriptError)
+		}
+		return
 	}
 	if w.LastScriptError != nil {
 		fmt.Printf("last script error: %v\n", w.LastScriptError)
 	}
-	fmt.Printf("done after %d ticks, %d entities alive\n", *ticks, w.Entities())
+	fmt.Printf("done after %d ticks, %d entities alive (%d effects, %d conflicts, apply %.1f%% of tick)\n",
+		*ticks, w.Entities(), effects, conflicts,
+		100*float64(applyNS)/float64(queryNS+applyNS))
 }

@@ -9,7 +9,11 @@
 // interactions as set-at-a-time queries instead of Ω(n²) script loops,
 // partitions load with causality bubbles, replicates state to clients
 // under per-field consistency tiers, and checkpoints intelligently on
-// important events rather than on a timer.
+// important events rather than on a timer. The tick itself follows the
+// paper's state-effect pattern: behaviors run as read-only queries over
+// the frozen tick-start state on Options.Workers goroutines, emitting
+// typed effects that merge and apply deterministically — the same seed
+// produces the same world at any parallelism.
 //
 // Quick start:
 //

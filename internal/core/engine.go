@@ -23,10 +23,15 @@ type Options struct {
 	Seed int64
 	// CellSize is the spatial index cell size.
 	CellSize float64
-	// ScriptFuel bounds per-script per-tick interpretation work.
+	// ScriptFuel bounds one behavior invocation's interpretation work
+	// (per entity per tick; see world.Config.ScriptFuel).
 	ScriptFuel int64
 	// TickDT is simulated seconds per tick.
 	TickDT float64
+	// Workers fans the tick's query phase (behaviors + physics) across
+	// that many goroutines (default 1); world state is identical for
+	// any value.
+	Workers int
 
 	// Checkpoint enables snapshot persistence with the given policy
 	// (persist.Periodic or persist.EventKeyed). Nil disables it.
@@ -69,6 +74,7 @@ func New(opts Options) (*Engine, error) {
 			CellSize:   opts.CellSize,
 			ScriptFuel: opts.ScriptFuel,
 			TickDT:     opts.TickDT,
+			Workers:    opts.Workers,
 		}),
 	}
 	if opts.Checkpoint != nil {

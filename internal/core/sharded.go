@@ -26,6 +26,10 @@ type ShardedOptions struct {
 	CellSize   float64
 	ScriptFuel int64
 	TickDT     float64
+	// Workers fans each shard's query phase across that many goroutines
+	// per tick (default 1): total parallelism is Shards × Workers, and
+	// the world hash stays identical for any combination.
+	Workers int
 
 	// GhostBand is the mirrored border width (≥ the interaction range;
 	// 0 = default 2×CellSize, negative disables ghosts); GhostFields
@@ -58,6 +62,7 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		CellSize:       opts.CellSize,
 		ScriptFuel:     opts.ScriptFuel,
 		TickDT:         opts.TickDT,
+		Workers:        opts.Workers,
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,

@@ -86,6 +86,38 @@ func TestShardedEngineHashMatchesSingleShard(t *testing.T) {
 	}
 }
 
+func TestShardedEngineHashInvariantUnderWorkers(t *testing.T) {
+	// Seed reproducibility must hold on the full (shards × workers)
+	// grid, not just across shard counts.
+	mk := func(shards, workers int) *ShardedEngine {
+		e, err := NewSharded(ShardedOptions{
+			Seed:      9,
+			Shards:    shards,
+			Workers:   workers,
+			World:     spatial.NewRect(0, 0, 1000, 1000),
+			TickDT:    1,
+			GhostBand: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Close)
+		if err := e.LoadPackXML(strings.NewReader(shardedPackXML)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			if _, err := e.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	base := mk(1, 1).Hash()
+	if got := mk(4, 4).Hash(); got != base {
+		t.Fatalf("hash diverged: 1 shard/1 worker %x, 4 shards/4 workers %x", base, got)
+	}
+}
+
 func TestShardedRejectsBadOptions(t *testing.T) {
 	if _, err := NewSharded(ShardedOptions{Shards: 2}); err == nil {
 		t.Fatal("zero-area world should be rejected")

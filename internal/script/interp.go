@@ -127,6 +127,20 @@ func NewInterp(prog *Program, opts Options) *Interp {
 // Program returns the interpreted program.
 func (in *Interp) Program() *Program { return in.prog }
 
+// Clone returns a new interpreter over the same compiled program with
+// its own fuel meter, call stack, global scope and builtin bindings —
+// the shared AST is read-only, so clones may run concurrently. The
+// world's parallel tick clones each behavior script once per worker,
+// binding the worker's effect buffer into the builtins.
+func (in *Interp) Clone(builtins []Builtin) *Interp {
+	return NewInterp(in.prog, Options{
+		Fuel:     in.fuelCap,
+		MaxDepth: in.maxDepth,
+		Builtins: builtins,
+		Log:      in.log,
+	})
+}
+
 // FuelUsed reports fuel consumed by the last Run or Call.
 func (in *Interp) FuelUsed() int64 { return in.fuelCap - in.fuel }
 
@@ -150,8 +164,10 @@ func (in *Interp) Call(name string, args ...Value) (Value, error) {
 	return in.call(name, args, 0)
 }
 
-// Resume invokes a declared function without resetting fuel, so a world
-// tick can impose one budget across many entity callbacks.
+// Resume invokes a declared function without resetting fuel, letting a
+// host impose one budget across several calls. (The world tick no
+// longer uses it: behaviors get a fresh per-invocation budget via Call,
+// which keeps an entity's outcome independent of roster partitioning.)
 func (in *Interp) Resume(name string, args ...Value) (Value, error) {
 	return in.call(name, args, 0)
 }

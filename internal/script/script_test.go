@@ -2,7 +2,9 @@ package script
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -376,5 +378,78 @@ func TestFuelUsedReporting(t *testing.T) {
 	}
 	if used := in.FuelUsed(); used < 100 || used > 10_000 {
 		t.Fatalf("FuelUsed = %d, expected a few hundred", used)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	prog, err := Parse(`
+let hits = 0;
+fn probe() { hits = hits + 1; return host() + hits; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(base int64) []Builtin {
+		return []Builtin{{Name: "host", MinArgs: 0, MaxArgs: 0,
+			Fn: func([]Value) (Value, error) { return Int(base), nil }}}
+	}
+	in := NewInterp(prog, Options{Fuel: 500, Builtins: mk(100)})
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	clone := in.Clone(mk(200))
+	// The clone shares the program but not globals: its `hits` starts
+	// unset until Run, so pre-seed it by running the top level.
+	if err := clone.Run(); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := in.Call("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := clone.Call("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v1, Int(101)) || !Equal(v2, Int(201)) {
+		t.Fatalf("probe = %v / %v, want 101 / 201 (independent builtins + globals)", v1, v2)
+	}
+	// Fuel meters are independent too.
+	if in.FuelUsed() == 0 || clone.FuelUsed() == 0 {
+		t.Fatal("fuel accounting missing on one side")
+	}
+}
+
+func TestClonesRunConcurrently(t *testing.T) {
+	prog, err := Parse(`fn work() { let s = 0; let i = 0; while i < 200 { s = s + i; i = i + 1; } return s; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewInterp(prog, Options{Fuel: 1 << 20})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		in := base.Clone(nil)
+		wg.Add(1)
+		go func(g int, in *Interp) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v, err := in.Call("work")
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !Equal(v, Int(19900)) {
+					errs[g] = fmt.Errorf("work = %v", v)
+					return
+				}
+			}
+		}(g, in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

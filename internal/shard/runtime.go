@@ -37,6 +37,11 @@ type Config struct {
 	CellSize   float64
 	ScriptFuel int64
 	TickDT     float64
+	// Workers fans each shard world's query phase (behaviors + physics)
+	// across that many goroutines per tick (default 1), so total
+	// parallelism is Shards × Workers. The world's state-effect pipeline
+	// keeps the hash identical for any (Shards, Workers) combination.
+	Workers int
 
 	// GhostBand is the width of the border strip mirrored into
 	// neighboring shards as read-only ghosts. It should be at least the
@@ -165,6 +170,7 @@ func New(cfg Config) (*Runtime, error) {
 			CellSize:   cfg.CellSize,
 			ScriptFuel: cfg.ScriptFuel,
 			TickDT:     cfg.TickDT,
+			Workers:    cfg.Workers,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).

@@ -304,33 +304,42 @@ func scenario(t *testing.T, rt *Runtime, count int, seed int64) {
 }
 
 func TestDeterministicAcrossShardCounts(t *testing.T) {
+	// The hash must be invariant across the whole (shards × workers)
+	// grid: region sharding preserves rows bit-exactly through handoff,
+	// and the world's state-effect tick makes the per-shard step
+	// independent of its worker count.
 	const units, ticks = 300, 60
-	hashes := map[int]uint64{}
-	for _, n := range []int{1, 2, 4} {
-		rt := newRuntime(t, n, Config{Seed: 7, TickDT: 0.5, GhostBand: 25, RebalanceEvery: 10})
-		scenario(t, rt, units, 1234)
-		if err := rt.Sync(); err != nil {
-			t.Fatal(err)
-		}
-		for i := 0; i < ticks; i++ {
-			if _, err := rt.Step(); err != nil {
+	var hashes []uint64
+	for _, workers := range []int{1, 2} {
+		for _, n := range []int{1, 2, 4} {
+			rt := newRuntime(t, n, Config{Seed: 7, TickDT: 0.5, GhostBand: 25,
+				RebalanceEvery: 10, Workers: workers})
+			scenario(t, rt, units, 1234)
+			if err := rt.Sync(); err != nil {
 				t.Fatal(err)
 			}
-		}
-		if got := rt.Entities(); got != units {
-			t.Fatalf("%d shards: entity total %d, want %d", n, got, units)
-		}
-		hashes[n] = rt.Hash()
-		if n > 1 && rt.HandoffTotal.Load() == 0 {
-			t.Fatalf("%d shards: no handoffs — scenario not exercising boundaries", n)
-		}
-		if n > 1 && rt.GhostSnapshotTotal.Load() == 0 {
-			t.Fatalf("%d shards: no ghosts materialized", n)
+			for i := 0; i < ticks; i++ {
+				if _, err := rt.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := rt.Entities(); got != units {
+				t.Fatalf("%d shards: entity total %d, want %d", n, got, units)
+			}
+			hashes = append(hashes, rt.Hash())
+			if n > 1 && rt.HandoffTotal.Load() == 0 {
+				t.Fatalf("%d shards: no handoffs — scenario not exercising boundaries", n)
+			}
+			if n > 1 && rt.GhostSnapshotTotal.Load() == 0 {
+				t.Fatalf("%d shards: no ghosts materialized", n)
+			}
 		}
 	}
-	if hashes[1] != hashes[2] || hashes[1] != hashes[4] {
-		t.Fatalf("world hash diverged across shard counts: %x / %x / %x",
-			hashes[1], hashes[2], hashes[4])
+	for i, h := range hashes {
+		if h != hashes[0] {
+			t.Fatalf("world hash diverged across (shards × workers) grid: %x vs %x (case %d)",
+				hashes[0], h, i)
+		}
 	}
 }
 

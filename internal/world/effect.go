@@ -1,0 +1,397 @@
+package world
+
+// The state-effect pattern (the SIGMOD'09 paper's processing model,
+// elaborated in Sowell et al., "From Declarative Languages to
+// Declarative Processing in Computer Games"): behaviors are read-only
+// queries over the frozen tick-start state that emit *effects* — typed
+// change records — which are combined and applied set-at-a-time after
+// the query phase. Because no query writes shared state, the query
+// phase parallelizes freely; because the combine is deterministic, the
+// resulting world state is identical for any worker count.
+
+import (
+	"fmt"
+	"sort"
+
+	"gamedb/internal/entity"
+	"gamedb/internal/spatial"
+)
+
+// EffectKind discriminates the typed change records behaviors emit.
+type EffectKind uint8
+
+const (
+	// EffectSet assigns a column an absolute value. Conflicting
+	// assignments resolve by ascending source entity id, then source
+	// emission order (last write wins).
+	EffectSet EffectKind = iota
+	// EffectAdd adds a numeric delta to a column. Deltas are
+	// commutative and combine additively with whatever the assignment
+	// pass produced (physics velocity integration is an EffectAdd).
+	EffectAdd
+	// EffectSpawn materializes an archetype instance. Final entity ids
+	// are allocated at apply time in (source id, source order), so they
+	// are reproducible for any worker count.
+	EffectSpawn
+	// EffectDespawn removes an entity; duplicate despawns of the same
+	// target collapse into one (the rest count as conflicts).
+	EffectDespawn
+	// EffectPost queues a trigger event for the post-apply drain.
+	EffectPost
+)
+
+const (
+	// provBase marks provisional entity ids: the handles emitSpawn
+	// returns to scripts during the query phase, remapped to real
+	// allocator ids during apply. The bit is far above both coordinator
+	// ids and the shard script-id streams (1<<32).
+	provBase entity.ID = 1 << 62
+	// maxSpawnsPerCall bounds spawns in one behavior invocation so the
+	// provisional id (provBase + src*maxSpawnsPerCall + n) is a pure
+	// deterministic function of the emitting entity.
+	maxSpawnsPerCall = 1 << 12
+	// maxProvSrc keeps the provisional id arithmetic below 1<<63.
+	maxProvSrc entity.ID = 1 << 49
+	// physicsSeq orders physics deltas after any behavior effect of the
+	// same source entity (behavior emission counts are fuel-bounded and
+	// cannot reach it in practice).
+	physicsSeq = 1 << 30
+)
+
+// Effect is one typed change record. Src/Seq give every record a
+// deterministic total order independent of which worker emitted it:
+// each entity is processed by exactly one worker, so (Src, Seq) is the
+// same for any partitioning.
+type Effect struct {
+	Kind EffectKind
+	Src  entity.ID // emitting entity (self for physics deltas)
+	Seq  int32     // emission order within Src's invocation
+	// Target is the affected entity for Set/Add/Despawn/Post; it may be
+	// a provisional id from a same-invocation spawn.
+	Target entity.ID
+	Col    string       // Set/Add column
+	Val    entity.Value // Set value, Add delta, Post amount
+	Name   string       // Spawn archetype, Post event name
+	Pos    spatial.Vec2 // Spawn position
+}
+
+// EffectBuffer collects one worker's effects during the query phase.
+// Emission validates against the frozen tick-start state so scripts see
+// the same errors direct execution would have raised (unknown entity,
+// unknown column, kind mismatch); apply-time conflicts then only arise
+// from genuine cross-entity races (e.g. two entities despawning the
+// same target).
+type EffectBuffer struct {
+	w       *World
+	effects []Effect
+
+	src      entity.ID
+	seq      int32
+	spawnIdx int32
+	// provTable maps provisional spawn ids to their archetype's table so
+	// set/add against a just-spawned entity validate and coerce.
+	provTable map[entity.ID]string
+	// rng is the per-invocation splitmix64 state behind rand_float:
+	// seeded from (world seed, tick, source entity), so the stream is
+	// reproducible for any worker count or partitioning.
+	rng uint64
+}
+
+func newEffectBuffer(w *World) *EffectBuffer {
+	return &EffectBuffer{w: w, provTable: make(map[entity.ID]string)}
+}
+
+// reset clears the buffer for a new tick.
+func (b *EffectBuffer) reset() {
+	b.effects = b.effects[:0]
+	clear(b.provTable)
+}
+
+// begin starts an invocation for src and returns a rollback mark.
+func (b *EffectBuffer) begin(src entity.ID) int {
+	b.src = src
+	b.seq = 0
+	b.spawnIdx = 0
+	b.rng = mix64(uint64(b.w.cfg.Seed)) ^ mix64(uint64(b.w.tick)) ^ mix64(uint64(src)*0x9e3779b97f4a7c15)
+	return len(b.effects)
+}
+
+// rollback discards everything emitted since mark — behaviors are
+// atomic: an invocation that errors or runs out of fuel contributes no
+// effects at all.
+func (b *EffectBuffer) rollback(mark int) {
+	b.effects = b.effects[:mark]
+}
+
+// randFloat draws the next per-invocation deterministic float in [0,1).
+func (b *EffectBuffer) randFloat() float64 {
+	b.rng += 0x9e3779b97f4a7c15
+	return float64(mix64(b.rng)>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (b *EffectBuffer) push(e Effect) {
+	e.Src = b.src
+	e.Seq = b.seq
+	b.seq++
+	b.effects = append(b.effects, e)
+}
+
+// tableFor resolves the table holding target, following provisional
+// spawn ids through this invocation's bookkeeping.
+func (b *EffectBuffer) tableFor(target entity.ID) (string, error) {
+	if target >= provBase {
+		if tbl, ok := b.provTable[target]; ok {
+			return tbl, nil
+		}
+		return "", fmt.Errorf("world: unknown entity %d", target)
+	}
+	if tbl, ok := b.w.tableOf[target]; ok {
+		return tbl, nil
+	}
+	return "", fmt.Errorf("world: unknown entity %d", target)
+}
+
+// checkCol validates the column and coerces/checks the value kind the
+// way direct-mode Set would, so errors surface to the script at the
+// call site instead of silently at apply.
+func (b *EffectBuffer) checkCol(target entity.ID, col string, v entity.Value) (entity.Value, error) {
+	tbl, err := b.tableFor(target)
+	if err != nil {
+		return v, err
+	}
+	s := b.w.tables[tbl].Schema()
+	ci, ok := s.Col(col)
+	if !ok {
+		return v, fmt.Errorf("world: no column %q in %q", col, tbl)
+	}
+	kind := s.ColAt(ci).Kind
+	if kind == entity.KindFloat {
+		if f, okF := v.AsFloat(); okF {
+			v = entity.Float(f)
+		}
+	}
+	if v.Kind() != kind {
+		return v, fmt.Errorf("world: column %q wants %s, got %s", col, kind, v.Kind())
+	}
+	return v, nil
+}
+
+func (b *EffectBuffer) emitSet(target entity.ID, col string, v entity.Value) error {
+	v, err := b.checkCol(target, col, v)
+	if err != nil {
+		return err
+	}
+	b.push(Effect{Kind: EffectSet, Target: target, Col: col, Val: v})
+	return nil
+}
+
+func (b *EffectBuffer) emitAdd(target entity.ID, col string, delta entity.Value) error {
+	delta, err := b.checkCol(target, col, delta)
+	if err != nil {
+		return err
+	}
+	if delta.Kind() != entity.KindInt && delta.Kind() != entity.KindFloat {
+		return fmt.Errorf("world: add delta must be numeric, got %s", delta.Kind())
+	}
+	b.push(Effect{Kind: EffectAdd, Target: target, Col: col, Val: delta})
+	return nil
+}
+
+// emitSpawn records a spawn and returns the provisional id the script
+// can target with further effects this invocation. The spawned row
+// materializes at apply, so reads of the id stay "unknown entity" until
+// the next tick.
+func (b *EffectBuffer) emitSpawn(archetype string, pos spatial.Vec2) (entity.ID, error) {
+	a, ok := b.w.archetypes[archetype]
+	if !ok {
+		return 0, fmt.Errorf("world: unknown archetype %q", archetype)
+	}
+	if b.spawnIdx >= maxSpawnsPerCall {
+		return 0, fmt.Errorf("world: more than %d spawns in one behavior invocation", maxSpawnsPerCall)
+	}
+	if b.src >= maxProvSrc {
+		return 0, fmt.Errorf("world: entity id %d too large to spawn from a behavior", b.src)
+	}
+	prov := provBase + b.src*maxSpawnsPerCall + entity.ID(b.spawnIdx)
+	b.spawnIdx++
+	b.provTable[prov] = a.Table
+	b.push(Effect{Kind: EffectSpawn, Target: prov, Name: archetype, Pos: pos})
+	return prov, nil
+}
+
+func (b *EffectBuffer) emitDespawn(target entity.ID) error {
+	if _, err := b.tableFor(target); err != nil {
+		return err
+	}
+	b.push(Effect{Kind: EffectDespawn, Target: target})
+	return nil
+}
+
+func (b *EffectBuffer) emitPost(name string, target entity.ID, amount entity.Value) {
+	// Direct-mode Post accepts any id without validation; so does the
+	// effect (the trigger engine fields events for departed entities).
+	b.push(Effect{Kind: EffectPost, Target: target, Name: name, Val: amount})
+}
+
+// physDelta appends a physics integration delta, ordered after any
+// behavior effect of the same entity.
+func (b *EffectBuffer) physDelta(id entity.ID, seq int32, col string, delta float64) {
+	b.effects = append(b.effects, Effect{
+		Kind: EffectAdd, Src: id, Seq: physicsSeq + seq,
+		Target: id, Col: col, Val: entity.Float(delta),
+	})
+}
+
+// applyEffects merges the workers' buffers into one deterministic
+// sequence and applies it set-at-a-time: one global sort by (source id,
+// source order), then five passes — spawns (allocating real ids in
+// sorted order), assignments (last write wins), additive deltas
+// (summed in sorted order, so float combining is bit-reproducible),
+// despawns (deduplicated), and event posts. Cross-entity races that
+// sequential execution would have surfaced as script errors (setting a
+// row another entity despawned, double despawns) are counted as
+// conflicts and skipped — the effect analogue of a lost OCC validation.
+func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b.effects)
+	}
+	if total == 0 {
+		return
+	}
+	merged := w.mergeBuf[:0]
+	for _, b := range bufs {
+		merged = append(merged, b.effects...)
+	}
+	w.mergeBuf = merged[:0]
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Src != merged[j].Src {
+			return merged[i].Src < merged[j].Src
+		}
+		return merged[i].Seq < merged[j].Seq
+	})
+	st.Effects += total
+
+	// Spawns: allocate real ids in deterministic order.
+	var prov map[entity.ID]entity.ID
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectSpawn {
+			continue
+		}
+		id, err := w.Spawn(e.Name, e.Pos)
+		if err != nil {
+			st.EffectConflicts++
+			continue
+		}
+		if prov == nil {
+			prov = make(map[entity.ID]entity.ID)
+		}
+		prov[e.Target] = id
+	}
+	resolve := func(id entity.ID) (entity.ID, bool) {
+		if id < provBase {
+			return id, true
+		}
+		real, ok := prov[id]
+		return real, ok
+	}
+
+	// Assignments, in sorted order: last write wins.
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectSet {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			st.EffectConflicts++
+			continue
+		}
+		if err := w.Set(id, e.Col, e.Val); err != nil {
+			st.EffectConflicts++
+		}
+	}
+
+	// Additive deltas, summed over the post-assignment value.
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectAdd {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			st.EffectConflicts++
+			continue
+		}
+		cur, err := w.Get(id, e.Col)
+		if err != nil {
+			st.EffectConflicts++
+			continue
+		}
+		var next entity.Value
+		switch cur.Kind() {
+		case entity.KindInt:
+			d, okI := e.Val.AsInt()
+			if !okI {
+				st.EffectConflicts++
+				continue
+			}
+			next = entity.Int(cur.Int() + d)
+		case entity.KindFloat:
+			d, okF := e.Val.AsFloat()
+			if !okF {
+				st.EffectConflicts++
+				continue
+			}
+			next = entity.Float(cur.Float() + d)
+		default:
+			st.EffectConflicts++
+			continue
+		}
+		if err := w.Set(id, e.Col, next); err != nil {
+			st.EffectConflicts++
+		}
+	}
+
+	// Despawns, deduplicated.
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectDespawn {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			st.EffectConflicts++
+			continue
+		}
+		if _, exists := w.tableOf[id]; !exists {
+			st.EffectConflicts++ // raced with another despawn
+			continue
+		}
+		if err := w.Despawn(id); err != nil {
+			st.EffectConflicts++
+		}
+	}
+
+	// Event posts queue for the trigger drain that follows apply.
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectPost {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			st.EffectConflicts++
+			continue
+		}
+		w.Post(e.Name, id, e.Val)
+	}
+}

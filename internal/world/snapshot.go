@@ -53,7 +53,7 @@ func (w *World) Snapshot() ([]byte, error) {
 		doc.Ghosts = append(doc.Ghosts, id)
 	}
 	sort.Slice(doc.Ghosts, func(i, j int) bool { return doc.Ghosts[i] < doc.Ghosts[j] })
-	for _, name := range w.TableNames() {
+	for _, name := range w.tableNames() {
 		t := w.tables[name]
 		td := tableDoc{Name: name}
 		for _, c := range t.Schema().Cols() {
@@ -125,6 +125,7 @@ func (w *World) ResetState() {
 	w.behaviors = make(map[entity.ID]string)
 	w.ghosts = make(map[entity.ID]bool)
 	w.index = spatial.NewGrid(w.cfg.CellSize)
+	w.tableList = nil
 	w.tick = 0
 	w.nextID = 0
 }

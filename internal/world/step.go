@@ -1,0 +1,218 @@
+package world
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gamedb/internal/script"
+)
+
+// workerStats accumulates one worker's share of the tick accounting so
+// the parallel phase touches no shared counters.
+type workerStats struct {
+	calls, errors, skips int
+	fuel                 int64
+	lastErr              error
+}
+
+// Step advances one tick through the state-effect pipeline:
+//
+//   - query phase: behaviors and velocity physics run as read-only
+//     queries over the frozen tick-start state, partitioned across
+//     cfg.Workers goroutines; every write lands as a typed record in
+//     the worker's EffectBuffer. Behavior invocations are atomic — an
+//     invocation that errors or exhausts its fuel budget contributes
+//     no effects.
+//   - apply phase: the buffers merge deterministically (see
+//     applyEffects) and write the tables set-at-a-time.
+//   - trigger phase: queued events drain through the trigger engine
+//     with direct table access, single-threaded, exactly as before.
+//
+// The query phase reads only the frozen state and the merge order is
+// independent of the partitioning, so the same seed yields an
+// identical world for any Workers value.
+func (w *World) Step() (TickStats, error) {
+	w.tick++
+	st := TickStats{Tick: w.tick, Entities: len(w.tableOf)}
+
+	t0 := time.Now()
+	workers := w.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	w.ensureWorkers(workers)
+
+	// Roster snapshot: behavior attach/detach and spawns land next tick;
+	// ghost mirrors run no behaviors.
+	roster := w.rosterBuf[:0]
+	for id := range w.behaviors {
+		if !w.ghosts[id] {
+			roster = append(roster, id)
+		}
+	}
+	sort.Slice(roster, func(i, j int) bool { return roster[i] < roster[j] })
+	w.rosterBuf = roster
+
+	// Physics work list: spatial tables carrying velocity columns. The
+	// id snapshots are taken once so every worker chunks the same view.
+	physTabs := w.physTabs[:0]
+	physIDs := w.physIDs[:0]
+	for _, name := range w.tableNames() {
+		t := w.tables[name]
+		s := t.Schema()
+		if !isSpatial(s) {
+			continue
+		}
+		if _, hasVX := s.Col("vx"); !hasVX {
+			continue
+		}
+		if _, hasVY := s.Col("vy"); !hasVY {
+			continue
+		}
+		physTabs = append(physTabs, t)
+		physIDs = append(physIDs, t.IDs())
+	}
+	w.physTabs, w.physIDs = physTabs, physIDs
+
+	stats := w.workerStats[:0]
+	for i := 0; i < workers; i++ {
+		stats = append(stats, workerStats{})
+	}
+	w.workerStats = stats
+
+	if workers == 1 {
+		w.runWorker(0, 1)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w.runWorker(wi, workers)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i := range stats {
+		st.ScriptCalls += stats[i].calls
+		st.ScriptErrors += stats[i].errors
+		st.ScriptSkips += stats[i].skips
+		st.FuelUsed += stats[i].fuel
+		if stats[i].lastErr != nil {
+			w.LastScriptError = stats[i].lastErr
+		}
+	}
+	st.QueryNS = time.Since(t0).Nanoseconds()
+
+	t1 := time.Now()
+	w.applyEffects(w.workerBufs[:workers], &st)
+	st.ApplyNS = time.Since(t1).Nanoseconds()
+
+	fired, err := w.trig.Drain()
+	st.TriggerFired = fired
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// runWorker executes worker wi's contiguous chunk of the behavior
+// roster and of each physics table, emitting into its own buffer.
+func (w *World) runWorker(wi, workers int) {
+	buf := w.workerBufs[wi]
+	buf.reset()
+	interps := w.workerInterps[wi]
+	ws := &w.workerStats[wi]
+
+	lo, hi := chunkRange(len(w.rosterBuf), workers, wi)
+	for _, id := range w.rosterBuf[lo:hi] {
+		name := w.behaviors[id]
+		in, cached := interps[name]
+		if !cached {
+			if base := w.scripts[name]; base != nil && base.Program().Fns["on_tick"] != nil {
+				in = base.Clone(w.effectBuiltins(buf))
+			}
+			interps[name] = in
+		}
+		if in == nil {
+			continue
+		}
+		mark := buf.begin(id)
+		_, err := in.Call("on_tick", script.Int(int64(id)))
+		ws.calls++
+		ws.fuel += in.FuelUsed()
+		if err != nil {
+			buf.rollback(mark)
+			if isFuelErr(err) {
+				ws.skips++
+			} else {
+				ws.errors++
+				ws.lastErr = err
+			}
+		}
+	}
+
+	dt := w.cfg.TickDT
+	for ti, t := range w.physTabs {
+		ids := w.physIDs[ti]
+		lo, hi := chunkRange(len(ids), workers, wi)
+		for _, id := range ids[lo:hi] {
+			if w.ghosts[id] {
+				continue // mirrors move only when their owner re-ships them
+			}
+			vx := t.MustGet(id, "vx").Float()
+			vy := t.MustGet(id, "vy").Float()
+			if vx == 0 && vy == 0 {
+				continue
+			}
+			if vx != 0 {
+				buf.physDelta(id, 0, "x", vx*dt)
+			}
+			if vy != 0 {
+				buf.physDelta(id, 1, "y", vy*dt)
+			}
+		}
+	}
+}
+
+// chunkRange splits n items into contiguous per-worker ranges (the
+// partitioning idiom of query.CountInteractionsParallel).
+func chunkRange(n, workers, wi int) (int, int) {
+	chunk := (n + workers - 1) / workers
+	lo := wi * chunk
+	hi := lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ensureWorkers sizes the per-worker effect buffers and script-clone
+// caches. Buffers persist across ticks (clone builtins capture them);
+// LoadContent clears the clone caches when new scripts arrive.
+func (w *World) ensureWorkers(n int) {
+	for len(w.workerBufs) < n {
+		w.workerBufs = append(w.workerBufs, newEffectBuffer(w))
+	}
+	for len(w.workerInterps) < n {
+		w.workerInterps = append(w.workerInterps, make(map[string]*script.Interp))
+	}
+}
+
+func isFuelErr(err error) bool {
+	for e := err; e != nil; {
+		if e == script.ErrFuel {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

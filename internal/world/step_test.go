@@ -1,0 +1,463 @@
+package world
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/spatial"
+)
+
+func loadPack(t *testing.T, cfg Config, src string) *World {
+	t.Helper()
+	c, errs := content.LoadAndCompile(strings.NewReader(src))
+	if len(errs) > 0 {
+		t.Fatalf("pack: %v", errs)
+	}
+	w := New(cfg)
+	if err := w.LoadPack(c); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// chaosPack exercises every effect kind — assignments, additive deltas,
+// spawns, despawns, event posts, per-entity deterministic randomness,
+// trigger writes, and velocity physics — as the worker-count
+// determinism workload.
+const chaosPack = `
+<contentpack name="chaos">
+  <schema table="units">
+    <column name="hp" kind="int" default="60"/>
+    <column name="hits" kind="int"/>
+    <column name="pings" kind="int"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="vx" kind="float"/>
+    <column name="vy" kind="float"/>
+  </schema>
+  <archetype name="walker" table="units" script="walk">
+    <set column="hp" value="60"/>
+  </archetype>
+  <archetype name="drone" table="units" script="drift">
+    <set column="hp" value="9"/>
+  </archetype>
+  <script name="walk">
+fn on_tick(self) {
+  let h = get(self, "hp");
+  add(self, "hits", 1);
+  if h &lt; 40 {
+    set(self, "hp", 60);
+    return;
+  }
+  set(self, "hp", h - 1);
+  if h % 13 == 0 {
+    let kid = spawn("drone", pos_x(self) + rand_float() * 4.0, pos_y(self) + rand_float() * 4.0);
+    set(kid, "vx", rand_float() * 6.0 - 3.0);
+    set(kid, "vy", rand_float() * 6.0 - 3.0);
+  }
+  let ns = nearby(self, 12.0);
+  if len(ns) > 0 {
+    emit("ping", self, len(ns));
+    let first = 0;
+    for id in ns { first = id; break; }
+    move_toward(self, pos_x(first), pos_y(first), 0.5);
+  }
+}
+  </script>
+  <script name="drift">
+fn on_tick(self) {
+  let h = get(self, "hp");
+  if h &lt; 1 {
+    despawn(self);
+    return;
+  }
+  set(self, "hp", h - 1);
+}
+  </script>
+  <trigger name="count-pings" event="ping">
+    <do>add(self, "pings", 1);</do>
+  </trigger>
+  <spawn archetype="walker" count="60" x="50" y="50" spread="40"/>
+</contentpack>`
+
+// runChaos builds the chaos world with the given worker count, runs it,
+// and returns the snapshot (deterministic bytes: JSON with sorted keys).
+func runChaos(t *testing.T, workers, ticks int) ([]byte, TickStats) {
+	t.Helper()
+	w := loadPack(t, Config{Seed: 9, CellSize: 8, Workers: workers}, chaosPack)
+	var last TickStats
+	for i := 0; i < ticks; i++ {
+		st, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ScriptErrors > 0 {
+			t.Fatalf("workers=%d tick %d: script error %v", workers, st.Tick, w.LastScriptError)
+		}
+		last = st
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, last
+}
+
+func TestStepDeterministicAcrossWorkers(t *testing.T) {
+	const ticks = 30
+	base, baseStats := runChaos(t, 1, ticks)
+	if baseStats.Effects == 0 {
+		t.Fatal("chaos scenario emitted no effects — workload not exercising the pipeline")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		snap, _ := runChaos(t, workers, ticks)
+		if !bytes.Equal(base, snap) {
+			t.Fatalf("world state diverged between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestBehaviorsReadFrozenTickStartState(t *testing.T) {
+	// Both entities copy their neighbor's v plus one. Under the
+	// state-effect pipeline each reads the frozen tick-start value, so
+	// the outcome is order-free: a=21, b=11 — not the sequential
+	// cascade a=21, b=22.
+	src := `
+<contentpack name="frozen">
+  <schema table="u">
+    <column name="v" kind="int"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="copier" table="u" script="copy"/>
+  <script name="copy">
+fn on_tick(self) {
+  let ns = nearby(self, 50.0);
+  for id in ns { set(self, "v", get(id, "v") + 1); }
+}
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1}, src)
+	a, _ := w.Spawn("copier", spatial.Vec2{X: 0, Y: 0})
+	b, _ := w.Spawn("copier", spatial.Vec2{X: 1, Y: 0})
+	w.Set(a, "v", entity.Int(10))
+	w.Set(b, "v", entity.Int(20))
+	if _, err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.Get(a, "v"); got != entity.Int(21) {
+		t.Fatalf("a.v = %v, want 21", got)
+	}
+	if got, _ := w.Get(b, "v"); got != entity.Int(11) {
+		t.Fatalf("b.v = %v, want 11 (frozen read), not the sequential 22", got)
+	}
+}
+
+func TestAdditiveDeltasCombineAcrossSources(t *testing.T) {
+	// Every entity adds 1 to its neighbor's counter: deltas from
+	// different sources combine, not overwrite.
+	src := `
+<contentpack name="adders">
+  <schema table="u">
+    <column name="n" kind="int"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="adder" table="u" script="bump"/>
+  <script name="bump">
+fn on_tick(self) {
+  for id in nearby(self, 50.0) { add(id, "n", 1); }
+}
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1, Workers: 4}, src)
+	ids := make([]entity.ID, 3)
+	for i := range ids {
+		ids[i], _ = w.Spawn("adder", spatial.Vec2{X: float64(i), Y: 0})
+	}
+	st, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Effects != 6 {
+		t.Fatalf("effects = %d, want 6 (3 entities × 2 neighbors)", st.Effects)
+	}
+	for _, id := range ids {
+		if got, _ := w.Get(id, "n"); got != entity.Int(2) {
+			t.Fatalf("entity %d n = %v, want 2", id, got)
+		}
+	}
+}
+
+func TestGhostsSkippedByBehaviorsAndPhysics(t *testing.T) {
+	src := `
+<contentpack name="g">
+  <schema table="u">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="vx" kind="float"/>
+    <column name="vy" kind="float"/>
+    <column name="n" kind="int"/>
+  </schema>
+  <archetype name="mover" table="u" script="count"/>
+  <script name="count">
+fn on_tick(self) { add(self, "n", 1); }
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1, TickDT: 1}, src)
+	id, _ := w.Spawn("mover", spatial.Vec2{X: 10, Y: 10})
+	w.Set(id, "vx", entity.Float(5))
+	w.SetGhost(id, true)
+	st, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScriptCalls != 0 {
+		t.Fatalf("ghost ran a behavior: calls = %d", st.ScriptCalls)
+	}
+	if p, _ := w.Pos(id); p.X != 10 {
+		t.Fatalf("ghost integrated by physics: x = %v", p.X)
+	}
+	// Unmarking restores both phases.
+	w.SetGhost(id, false)
+	st, err = w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScriptCalls != 1 {
+		t.Fatalf("script calls = %d", st.ScriptCalls)
+	}
+	if p, _ := w.Pos(id); p.X != 15 {
+		t.Fatalf("x = %v, want 15", p.X)
+	}
+}
+
+func TestDespawnMidTickRosterSnapshot(t *testing.T) {
+	// The killer despawns everyone nearby; the toucher marks everyone
+	// nearby. The roster snapshot guarantees the toucher still runs this
+	// tick even though the killer's effect removes it, and its own
+	// effects still land (assignments apply before despawns).
+	src := `
+<contentpack name="roster">
+  <schema table="u">
+    <column name="mark" kind="int"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="killer" table="u" script="kill"/>
+  <archetype name="toucher" table="u" script="touch"/>
+  <script name="kill">
+fn on_tick(self) {
+  for id in nearby(self, 50.0) { despawn(id); }
+}
+  </script>
+  <script name="touch">
+fn on_tick(self) {
+  for id in nearby(self, 50.0) { set(id, "mark", 1) ; }
+}
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1}, src)
+	killer, _ := w.Spawn("killer", spatial.Vec2{X: 0, Y: 0})
+	if _, err := w.Spawn("toucher", spatial.Vec2{X: 1, Y: 0}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScriptCalls != 2 {
+		t.Fatalf("script calls = %d, want 2 (roster frozen at tick start)", st.ScriptCalls)
+	}
+	if w.Entities() != 1 {
+		t.Fatalf("entities = %d, want 1 (toucher despawned)", w.Entities())
+	}
+	if got, _ := w.Get(killer, "mark"); got != entity.Int(1) {
+		t.Fatalf("killer mark = %v — despawned toucher's effects were lost", got)
+	}
+}
+
+func TestDoubleDespawnCountsConflict(t *testing.T) {
+	src := `
+<contentpack name="dd">
+  <schema table="u">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="killer" table="u" script="kill"/>
+  <archetype name="victim" table="u"/>
+  <script name="kill">
+fn on_tick(self) {
+  for id in nearby(self, 50.0) { despawn(id); }
+}
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1, Workers: 2}, src)
+	w.Spawn("killer", spatial.Vec2{X: 0, Y: 0})
+	w.Spawn("killer", spatial.Vec2{X: 2, Y: 0})
+	w.Spawn("victim", spatial.Vec2{X: 1, Y: 0})
+	st, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each killer despawns the other killer and the victim: 4 despawn
+	// effects, of which the duplicate victim despawn resolves as the
+	// one conflict.
+	if w.Entities() != 0 {
+		t.Fatalf("entities = %d, want 0", w.Entities())
+	}
+	if st.Effects != 4 {
+		t.Fatalf("effects = %d, want 4", st.Effects)
+	}
+	if st.EffectConflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", st.EffectConflicts)
+	}
+}
+
+func TestFuelExhaustionDiscardsInvocationEffects(t *testing.T) {
+	// The runaway script writes a marker before spinning forever. The
+	// invocation is atomic, so the marker must not survive, and the
+	// exhaustion counts as a skip, never an error.
+	src := `
+<contentpack name="f">
+  <schema table="u">
+    <column name="mark" kind="int"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="spinner" table="u" script="spin"/>
+  <script name="spin">
+fn on_tick(self) {
+  set(self, "mark", 1);
+  let i = 0;
+  while i &lt; 1000000 { i = i + 1; }
+}
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1, ScriptFuel: 5000, Workers: 2}, src)
+	ids := make([]entity.ID, 4)
+	for i := range ids {
+		ids[i], _ = w.Spawn("spinner", spatial.Vec2{X: float64(10 * i), Y: 0})
+	}
+	st, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScriptSkips != 4 {
+		t.Fatalf("skips = %d, want 4 (every invocation exhausted)", st.ScriptSkips)
+	}
+	if st.ScriptErrors != 0 {
+		t.Fatalf("fuel exhaustion counted as error: %d", st.ScriptErrors)
+	}
+	if st.Effects != 0 {
+		t.Fatalf("effects = %d, want 0 (atomic discard)", st.Effects)
+	}
+	for _, id := range ids {
+		if got, _ := w.Get(id, "mark"); got != entity.Int(0) {
+			t.Fatalf("entity %d mark = %v — exhausted invocation leaked a write", id, got)
+		}
+	}
+}
+
+func TestTriggerDrainErrorPropagates(t *testing.T) {
+	src := `
+<contentpack name="t">
+  <schema table="u">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="poker" table="u" script="poke"/>
+  <script name="poke">
+fn on_tick(self) { emit("boom", self, 1); }
+  </script>
+  <trigger name="bad" event="boom">
+    <do>get(self, "no_such_column");</do>
+  </trigger>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1}, src)
+	w.Spawn("poker", spatial.Vec2{})
+	st, err := w.Step()
+	if err == nil {
+		t.Fatal("trigger drain error must propagate out of Step")
+	}
+	if st.Tick != 1 || st.ScriptCalls != 1 {
+		t.Fatalf("stats lost on trigger error: %+v", st)
+	}
+}
+
+func TestSpawnedEntitiesMaterializeAtApply(t *testing.T) {
+	src := `
+<contentpack name="s">
+  <schema table="u">
+    <column name="hp" kind="int" default="5"/>
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+  </schema>
+  <archetype name="mother" table="u" script="bud"/>
+  <archetype name="child" table="u"/>
+  <script name="bud">
+fn on_tick(self) {
+  let kid = spawn("child", pos_x(self) + 1.0, pos_y(self));
+  set(kid, "hp", 77);
+}
+  </script>
+</contentpack>`
+	w := loadPack(t, Config{Seed: 1, Workers: 2}, src)
+	w.Spawn("mother", spatial.Vec2{X: 10, Y: 10})
+	st, err := w.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScriptErrors > 0 {
+		t.Fatal(w.LastScriptError)
+	}
+	if w.Entities() != 2 {
+		t.Fatalf("entities = %d, want 2", w.Entities())
+	}
+	// The set against the provisional id remapped onto the real row.
+	tab, _ := w.Table("u")
+	found := false
+	tab.Scan(func(id entity.ID, row []entity.Value) bool {
+		if row[tab.Schema().MustCol("hp")] == entity.Int(77) {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("set on provisional spawn id did not reach the materialized row")
+	}
+	// Only the mother ran a behavior this tick (roster snapshot).
+	if st.ScriptCalls != 1 {
+		t.Fatalf("script calls = %d, want 1", st.ScriptCalls)
+	}
+}
+
+func TestTableNamesCacheInvalidation(t *testing.T) {
+	w := New(Config{Seed: 1})
+	if names := w.TableNames(); len(names) != 0 {
+		t.Fatalf("names = %v", names)
+	}
+	s := entity.MustSchema(entity.Column{Name: "a", Kind: entity.KindInt})
+	if _, err := w.CreateTable("zeta", s); err != nil {
+		t.Fatal(err)
+	}
+	if names := w.TableNames(); len(names) != 1 || names[0] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := w.CreateTable("alpha", s); err != nil {
+		t.Fatal(err)
+	}
+	names := w.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("cache not invalidated by CreateTable: %v", names)
+	}
+	// The public accessor hands out copies: mutating one must not
+	// corrupt the cache.
+	names[0] = "corrupted"
+	if again := w.TableNames(); again[0] != "alpha" {
+		t.Fatalf("TableNames cache aliased caller slice: %v", again)
+	}
+}

@@ -2,7 +2,7 @@
 // substrate: the entity store holds state, a spatial grid indexes
 // positions (kept in sync through table change notifications, the way a
 // database maintains indexes), GSL scripts drive per-entity behavior
-// under a per-tick fuel budget, triggers route events, and content packs
+// under a per-invocation fuel budget, triggers route events, and content packs
 // populate all of it. The persistence, replication and concurrency
 // subsystems attach to this loop in the examples and experiments.
 package world
@@ -25,11 +25,20 @@ type Config struct {
 	Seed int64
 	// CellSize is the spatial index cell size (default 16).
 	CellSize float64
-	// ScriptFuel is the per-script per-tick fuel budget (default
-	// script.DefaultFuel).
+	// ScriptFuel is the fuel budget of one behavior invocation — one
+	// entity's on_tick call (default script.DefaultFuel). Per-invocation
+	// (rather than the old per-script-per-tick pool) keeps an entity's
+	// success independent of roster partitioning, which is what makes
+	// the tick worker-count invariant; it means a runaway script costs
+	// up to ScriptFuel × entities per tick, not ScriptFuel.
 	ScriptFuel int64
 	// TickDT is simulated seconds per tick (default 0.1).
 	TickDT float64
+	// Workers is the number of goroutines the tick's read-only query
+	// phase (behaviors + physics) fans across (default 1). The
+	// state-effect pipeline makes the resulting world state identical
+	// for any value, so Workers is purely a throughput knob.
+	Workers int
 }
 
 // World is a running game shard.
@@ -57,6 +66,23 @@ type World struct {
 	idStride entity.ID
 	tick     int64
 
+	// tableList caches the sorted table names (TableNames used to sort
+	// and allocate every tick in the physics scan); CreateTable and
+	// ResetState invalidate it.
+	tableList []string
+
+	// Per-worker state for the parallel query phase. Buffers persist
+	// across ticks because each worker's script clones capture theirs;
+	// the clone caches reset when LoadContent brings new scripts. The
+	// remaining slices are scratch reused tick-to-tick.
+	workerBufs    []*EffectBuffer
+	workerInterps []map[string]*script.Interp
+	workerStats   []workerStats
+	rosterBuf     []entity.ID
+	physTabs      []*entity.Table
+	physIDs       [][]entity.ID
+	mergeBuf      []Effect
+
 	// LastScriptError keeps the most recent behavior error for
 	// diagnostics; the tick itself continues (one bad designer script
 	// must not stop the shard).
@@ -69,9 +95,24 @@ type TickStats struct {
 	Entities     int
 	ScriptCalls  int
 	ScriptErrors int
+	// ScriptSkips counts behavior invocations whose effects were
+	// discarded because the invocation exhausted its fuel budget (a
+	// skipped query, not an error — one greedy designer script must not
+	// stop the shard).
 	ScriptSkips  int
 	FuelUsed     int64
 	TriggerFired int
+	// Effects is the number of effect records merged in the apply
+	// phase; EffectConflicts counts records dropped by deterministic
+	// conflict resolution (e.g. a set against an entity another
+	// behavior despawned the same tick).
+	Effects         int
+	EffectConflicts int
+	// QueryNS and ApplyNS split the tick's wall time between the
+	// parallel read-only query phase and the sequential effect apply,
+	// so the merge overhead is measurable (see BenchmarkE14ParallelTick).
+	QueryNS int64
+	ApplyNS int64
 }
 
 // New builds an empty world.
@@ -139,6 +180,7 @@ func (w *World) CreateTable(name string, s *entity.Schema) (*entity.Table, error
 	if _, dup := w.tables[name]; dup {
 		return nil, fmt.Errorf("world: table %q already exists", name)
 	}
+	w.tableList = nil
 	t := entity.NewTable(name, s)
 	if isSpatial(s) {
 		t.OnChange(func(c entity.Change) {
@@ -168,12 +210,22 @@ func (w *World) Table(name string) (*entity.Table, bool) {
 
 // TableNames returns registered table names, sorted.
 func (w *World) TableNames() []string {
-	names := make([]string, 0, len(w.tables))
-	for n := range w.tables {
-		names = append(names, n)
+	return append([]string(nil), w.tableNames()...)
+}
+
+// tableNames returns the cached sorted table list. Callers must not
+// mutate it — hot paths (the per-tick physics scan, snapshots) use it
+// to avoid re-sorting and re-allocating every tick.
+func (w *World) tableNames() []string {
+	if w.tableList == nil && len(w.tables) > 0 {
+		names := make([]string, 0, len(w.tables))
+		for n := range w.tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		w.tableList = names
 	}
-	sort.Strings(names)
-	return names
+	return w.tableList
 }
 
 // LoadPack instantiates a compiled content pack: tables, scripts,
@@ -241,6 +293,9 @@ func (w *World) LoadContent(c *content.Compiled) error {
 		}
 	}
 	w.frames = append(w.frames, c.Frames...)
+	// New scripts invalidate the per-worker behavior clones; they
+	// rebuild lazily on the next Step.
+	w.workerInterps = nil
 	return nil
 }
 
@@ -493,99 +548,3 @@ func (w *World) Entities() int { return len(w.tableOf) }
 // minus ghost mirrors).
 func (w *World) LocalEntities() int { return len(w.tableOf) - len(w.ghosts) }
 
-// Step advances one tick: behaviors run (fuel-bounded), queued events
-// drain, simple physics integrate (tables with vx/vy columns).
-func (w *World) Step() (TickStats, error) {
-	w.tick++
-	st := TickStats{Tick: w.tick, Entities: len(w.tableOf)}
-
-	// Behavior phase. Snapshot the roster (scripts may spawn/despawn).
-	ids := make([]entity.ID, 0, len(w.behaviors))
-	for id := range w.behaviors {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, in := range w.scripts {
-		in.ResetFuel()
-	}
-	exhausted := map[string]bool{}
-	for _, id := range ids {
-		name := w.behaviors[id]
-		if exhausted[name] {
-			st.ScriptSkips++
-			continue
-		}
-		in := w.scripts[name]
-		if in == nil || in.Program().Fns["on_tick"] == nil {
-			continue
-		}
-		if _, stillHere := w.tableOf[id]; !stillHere {
-			continue // despawned earlier this tick
-		}
-		_, err := in.Resume("on_tick", script.Int(int64(id)))
-		st.ScriptCalls++
-		if err != nil {
-			if isFuelErr(err) {
-				exhausted[name] = true
-				st.ScriptSkips++
-			} else {
-				st.ScriptErrors++
-				w.LastScriptError = err
-			}
-		}
-	}
-	for _, in := range w.scripts {
-		st.FuelUsed += in.FuelUsed()
-	}
-
-	// Trigger phase.
-	fired, err := w.trig.Drain()
-	st.TriggerFired = fired
-	if err != nil {
-		return st, err
-	}
-
-	// Physics phase: integrate velocity columns.
-	for _, name := range w.TableNames() {
-		t := w.tables[name]
-		s := t.Schema()
-		if !isSpatial(s) {
-			continue
-		}
-		if _, hasVX := s.Col("vx"); !hasVX {
-			continue
-		}
-		if _, hasVY := s.Col("vy"); !hasVY {
-			continue
-		}
-		for _, id := range t.IDs() {
-			if w.ghosts[id] {
-				continue // mirrors move only when their owner re-ships them
-			}
-			vx := t.MustGet(id, "vx").Float()
-			vy := t.MustGet(id, "vy").Float()
-			if vx == 0 && vy == 0 {
-				continue
-			}
-			x := t.MustGet(id, "x").Float() + vx*w.cfg.TickDT
-			y := t.MustGet(id, "y").Float() + vy*w.cfg.TickDT
-			t.Set(id, "x", entity.Float(x))
-			t.Set(id, "y", entity.Float(y))
-		}
-	}
-	return st, nil
-}
-
-func isFuelErr(err error) bool {
-	for e := err; e != nil; {
-		if e == script.ErrFuel {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
-}
