@@ -555,6 +555,82 @@ func BenchmarkE14ParallelTick(b *testing.B) {
 	}
 }
 
+// cascadeBenchWorld builds the E15 scenario: a crowd whose every entity
+// fires a 3-round self-targeted trigger cascade each tick (the shared
+// shard.CascadePackXML scenario, so bench and the shard grid test race
+// the same workload).
+func cascadeBenchWorld(b *testing.B, n, workers int, direct bool) *world.World {
+	b.Helper()
+	c, errs := content.LoadAndCompile(strings.NewReader(shard.CascadePackXML))
+	if len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	w := world.New(world.Config{
+		Seed: 42, CellSize: 16, ScriptFuel: 1 << 40, TickDT: 0.5,
+		Workers: workers, DirectTriggers: direct,
+	})
+	if err := w.LoadPack(c); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	side := 1000.0
+	for i := 0; i < n; i++ {
+		p := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		id, err := w.Spawn("pulser", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Set(id, "vx", entity.Float((rng.Float64()*2-1)*10)); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Set(id, "vy", entity.Float((rng.Float64()*2-1)*10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w
+}
+
+// BenchmarkE15TriggerCascade: one tick of a trigger-cascade-heavy crowd
+// (every entity fires 3 rounds of matched trigger actions per tick) —
+// the legacy direct single-threaded drain vs the effect-aware round
+// drain at 1/2/4/8 workers. The effect drain's state is identical at
+// every width (and identical to direct execution on this per-entity
+// workload); trigger-ns/op isolates the drain cost the comparison is
+// about. (Speedup needs cores: GOMAXPROCS caps what any worker count
+// can deliver.)
+func BenchmarkE15TriggerCascade(b *testing.B) {
+	const units = 2000
+	run := func(b *testing.B, w *world.World) {
+		b.ResetTimer()
+		var trigNS int64
+		fired := 0
+		for i := 0; i < b.N; i++ {
+			st, err := w.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.ScriptErrors > 0 || st.TriggerErrors > 0 {
+				b.Fatalf("errors during bench: %v", w.LastScriptError)
+			}
+			trigNS += st.TriggerNS
+			fired += st.TriggerFired
+		}
+		b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+		b.ReportMetric(float64(trigNS)/float64(b.N), "trigger-ns/op")
+		b.ReportMetric(float64(fired)/float64(b.N), "fired/tick")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("direct-w%d", workers), func(b *testing.B) {
+			run(b, cascadeBenchWorld(b, units, workers, true))
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("effect-w%d", workers), func(b *testing.B) {
+			run(b, cascadeBenchWorld(b, units, workers, false))
+		})
+	}
+}
+
 // BenchmarkE12NavMesh: pathfinding per representation plus BSP sight.
 func BenchmarkE12NavMesh(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

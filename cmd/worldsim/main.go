@@ -66,7 +66,8 @@ func main() {
 	ticks := flag.Int("ticks", 50, "ticks to simulate")
 	seed := flag.Int64("seed", 1, "world seed")
 	every := flag.Int("report", 10, "print stats every N ticks")
-	workers := flag.Int("workers", 1, "query-phase worker goroutines (state is identical for any value)")
+	workers := flag.Int("workers", 1, "query-phase and trigger-round worker goroutines (state is identical for any value)")
+	directTriggers := flag.Bool("direct-triggers", false, "use the legacy single-threaded direct-write trigger drain")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	flag.Parse()
 
@@ -89,7 +90,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	w := world.New(world.Config{Seed: *seed, Workers: *workers})
+	w := world.New(world.Config{Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers})
 	if err := w.LoadPack(c); err != nil {
 		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
 		os.Exit(1)
@@ -99,7 +100,8 @@ func main() {
 			c.Name, w.Entities(), w.TableNames(), *workers)
 	}
 
-	var effects, conflicts, queryNS, applyNS int64
+	var effects, conflicts, queryNS, applyNS, triggerNS int64
+	var trigFired, trigRounds, trigEffects, trigConflicts int64
 	scriptErrors, scriptSkips := 0, 0
 	entityTicks := 0
 	start := time.Now()
@@ -113,31 +115,47 @@ func main() {
 		conflicts += int64(st.EffectConflicts)
 		queryNS += st.QueryNS
 		applyNS += st.ApplyNS
+		triggerNS += st.TriggerNS
+		trigFired += int64(st.TriggerFired)
+		trigRounds += int64(st.TriggerRounds)
+		trigEffects += int64(st.TriggerEffects)
+		trigConflicts += int64(st.TriggerConflicts)
 		scriptErrors += st.ScriptErrors
 		scriptSkips += st.ScriptSkips
 		entityTicks += st.Entities
 		if !*jsonOut && *every > 0 && int(st.Tick)%*every == 0 {
-			fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d effects=%d fuel=%d errors=%d\n",
-				st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.Effects, st.FuelUsed, st.ScriptErrors)
+			fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d rounds=%d effects=%d fuel=%d errors=%d\n",
+				st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.TriggerRounds,
+				st.Effects+st.TriggerEffects, st.FuelUsed, st.ScriptErrors)
 		}
 	}
 	elapsed := time.Since(start)
 
 	if *jsonOut {
+		drain := "effect"
+		if *directTriggers {
+			drain = "direct"
+		}
 		rep := metrics.BenchReport{Suite: "worldsim"}
 		rep.Records = append(rep.Records, metrics.BenchRecord{
 			Name:           fmt.Sprintf("worldsim/workers-%d", *workers),
 			NsPerOp:        float64(elapsed.Nanoseconds()) / float64(*ticks),
 			EntitiesPerSec: float64(entityTicks) / elapsed.Seconds(),
 			Extra: map[string]any{
-				"workers":          *workers,
-				"ticks":            *ticks,
-				"effects_per_tick": float64(effects) / float64(*ticks),
-				"effect_conflicts": conflicts,
-				"script_errors":    scriptErrors,
-				"script_skips":     scriptSkips,
-				"query_ns_per_op":  float64(queryNS) / float64(*ticks),
-				"apply_ns_per_op":  float64(applyNS) / float64(*ticks),
+				"workers":           *workers,
+				"ticks":             *ticks,
+				"trigger_drain":     drain,
+				"effects_per_tick":  float64(effects) / float64(*ticks),
+				"effect_conflicts":  conflicts,
+				"script_errors":     scriptErrors,
+				"script_skips":      scriptSkips,
+				"trigger_fired":     trigFired,
+				"trigger_rounds":    trigRounds,
+				"trigger_effects":   trigEffects,
+				"trigger_conflicts": trigConflicts,
+				"query_ns_per_op":   float64(queryNS) / float64(*ticks),
+				"apply_ns_per_op":   float64(applyNS) / float64(*ticks),
+				"trigger_ns_per_op": float64(triggerNS) / float64(*ticks),
 			},
 		})
 		if err := metrics.WriteBenchJSON(os.Stdout, rep); err != nil {

@@ -28,10 +28,14 @@ type Options struct {
 	ScriptFuel int64
 	// TickDT is simulated seconds per tick.
 	TickDT float64
-	// Workers fans the tick's query phase (behaviors + physics) across
-	// that many goroutines (default 1); world state is identical for
-	// any value.
+	// Workers fans the tick's query phase (behaviors + physics) and its
+	// trigger rounds across that many goroutines (default 1); world
+	// state is identical for any value.
 	Workers int
+	// DirectTriggers selects the legacy single-threaded direct-write
+	// trigger drain instead of the effect-aware round drain (see
+	// world.Config.DirectTriggers).
+	DirectTriggers bool
 
 	// Checkpoint enables snapshot persistence with the given policy
 	// (persist.Periodic or persist.EventKeyed). Nil disables it.
@@ -70,11 +74,12 @@ type Engine struct {
 func New(opts Options) (*Engine, error) {
 	e := &Engine{
 		World: world.New(world.Config{
-			Seed:       opts.Seed,
-			CellSize:   opts.CellSize,
-			ScriptFuel: opts.ScriptFuel,
-			TickDT:     opts.TickDT,
-			Workers:    opts.Workers,
+			Seed:           opts.Seed,
+			CellSize:       opts.CellSize,
+			ScriptFuel:     opts.ScriptFuel,
+			TickDT:         opts.TickDT,
+			Workers:        opts.Workers,
+			DirectTriggers: opts.DirectTriggers,
 		}),
 	}
 	if opts.Checkpoint != nil {

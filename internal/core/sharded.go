@@ -26,10 +26,14 @@ type ShardedOptions struct {
 	CellSize   float64
 	ScriptFuel int64
 	TickDT     float64
-	// Workers fans each shard's query phase across that many goroutines
-	// per tick (default 1): total parallelism is Shards × Workers, and
-	// the world hash stays identical for any combination.
+	// Workers fans each shard's query phase and trigger rounds across
+	// that many goroutines per tick (default 1): total parallelism is
+	// Shards × Workers, and the world hash stays identical for any
+	// combination.
 	Workers int
+	// DirectTriggers selects the legacy single-threaded direct-write
+	// trigger drain on every shard world.
+	DirectTriggers bool
 
 	// GhostBand is the mirrored border width (≥ the interaction range;
 	// 0 = default 2×CellSize, negative disables ghosts); GhostFields
@@ -63,6 +67,7 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		ScriptFuel:     opts.ScriptFuel,
 		TickDT:         opts.TickDT,
 		Workers:        opts.Workers,
+		DirectTriggers: opts.DirectTriggers,
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,

@@ -38,10 +38,15 @@ type Config struct {
 	ScriptFuel int64
 	TickDT     float64
 	// Workers fans each shard world's query phase (behaviors + physics)
-	// across that many goroutines per tick (default 1), so total
-	// parallelism is Shards × Workers. The world's state-effect pipeline
-	// keeps the hash identical for any (Shards, Workers) combination.
+	// and its trigger rounds across that many goroutines per tick
+	// (default 1), so total parallelism is Shards × Workers. The world's
+	// state-effect pipeline keeps the hash identical for any
+	// (Shards, Workers) combination.
 	Workers int
+	// DirectTriggers passes through to world.Config.DirectTriggers: the
+	// legacy single-threaded direct-write trigger drain instead of the
+	// effect-aware round drain.
+	DirectTriggers bool
 
 	// GhostBand is the width of the border strip mirrored into
 	// neighboring shards as read-only ghosts. It should be at least the
@@ -166,11 +171,12 @@ func New(cfg Config) (*Runtime, error) {
 		w := world.New(world.Config{
 			// Shard worlds share the seed lineage but must not share a
 			// stream: offset by shard index.
-			Seed:       cfg.Seed + int64(i)*7919,
-			CellSize:   cfg.CellSize,
-			ScriptFuel: cfg.ScriptFuel,
-			TickDT:     cfg.TickDT,
-			Workers:    cfg.Workers,
+			Seed:           cfg.Seed + int64(i)*7919,
+			CellSize:       cfg.CellSize,
+			ScriptFuel:     cfg.ScriptFuel,
+			TickDT:         cfg.TickDT,
+			Workers:        cfg.Workers,
+			DirectTriggers: cfg.DirectTriggers,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).

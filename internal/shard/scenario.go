@@ -1,9 +1,13 @@
 package shard
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
+	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/spatial"
 )
 
 // DriftingCrowdSchema returns the schema the drifting-crowd demo
@@ -39,6 +43,73 @@ func ForEachCrowdSpawn(units int, side float64, seed int64, speed float64, fn fu
 		}
 	}
 	return nil
+}
+
+// CascadePackXML is the trigger-cascade-heavy content pack behind the
+// grid-invariance tests and BenchmarkE15TriggerCascade: every entity's
+// behavior emits a self-targeted "pulse" each tick, a chained trigger
+// re-emits it with a decremented amount (three cascade rounds of
+// matched actions per tick), and a final trigger fires on amount 0 —
+// so one tick exercises multi-round cascades, conditions, adds and
+// sets, all strictly per-entity. Strictly per-entity matters: trigger
+// state then depends only on (seed, entity), never on which shard or
+// worker ran it, which is what lets the same seed hash identically for
+// any Shards × Workers combination.
+const CascadePackXML = `
+<contentpack name="cascade-crowd">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="vx" kind="float"/>
+    <column name="vy" kind="float"/>
+    <column name="boom" kind="int"/>
+    <column name="flag" kind="int"/>
+  </schema>
+  <archetype name="pulser" table="units" script="pulse"/>
+  <script name="pulse">
+fn on_tick(self) { emit("pulse", self, 3); }
+  </script>
+  <trigger name="chain" event="pulse" priority="5">
+    <when>amount &gt; 0</when>
+    <do>add(self, "boom", 1); emit("pulse", self, amount - 1);</do>
+  </trigger>
+  <trigger name="flag-final" event="pulse">
+    <when>amount == 0</when>
+    <do>set(self, "flag", get(self, "flag") + 1);</do>
+  </trigger>
+</contentpack>`
+
+// SeedCascadeCrowd loads CascadePackXML into every shard and spawns
+// `units` drifting pulser entities from a seed-fixed stream (four rng
+// draws per entity: position in [0,side)², velocity in [-speed,speed)),
+// then syncs initial ghosts. Spawns go through the coordinator, so ids,
+// positions and velocities are identical for every shard count.
+func SeedCascadeCrowd(rt *Runtime, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(CascadePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: cascade pack rejected: %v", errs[0])
+	}
+	if err := rt.LoadPack(c); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < units; i++ {
+		pos := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		vx := (rng.Float64()*2 - 1) * speed
+		vy := (rng.Float64()*2 - 1) * speed
+		id, err := rt.Spawn("pulser", pos)
+		if err != nil {
+			return err
+		}
+		w := rt.ShardWorld(rt.Partitioner().Locate(pos))
+		if err := w.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		if err := w.Set(id, "vy", entity.Float(vy)); err != nil {
+			return err
+		}
+	}
+	return rt.Sync()
 }
 
 // SeedDriftingCrowd creates the "units" table on every shard and spawns

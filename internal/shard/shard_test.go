@@ -343,6 +343,70 @@ func TestDeterministicAcrossShardCounts(t *testing.T) {
 	}
 }
 
+// cascadeRun drives the trigger-cascade scenario on an n-shard runtime
+// and returns the final hash plus total trigger activations.
+func cascadeRun(t *testing.T, shards, workers int, direct bool) (uint64, int) {
+	t.Helper()
+	rt, err := New(Config{
+		Seed: 7, Shards: shards, World: spatial.NewRect(0, 0, 1000, 1000),
+		TickDT: 0.5, GhostBand: 25, Workers: workers, DirectTriggers: direct,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	if err := SeedCascadeCrowd(rt, 200, 1000, 77, 30); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 40; i++ {
+		st, err := rt.Step()
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d tick %d: %v", shards, workers, st.Tick, err)
+		}
+		for _, ws := range st.Shards {
+			fired += ws.TriggerFired
+		}
+	}
+	if shards > 1 && rt.HandoffTotal.Load() == 0 {
+		t.Fatalf("%d shards: no handoffs — cascade scenario not exercising boundaries", shards)
+	}
+	return rt.Hash(), fired
+}
+
+func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
+	// The effect-aware trigger drain keeps trigger-cascade-heavy state
+	// bit-identical across the whole Shards × Workers grid: cascades
+	// batch per round, actions fan across workers, and the per-round
+	// apply is keyed by (event seq, rule seq) — never by partitioning.
+	baseHash, baseFired := cascadeRun(t, 1, 1, false)
+	if baseFired == 0 {
+		t.Fatal("scenario fired no triggers")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 2, 4} {
+			if shards == 1 && workers == 1 {
+				continue
+			}
+			h, fired := cascadeRun(t, shards, workers, false)
+			if h != baseHash {
+				t.Fatalf("hash diverged at shards=%d workers=%d: %x vs %x", shards, workers, h, baseHash)
+			}
+			if fired != baseFired {
+				t.Fatalf("activations diverged at shards=%d workers=%d: %d vs %d",
+					shards, workers, fired, baseFired)
+			}
+		}
+	}
+	// The legacy direct-execution drain is the semantic baseline: on a
+	// strictly per-entity cascade it must produce the identical world.
+	directHash, directFired := cascadeRun(t, 1, 1, true)
+	if directHash != baseHash || directFired != baseFired {
+		t.Fatalf("effect drain diverged from direct execution: hash %x vs %x, fired %d vs %d",
+			baseHash, directHash, baseFired, directFired)
+	}
+}
+
 func TestDeterminismSameSeedSameRun(t *testing.T) {
 	run := func() uint64 {
 		rt := newRuntime(t, 4, Config{Seed: 11, TickDT: 0.5, GhostBand: 25})

@@ -118,6 +118,90 @@ func TestUnregister(t *testing.T) {
 	}
 }
 
+func TestUnregisterDuringFireKeepsDispatchIntact(t *testing.T) {
+	// A rule action that unregisters rules for its own event while Fire
+	// iterates the list: the old lst[:0] compaction overwrote the
+	// backing array mid-iteration, silently skipping later live rules.
+	// Copy-on-write keeps the in-flight snapshot intact, and the dead
+	// marks make the unregistered rule invisible to the same iteration.
+	en := NewEngine(0)
+	var order []string
+	en.Register(&Rule{Name: "killer", Event: "e", Priority: 3,
+		Action: func(Event) error {
+			order = append(order, "killer")
+			en.Unregister("victim")
+			return nil
+		}})
+	en.Register(&Rule{Name: "mid", Event: "e", Priority: 2,
+		Action: func(Event) error { order = append(order, "mid"); return nil }})
+	en.Register(&Rule{Name: "victim", Event: "e", Priority: 1,
+		Action: func(Event) error { order = append(order, "victim"); return nil }})
+	n, err := en.Fire(Event{Name: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("fired %d, want 2 (killer, mid)", n)
+	}
+	if len(order) != 2 || order[0] != "killer" || order[1] != "mid" {
+		t.Fatalf("order = %v, want [killer mid] — mid lost means compaction corrupted dispatch", order)
+	}
+	if en.Rules() != 2 {
+		t.Fatalf("Rules = %d, want 2", en.Rules())
+	}
+}
+
+func TestSelfUnregisterDuringFire(t *testing.T) {
+	// A rule unregistering ITSELF mid-fire must not skip its successors
+	// (the exact lst[:0] shift bug: the kept-compaction moved the next
+	// rule into the slot the iterator had already passed).
+	en := NewEngine(0)
+	var order []string
+	en.Register(&Rule{Name: "a", Event: "e",
+		Action: func(Event) error {
+			order = append(order, "a")
+			en.Unregister("a")
+			return nil
+		}})
+	en.Register(&Rule{Name: "b", Event: "e",
+		Action: func(Event) error { order = append(order, "b"); return nil }})
+	if _, err := en.Fire(Event{Name: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b] — b was skipped by in-place compaction", order)
+	}
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1", en.Rules())
+	}
+}
+
+func TestRegisterDuringFireSurvivesCompaction(t *testing.T) {
+	// A Once rule firing compacts its event list at the end of Fire;
+	// rules registered BY an action during that same Fire must survive
+	// the compaction (it must rebuild from the current list, not the
+	// iteration snapshot).
+	en := NewEngine(0)
+	act := func(Event) error { return nil }
+	en.Register(&Rule{Name: "once", Event: "e", Once: true,
+		Action: func(Event) error {
+			return en.Register(&Rule{Name: "late", Event: "e", Action: act})
+		}})
+	if _, err := en.Fire(Event{Name: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1 — rule registered mid-fire was lost", en.Rules())
+	}
+	n, err := en.Fire(Event{Name: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || en.FiredCount("late") != 1 {
+		t.Fatalf("late rule did not fire (n=%d, fired=%d)", n, en.FiredCount("late"))
+	}
+}
+
 func TestActionErrorsPropagate(t *testing.T) {
 	en := NewEngine(0)
 	boom := errors.New("boom")
@@ -157,6 +241,162 @@ func TestPostAndDrainCascade(t *testing.T) {
 	}
 }
 
+func TestFireContinuesPastErrors(t *testing.T) {
+	// One bad rule must not mute the rest of the event's dispatch: the
+	// remaining rules still run and the errors aggregate.
+	en := NewEngine(0)
+	boom := errors.New("boom")
+	count := 0
+	en.Register(&Rule{Name: "bad", Event: "e", Priority: 10,
+		Action: func(Event) error { return boom }})
+	en.Register(&Rule{Name: "badcond", Event: "e", Priority: 5,
+		Cond:   func(Event) (bool, error) { return false, boom },
+		Action: func(Event) error { return nil }})
+	en.Register(&Rule{Name: "good", Event: "e",
+		Action: func(Event) error { count++; return nil }})
+	n, err := en.Fire(Event{Name: "e"})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if count != 1 {
+		t.Fatal("good rule was skipped after an earlier rule errored")
+	}
+	if n != 2 { // bad activated (action attempted), badcond did not, good did
+		t.Fatalf("fired = %d, want 2", n)
+	}
+}
+
+func TestDrainContinuesBatchOnError(t *testing.T) {
+	// Before the fix, one erroring action dropped the rest of the
+	// drained batch on the floor — queued events vanished silently.
+	en := NewEngine(0)
+	boom := errors.New("boom")
+	count := 0
+	en.Register(&Rule{Name: "bad", Event: "a", Action: func(Event) error { return boom }})
+	en.Register(&Rule{Name: "good", Event: "b", Action: func(Event) error { count++; return nil }})
+	en.Post(Event{Name: "a"})
+	en.Post(Event{Name: "b"})
+	en.Post(Event{Name: "b"})
+	n, err := en.Drain()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if count != 2 {
+		t.Fatalf("good fired %d times, want 2 — batch was dropped after the error", count)
+	}
+	if n != 3 {
+		t.Fatalf("activations = %d, want 3", n)
+	}
+	if en.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 (errors are not drops)", en.Dropped())
+	}
+}
+
+func TestEngineResetClearsRuntimeState(t *testing.T) {
+	en := NewEngine(0)
+	count := 0
+	en.Register(&Rule{Name: "r", Event: "e", Action: func(Event) error { count++; return nil }})
+	en.Fire(Event{Name: "e"})
+	en.Post(Event{Name: "e"})
+	en.Post(Event{Name: "e"})
+	if en.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", en.Pending())
+	}
+	en.Reset()
+	if en.Pending() != 0 {
+		t.Fatal("Reset left events queued")
+	}
+	if en.FiredCount("r") != 0 {
+		t.Fatal("Reset left fired counts")
+	}
+	n, err := en.Drain()
+	if err != nil || n != 0 {
+		t.Fatalf("Drain after Reset = %d, %v — stale queue drained", n, err)
+	}
+	if count != 1 {
+		t.Fatalf("rule ran %d times, want 1 (only the pre-Reset Fire)", count)
+	}
+	if en.Rules() != 1 {
+		t.Fatal("Reset must keep registered rules")
+	}
+}
+
+func TestResetResurrectsConsumedOnceRules(t *testing.T) {
+	// Once consumption is runtime state: a Reset (crash restore) brings
+	// the rule back, ready to fire again — but explicit Unregister is a
+	// content decision and stays gone.
+	en := NewEngine(0)
+	count := 0
+	en.Register(&Rule{Name: "once", Event: "e", Once: true,
+		Action: func(Event) error { count++; return nil }})
+	en.Register(&Rule{Name: "gone", Event: "e",
+		Action: func(Event) error { return nil }})
+	if _, err := en.Fire(Event{Name: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1 (once consumed)", en.Rules())
+	}
+	en.Unregister("gone")
+	en.Reset()
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1 (once resurrected, unregistered stays gone)", en.Rules())
+	}
+	n, err := en.Fire(Event{Name: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || count != 2 {
+		t.Fatalf("resurrected once rule: fired %d, count %d", n, count)
+	}
+	if en.Rules() != 0 {
+		t.Fatal("re-fired once rule must re-consume")
+	}
+}
+
+func TestRoundMatchingAndOnce(t *testing.T) {
+	// The round-structured drain: TakeRound pops the queue, MatchRound
+	// pairs events with rules in (event order, firing order) without
+	// executing, Activate consumes Once rules so a Once rule matched by
+	// two events in one round fires exactly once.
+	en := NewEngine(0)
+	act := func(Event) error { return nil }
+	en.Register(&Rule{Name: "once", Event: "e", Once: true, Priority: 1, Action: act})
+	en.Register(&Rule{Name: "many", Event: "e", Action: act})
+	en.Post(Event{Name: "e", Entity: 1})
+	en.Post(Event{Name: "e", Entity: 2})
+	batch := en.TakeRound()
+	if len(batch) != 2 || en.Pending() != 0 {
+		t.Fatalf("TakeRound = %d events, %d pending", len(batch), en.Pending())
+	}
+	ms := en.MatchRound(batch)
+	if len(ms) != 4 {
+		t.Fatalf("matches = %d, want 4 (2 events × 2 rules)", len(ms))
+	}
+	// Priority order within each event: once before many.
+	if ms[0].Rule.Name != "once" || ms[1].Rule.Name != "many" || ms[0].Ev.Entity != 1 {
+		t.Fatalf("match order wrong: %s/%d then %s", ms[0].Rule.Name, ms[0].Ev.Entity, ms[1].Rule.Name)
+	}
+	fired := 0
+	for _, m := range ms {
+		if en.Activate(m) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("activations = %d, want 3 (once consumed at its first match)", fired)
+	}
+	if en.FiredCount("once") != 1 || en.FiredCount("many") != 2 {
+		t.Fatalf("fired counts once=%d many=%d", en.FiredCount("once"), en.FiredCount("many"))
+	}
+	if en.Rules() != 1 {
+		t.Fatalf("Rules = %d, want 1 (once compacted out)", en.Rules())
+	}
+	if len(en.MatchRound([]Event{{Name: "e"}})) != 1 {
+		t.Fatal("consumed once rule still matches")
+	}
+}
+
 func TestDrainDepthLimit(t *testing.T) {
 	en := NewEngine(4)
 	en.Register(&Rule{
@@ -169,6 +409,10 @@ func TestDrainDepthLimit(t *testing.T) {
 	en.Post(Event{Name: "tick"})
 	if _, err := en.Drain(); !errors.Is(err, ErrCascadeDepth) {
 		t.Fatalf("err = %v, want ErrCascadeDepth", err)
+	}
+	// The overflow dropped exactly the queue standing at the limit.
+	if en.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", en.Dropped())
 	}
 	// The queue must be cleared so the engine recovers.
 	if n, err := en.Drain(); err != nil || n != 0 {

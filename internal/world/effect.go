@@ -258,7 +258,9 @@ func (b *EffectBuffer) physDelta(id entity.ID, seq int32, col string, delta floa
 // sequential execution would have surfaced as script errors (setting a
 // row another entity despawned, double despawns) are counted as
 // conflicts and skipped — the effect analogue of a lost OCC validation.
-func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
+// The applied-record and conflict tallies land in *effects/*conflicts —
+// the behavior query phase and the trigger rounds account separately.
+func (w *World) applyEffects(bufs []*EffectBuffer, effects, conflicts *int) {
 	total := 0
 	for _, b := range bufs {
 		total += len(b.effects)
@@ -277,7 +279,7 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		}
 		return merged[i].Seq < merged[j].Seq
 	})
-	st.Effects += total
+	*effects += total
 
 	// Spawns: allocate real ids in deterministic order.
 	var prov map[entity.ID]entity.ID
@@ -288,7 +290,7 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		}
 		id, err := w.Spawn(e.Name, e.Pos)
 		if err != nil {
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		if prov == nil {
@@ -312,11 +314,11 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		}
 		id, ok := resolve(e.Target)
 		if !ok {
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		if err := w.Set(id, e.Col, e.Val); err != nil {
-			st.EffectConflicts++
+			*conflicts++
 		}
 	}
 
@@ -328,12 +330,12 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		}
 		id, ok := resolve(e.Target)
 		if !ok {
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		cur, err := w.Get(id, e.Col)
 		if err != nil {
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		var next entity.Value
@@ -341,23 +343,23 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		case entity.KindInt:
 			d, okI := e.Val.AsInt()
 			if !okI {
-				st.EffectConflicts++
+				*conflicts++
 				continue
 			}
 			next = entity.Int(cur.Int() + d)
 		case entity.KindFloat:
 			d, okF := e.Val.AsFloat()
 			if !okF {
-				st.EffectConflicts++
+				*conflicts++
 				continue
 			}
 			next = entity.Float(cur.Float() + d)
 		default:
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		if err := w.Set(id, e.Col, next); err != nil {
-			st.EffectConflicts++
+			*conflicts++
 		}
 	}
 
@@ -369,15 +371,15 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		}
 		id, ok := resolve(e.Target)
 		if !ok {
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		if _, exists := w.tableOf[id]; !exists {
-			st.EffectConflicts++ // raced with another despawn
+			*conflicts++ // raced with another despawn
 			continue
 		}
 		if err := w.Despawn(id); err != nil {
-			st.EffectConflicts++
+			*conflicts++
 		}
 	}
 
@@ -389,7 +391,7 @@ func (w *World) applyEffects(bufs []*EffectBuffer, st *TickStats) {
 		}
 		id, ok := resolve(e.Target)
 		if !ok {
-			st.EffectConflicts++
+			*conflicts++
 			continue
 		}
 		w.Post(e.Name, id, e.Val)

@@ -118,7 +118,9 @@ func (w *World) Restore(snap []byte) error {
 }
 
 // ResetState clears tables, index and rosters (a crash), keeping loaded
-// content.
+// content. Trigger runtime state — the pending event queue, fired
+// counts, the dropped counter — clears too: events posted against the
+// pre-crash state must not drain into whatever state comes next.
 func (w *World) ResetState() {
 	w.tables = make(map[string]*entity.Table)
 	w.tableOf = make(map[entity.ID]string)
@@ -128,4 +130,5 @@ func (w *World) ResetState() {
 	w.tableList = nil
 	w.tick = 0
 	w.nextID = 0
+	w.trig.Reset()
 }

@@ -1,19 +1,24 @@
 package world
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
 
+	"gamedb/internal/entity"
 	"gamedb/internal/script"
 )
 
 // workerStats accumulates one worker's share of the tick accounting so
-// the parallel phase touches no shared counters.
+// the parallel phase touches no shared counters. firstErr/errID record
+// the chunk's lowest-entity-id behavior error: the roster is ascending,
+// so the first error a worker hits is its chunk's lowest.
 type workerStats struct {
 	calls, errors, skips int
 	fuel                 int64
-	lastErr              error
+	firstErr             error
+	errID                entity.ID
 }
 
 // Step advances one tick through the state-effect pipeline:
@@ -26,11 +31,14 @@ type workerStats struct {
 //     no effects.
 //   - apply phase: the buffers merge deterministically (see
 //     applyEffects) and write the tables set-at-a-time.
-//   - trigger phase: queued events drain through the trigger engine
-//     with direct table access, single-threaded, exactly as before.
+//   - trigger phase: queued events drain in cascade rounds, each round
+//     its own mini tick — parallel read-only condition queries, actions
+//     fanned across the same worker pool into effect buffers, one
+//     deterministic apply (see trigger_phase.go). Config.DirectTriggers
+//     selects the legacy single-threaded direct-write drain instead.
 //
-// The query phase reads only the frozen state and the merge order is
-// independent of the partitioning, so the same seed yields an
+// Every phase reads only frozen state between applies and every merge
+// order is independent of the partitioning, so the same seed yields an
 // identical world for any Workers value.
 func (w *World) Step() (TickStats, error) {
 	w.tick++
@@ -94,23 +102,32 @@ func (w *World) Step() (TickStats, error) {
 		}
 		wg.Wait()
 	}
+	var tickErr error
+	var tickErrID entity.ID
 	for i := range stats {
 		st.ScriptCalls += stats[i].calls
 		st.ScriptErrors += stats[i].errors
 		st.ScriptSkips += stats[i].skips
 		st.FuelUsed += stats[i].fuel
-		if stats[i].lastErr != nil {
-			w.LastScriptError = stats[i].lastErr
+		// The tick's reported error is the lowest source entity id's,
+		// not whichever worker finished last — diagnostics stay
+		// identical for any Workers value.
+		if stats[i].firstErr != nil && (tickErr == nil || stats[i].errID < tickErrID) {
+			tickErr, tickErrID = stats[i].firstErr, stats[i].errID
 		}
+	}
+	if tickErr != nil {
+		w.LastScriptError = tickErr
 	}
 	st.QueryNS = time.Since(t0).Nanoseconds()
 
 	t1 := time.Now()
-	w.applyEffects(w.workerBufs[:workers], &st)
+	w.applyEffects(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts)
 	st.ApplyNS = time.Since(t1).Nanoseconds()
 
-	fired, err := w.trig.Drain()
-	st.TriggerFired = fired
+	t2 := time.Now()
+	err := w.drainTriggers(&st)
+	st.TriggerNS = time.Since(t2).Nanoseconds()
 	if err != nil {
 		return st, err
 	}
@@ -148,7 +165,9 @@ func (w *World) runWorker(wi, workers int) {
 				ws.skips++
 			} else {
 				ws.errors++
-				ws.lastErr = err
+				if ws.firstErr == nil {
+					ws.firstErr, ws.errID = err, id
+				}
 			}
 		}
 	}
@@ -203,16 +222,8 @@ func (w *World) ensureWorkers(n int) {
 	}
 }
 
+// isFuelErr reports whether err is (or wraps, including through
+// errors.Join chains) the interpreter's fuel-exhaustion sentinel.
 func isFuelErr(err error) bool {
-	for e := err; e != nil; {
-		if e == script.ErrFuel {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
+	return errors.Is(err, script.ErrFuel)
 }

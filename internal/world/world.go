@@ -39,6 +39,18 @@ type Config struct {
 	// state-effect pipeline makes the resulting world state identical
 	// for any value, so Workers is purely a throughput knob.
 	Workers int
+	// DirectTriggers selects the legacy direct-execution trigger drain:
+	// single-threaded, writes applied immediately, cascading rules
+	// observing each other mid-round. The default (false) is the
+	// effect-aware drain, which runs each cascade round as its own mini
+	// tick — conditions evaluate as read-only queries over the round's
+	// frozen state, actions fan across the Workers pool into effect
+	// buffers, and one deterministic apply ends the round — so trigger
+	// cascades parallelize without giving up hash invariance. Direct
+	// mode remains as the baseline for BenchmarkE15TriggerCascade and
+	// for hosts whose Go rule actions must observe one another's writes
+	// within a single round.
+	DirectTriggers bool
 }
 
 // World is a running game shard.
@@ -61,6 +73,12 @@ type World struct {
 
 	index *spatial.Grid
 	trig  *trigger.Engine
+
+	// trigBound maps content-pack rules to their compiled GSL programs
+	// and per-worker effect-mode interpreter clones. Rules absent from
+	// the map (host-registered Go rules) fall back to direct serial
+	// execution inside the round drain.
+	trigBound map[*trigger.Rule]*boundTrigger
 
 	nextID   entity.ID
 	idStride entity.ID
@@ -102,17 +120,35 @@ type TickStats struct {
 	ScriptSkips  int
 	FuelUsed     int64
 	TriggerFired int
+	// TriggerRounds counts trigger cascade rounds drained this tick —
+	// under the effect-aware drain each round is its own mini tick
+	// (parallel condition queries, fanned actions, one apply).
+	TriggerRounds int
+	// TriggerEffects and TriggerConflicts mirror Effects/EffectConflicts
+	// for the trigger rounds' apply passes, so behavior-phase and
+	// trigger-phase contention stay separately observable.
+	TriggerEffects   int
+	TriggerConflicts int
+	// TriggerErrors counts rule activations whose condition or action
+	// failed this tick (their effects rolled back; the batch continues
+	// and the errors aggregate out of Step). TriggerSkips counts trigger
+	// invocations discarded by fuel exhaustion — like ScriptSkips, a
+	// skipped query rather than an error.
+	TriggerErrors int
+	TriggerSkips  int
 	// Effects is the number of effect records merged in the apply
 	// phase; EffectConflicts counts records dropped by deterministic
 	// conflict resolution (e.g. a set against an entity another
 	// behavior despawned the same tick).
 	Effects         int
 	EffectConflicts int
-	// QueryNS and ApplyNS split the tick's wall time between the
-	// parallel read-only query phase and the sequential effect apply,
-	// so the merge overhead is measurable (see BenchmarkE14ParallelTick).
-	QueryNS int64
-	ApplyNS int64
+	// QueryNS, ApplyNS and TriggerNS split the tick's wall time between
+	// the parallel read-only query phase, the sequential effect apply,
+	// and the trigger drain, so the merge overhead and cascade cost are
+	// measurable (BenchmarkE14ParallelTick, BenchmarkE15TriggerCascade).
+	QueryNS   int64
+	ApplyNS   int64
+	TriggerNS int64
 }
 
 // New builds an empty world.
@@ -137,6 +173,7 @@ func New(cfg Config) *World {
 		ghosts:     make(map[entity.ID]bool),
 		index:      spatial.NewGrid(cfg.CellSize),
 		trig:       trigger.NewEngine(0),
+		trigBound:  make(map[*trigger.Rule]*boundTrigger),
 		idStride:   1,
 	}
 }
@@ -300,6 +337,11 @@ func (w *World) LoadContent(c *content.Compiled) error {
 }
 
 // bindTrigger wraps a compiled trigger's GSL programs as a trigger.Rule.
+// The rule carries direct-execution closures (used by Config
+// DirectTriggers mode and by hosts calling Fire/Drain on the engine
+// directly), and the compiled programs are also recorded in trigBound
+// so the effect-aware drain can run them on per-worker interpreter
+// clones emitting into effect buffers.
 func (w *World) bindTrigger(ct *content.CompiledTrigger) error {
 	actIn := script.NewInterp(ct.Act, script.Options{
 		Fuel:     w.cfg.ScriptFuel,
@@ -334,7 +376,11 @@ func (w *World) bindTrigger(ct *content.CompiledTrigger) error {
 			return b, nil
 		}
 	}
-	return w.trig.Register(rule)
+	if err := w.trig.Register(rule); err != nil {
+		return err
+	}
+	w.trigBound[rule] = &boundTrigger{name: ct.Name, cond: ct.Cond, act: ct.Act}
+	return nil
 }
 
 // Spawn instantiates an archetype at pos and returns the new entity id.
@@ -547,4 +593,3 @@ func (w *World) Entities() int { return len(w.tableOf) }
 // LocalEntities returns the count of entities this world owns (total
 // minus ghost mirrors).
 func (w *World) LocalEntities() int { return len(w.tableOf) - len(w.ghosts) }
-
