@@ -559,7 +559,7 @@ func BenchmarkE14ParallelTick(b *testing.B) {
 // fires a 3-round self-targeted trigger cascade each tick (the shared
 // shard.CascadePackXML scenario, so bench and the shard grid test race
 // the same workload).
-func cascadeBenchWorld(b *testing.B, n, workers int, direct bool) *world.World {
+func cascadeBenchWorld(b *testing.B, n, workers int, direct, rowApply bool) *world.World {
 	b.Helper()
 	c, errs := content.LoadAndCompile(strings.NewReader(shard.CascadePackXML))
 	if len(errs) > 0 {
@@ -567,7 +567,7 @@ func cascadeBenchWorld(b *testing.B, n, workers int, direct bool) *world.World {
 	}
 	w := world.New(world.Config{
 		Seed: 42, CellSize: 16, ScriptFuel: 1 << 40, TickDT: 0.5,
-		Workers: workers, DirectTriggers: direct,
+		Workers: workers, DirectTriggers: direct, RowApply: rowApply,
 	})
 	if err := w.LoadPack(c); err != nil {
 		b.Fatal(err)
@@ -621,12 +621,112 @@ func BenchmarkE15TriggerCascade(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("direct-w%d", workers), func(b *testing.B) {
-			run(b, cascadeBenchWorld(b, units, workers, true))
+			run(b, cascadeBenchWorld(b, units, workers, true, false))
 		})
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("effect-w%d", workers), func(b *testing.B) {
-			run(b, cascadeBenchWorld(b, units, workers, false))
+			run(b, cascadeBenchWorld(b, units, workers, false, false))
+		})
+	}
+}
+
+// applyBenchWorld builds the E16 apply-heavy scenario: the shared
+// shard.MinglePackXML crowd (neighbor scan + two position sets + an int
+// add per entity, velocity physics adding x/y deltas), the workload
+// whose tick cost concentrates in the effect-apply phase.
+func applyBenchWorld(b *testing.B, n, workers int, rowApply bool) *world.World {
+	b.Helper()
+	c, errs := content.LoadAndCompile(strings.NewReader(shard.MinglePackXML))
+	if len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	w := world.New(world.Config{
+		Seed: 42, CellSize: 8, ScriptFuel: 1 << 40, TickDT: 0.5,
+		Workers: workers, RowApply: rowApply,
+	})
+	if err := w.LoadPack(c); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	side := 160 * math.Sqrt(float64(n)/2000)
+	for i := 0; i < n; i++ {
+		p := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		id, err := w.Spawn("unit", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Set(id, "vx", entity.Float((rng.Float64()*2-1)*4)); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Set(id, "vy", entity.Float((rng.Float64()*2-1)*4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w
+}
+
+// BenchmarkE16ApplyBatch: the columnar batch apply vs the legacy
+// row-at-a-time apply (Config.RowApply) on the two apply-bound
+// workloads — the E14-shaped mingle crowd (apply-ns/op isolates the
+// phase the batching rebuilt) and the E15 trigger cascade (whose
+// per-round applies ride the same path, surfaced as trigger-ns/op).
+// Both modes produce bit-identical state (the grid equivalence tests
+// pin it), so the delta is pure apply-path cost.
+func BenchmarkE16ApplyBatch(b *testing.B) {
+	const units = 2500
+	runApply := func(b *testing.B, rowApply bool, workers int) {
+		w := applyBenchWorld(b, units, workers, rowApply)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var applyNS, queryNS int64
+		for i := 0; i < b.N; i++ {
+			st, err := w.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.ScriptErrors > 0 {
+				b.Fatal(w.LastScriptError)
+			}
+			applyNS += st.ApplyNS
+			queryNS += st.QueryNS
+		}
+		b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+		b.ReportMetric(float64(applyNS)/float64(b.N), "apply-ns/op")
+		b.ReportMetric(float64(queryNS)/float64(b.N), "query-ns/op")
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("apply-heavy/batch-w%d", workers), func(b *testing.B) {
+			runApply(b, false, workers)
+		})
+		b.Run(fmt.Sprintf("apply-heavy/row-w%d", workers), func(b *testing.B) {
+			runApply(b, true, workers)
+		})
+	}
+	runCascadeMode := func(b *testing.B, rowApply bool, workers int) {
+		w := cascadeBenchWorld(b, 2000, workers, false, rowApply)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var trigNS int64
+		for i := 0; i < b.N; i++ {
+			st, err := w.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.ScriptErrors > 0 || st.TriggerErrors > 0 {
+				b.Fatalf("errors during bench: %v", w.LastScriptError)
+			}
+			trigNS += st.TriggerNS
+		}
+		b.ReportMetric(float64(2000)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+		b.ReportMetric(float64(trigNS)/float64(b.N), "trigger-ns/op")
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cascade/batch-w%d", workers), func(b *testing.B) {
+			runCascadeMode(b, false, workers)
+		})
+		b.Run(fmt.Sprintf("cascade/row-w%d", workers), func(b *testing.B) {
+			runCascadeMode(b, true, workers)
 		})
 	}
 }

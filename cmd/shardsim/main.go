@@ -51,7 +51,7 @@ type raceResult struct {
 	elapsed        time.Duration
 }
 
-func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64) (raceResult, error) {
+func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool) (raceResult, error) {
 	rt, err := shard.New(shard.Config{
 		Seed:           seed,
 		Shards:         shards,
@@ -61,6 +61,7 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		TickDT:         0.5,
 		GhostBand:      band,
 		RebalanceEvery: rebalance,
+		RowApply:       rowApply,
 	})
 	if err != nil {
 		return raceResult{}, err
@@ -102,6 +103,7 @@ func main() {
 	band := flag.Float64("band", 24, "ghost border band width (negative disables ghosts)")
 	rebalance := flag.Int64("rebalance", 50, "rebalance boundaries every N ticks (0 = static)")
 	workers := flag.Int("workers", 1, "per-shard query-phase workers (hash is identical for any value)")
+	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (hash is identical either way)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
 	flag.Parse()
 
@@ -121,7 +123,7 @@ func main() {
 	var firstHash uint64
 	hashesAgree := true
 	for i, n := range counts {
-		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance)
+		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)

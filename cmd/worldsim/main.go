@@ -68,6 +68,7 @@ func main() {
 	every := flag.Int("report", 10, "print stats every N ticks")
 	workers := flag.Int("workers", 1, "query-phase and trigger-round worker goroutines (state is identical for any value)")
 	directTriggers := flag.Bool("direct-triggers", false, "use the legacy single-threaded direct-write trigger drain")
+	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (state is identical either way)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	flag.Parse()
 
@@ -90,7 +91,10 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	w := world.New(world.Config{Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers})
+	for _, warn := range c.Warnings {
+		fmt.Fprintf(os.Stderr, "worldsim: warning: %v\n", warn)
+	}
+	w := world.New(world.Config{Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers, RowApply: *rowApply})
 	if err := w.LoadPack(c); err != nil {
 		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
 		os.Exit(1)

@@ -44,10 +44,11 @@ type Engine = core.Engine
 // Options configures New.
 type Options = core.Options
 
-// ShardedEngine is a world partitioned into N region shards, each
-// ticking in its own goroutine under a tick-barrier coordinator that
-// performs cross-shard entity handoff and ghost replication; see
-// core.ShardedEngine and internal/shard for method docs.
+// ShardedEngine is a world partitioned into N region shards, ticking
+// in parallel on the process-wide worker pool under a tick-barrier
+// coordinator that performs cross-shard entity handoff and ghost
+// replication; see core.ShardedEngine and internal/shard for method
+// docs.
 type ShardedEngine = core.ShardedEngine
 
 // ShardedOptions configures OpenSharded.
@@ -112,7 +113,8 @@ func New(opts Options) (*Engine, error) { return core.New(opts) }
 
 // OpenSharded builds a sharded world runtime: the map is partitioned
 // into opts.Shards spatial regions, each running as an independent
-// world on its own goroutine; a tick barrier migrates entities that
-// cross region boundaries and mirrors border-band neighbors as
-// read-only ghosts so boundary-straddling queries stay correct.
+// world ticked in parallel on the shared worker pool; a tick barrier
+// migrates entities that cross region boundaries and mirrors
+// border-band neighbors as read-only ghosts so boundary-straddling
+// queries stay correct.
 func OpenSharded(opts ShardedOptions) (*ShardedEngine, error) { return core.NewSharded(opts) }

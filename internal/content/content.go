@@ -153,6 +153,11 @@ type Compiled struct {
 	Triggers   []*CompiledTrigger
 	Frames     []UIFrame
 	Spawns     []SpawnDef
+	// Warnings are non-fatal lint findings (see lint.go): the pack
+	// loads, but something in it is a known hazard — currently
+	// set(x, get(x)…) accumulation in trigger bodies, which is
+	// last-write-wins under the effect-aware trigger drain.
+	Warnings []Warning
 }
 
 func parseValue(kind entity.Kind, raw string) (entity.Value, error) {
@@ -337,6 +342,7 @@ func Compile(p *Pack) (*Compiled, []error) {
 		}
 		if okTrig {
 			c.Triggers = append(c.Triggers, ct)
+			c.Warnings = append(c.Warnings, lintTrigger(ct)...)
 		}
 	}
 

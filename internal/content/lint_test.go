@@ -1,0 +1,93 @@
+package content
+
+import (
+	"strings"
+	"testing"
+)
+
+func compilePack(t *testing.T, src string) *Compiled {
+	t.Helper()
+	c, errs := LoadAndCompile(strings.NewReader(src))
+	if len(errs) > 0 {
+		t.Fatalf("pack rejected: %v", errs)
+	}
+	return c
+}
+
+const lintPackHeader = `
+<contentpack name="lint">
+  <schema table="units">
+    <column name="hp" kind="int"/>
+    <column name="mana" kind="int"/>
+  </schema>
+`
+
+func TestLintFlagsSetGetAccumulation(t *testing.T) {
+	c := compilePack(t, lintPackHeader+`
+  <trigger name="acc" event="hit">
+    <do>set(self, "hp", get(self, "hp") + amount);</do>
+  </trigger>
+</contentpack>`)
+	if len(c.Warnings) != 1 {
+		t.Fatalf("want 1 warning, got %d: %v", len(c.Warnings), c.Warnings)
+	}
+	w := c.Warnings[0]
+	if w.Trigger != "acc" {
+		t.Fatalf("warning names trigger %q, want %q", w.Trigger, "acc")
+	}
+	if !strings.Contains(w.Msg, "add") || !strings.Contains(w.Msg, `"hp"`) {
+		t.Fatalf("warning should point at add on the column: %s", w.Msg)
+	}
+	if !strings.Contains(w.String(), "acc") {
+		t.Fatalf("String() should carry the trigger name: %s", w.String())
+	}
+}
+
+func TestLintFlagsNestedAndConditionalOccurrences(t *testing.T) {
+	c := compilePack(t, lintPackHeader+`
+  <trigger name="deep" event="hit">
+    <do>
+      if amount > 0 {
+        set(self, "hp", 1 + (get(self, "hp") * 2));
+      }
+      set(self, "mana", get(self, "mana") - amount);
+    </do>
+  </trigger>
+</contentpack>`)
+	if len(c.Warnings) != 2 {
+		t.Fatalf("want 2 warnings (if-body and top level), got %d: %v", len(c.Warnings), c.Warnings)
+	}
+}
+
+func TestLintIgnoresBenignPatterns(t *testing.T) {
+	c := compilePack(t, lintPackHeader+`
+  <trigger name="ok-add" event="hit">
+    <do>add(self, "hp", amount);</do>
+  </trigger>
+  <trigger name="ok-cross-column" event="hit">
+    <do>set(self, "hp", get(self, "mana") + 1);</do>
+  </trigger>
+  <trigger name="ok-cross-entity" event="hit">
+    <do>set(self, "hp", get(amount, "hp") + 1);</do>
+  </trigger>
+  <trigger name="ok-plain-set" event="hit">
+    <do>set(self, "hp", 100);</do>
+  </trigger>
+</contentpack>`)
+	if len(c.Warnings) != 0 {
+		t.Fatalf("benign patterns flagged: %v", c.Warnings)
+	}
+}
+
+func TestLintDoesNotRejectThePack(t *testing.T) {
+	// The shipped cascade scenario itself contains the pattern; it must
+	// keep compiling (warnings are advisory, not errors).
+	c := compilePack(t, lintPackHeader+`
+  <trigger name="acc" event="hit">
+    <do>set(self, "hp", get(self, "hp") + 1);</do>
+  </trigger>
+</contentpack>`)
+	if len(c.Triggers) != 1 {
+		t.Fatalf("trigger missing from compiled pack: %+v", c.Triggers)
+	}
+}

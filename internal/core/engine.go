@@ -12,6 +12,7 @@ import (
 	"gamedb/internal/entity"
 	"gamedb/internal/persist"
 	"gamedb/internal/replica"
+	"gamedb/internal/sched"
 	"gamedb/internal/spatial"
 	"gamedb/internal/world"
 )
@@ -36,6 +37,13 @@ type Options struct {
 	// trigger drain instead of the effect-aware round drain (see
 	// world.Config.DirectTriggers).
 	DirectTriggers bool
+	// RowApply selects the legacy row-at-a-time effect apply instead of
+	// the columnar batch apply (see world.Config.RowApply; both produce
+	// bit-identical state).
+	RowApply bool
+	// Pool overrides the worker pool tick-parallel phases run on
+	// (default: the process-wide sched.Shared() pool).
+	Pool *sched.Pool
 
 	// Checkpoint enables snapshot persistence with the given policy
 	// (persist.Periodic or persist.EventKeyed). Nil disables it.
@@ -80,6 +88,8 @@ func New(opts Options) (*Engine, error) {
 			TickDT:         opts.TickDT,
 			Workers:        opts.Workers,
 			DirectTriggers: opts.DirectTriggers,
+			RowApply:       opts.RowApply,
+			Pool:           opts.Pool,
 		}),
 	}
 	if opts.Checkpoint != nil {

@@ -7,6 +7,7 @@ import (
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
 	"gamedb/internal/replica"
+	"gamedb/internal/sched"
 	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
 	"gamedb/internal/world"
@@ -34,6 +35,12 @@ type ShardedOptions struct {
 	// DirectTriggers selects the legacy single-threaded direct-write
 	// trigger drain on every shard world.
 	DirectTriggers bool
+	// RowApply selects the legacy row-at-a-time effect apply on every
+	// shard world instead of the columnar batch apply.
+	RowApply bool
+	// Pool overrides the worker pool shard ticks and world phases run
+	// on (default: the process-wide sched.Shared() pool).
+	Pool *sched.Pool
 
 	// GhostBand is the mirrored border width (≥ the interaction range;
 	// 0 = default 2×CellSize, negative disables ghosts); GhostFields
@@ -68,6 +75,8 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		TickDT:         opts.TickDT,
 		Workers:        opts.Workers,
 		DirectTriggers: opts.DirectTriggers,
+		RowApply:       opts.RowApply,
+		Pool:           opts.Pool,
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,

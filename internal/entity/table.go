@@ -254,6 +254,123 @@ func (t *Table) Set(id ID, col string, v Value) error {
 	return nil
 }
 
+// SetColumnBatch assigns vals[i] to column col of entity ids[i] in one
+// columnar pass: the column index, kind, and any indexes on the column
+// resolve once for the whole batch instead of once per row. Rows whose
+// id is missing or whose value kind mismatches are skipped and counted,
+// not failed — the batch is the apply side of the state-effect
+// pipeline, where per-row races resolve as conflicts. Writes that leave
+// the stored value unchanged are no-ops, exactly like Set.
+//
+// Unlike Set, the batch does NOT invoke change listeners per row:
+// callers maintaining derived state (the world's spatial index) must
+// reconcile after the batch — see world.applyEffects, which flushes
+// position changes through spatial.Grid.MoveBatch. It returns the
+// number of skipped rows, or an error when the column itself is unknown
+// or the slice lengths differ.
+func (t *Table) SetColumnBatch(col string, ids []ID, vals []Value) (int, error) {
+	if len(ids) != len(vals) {
+		return 0, fmt.Errorf("entity: batch length mismatch: %d ids, %d values", len(ids), len(vals))
+	}
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	kind := t.schema.ColAt(ci).Kind
+	column := t.cols[ci]
+	hashIx := t.hash[col]
+	orderedIx := t.ordered[col]
+	skipped := 0
+	for i, id := range ids {
+		r, has := t.rowOf[id]
+		if !has {
+			skipped++
+			continue
+		}
+		v := vals[i]
+		if v.Kind() != kind {
+			skipped++
+			continue
+		}
+		old := column[r]
+		if old == v {
+			continue
+		}
+		column[r] = v
+		if hashIx != nil {
+			hashIx.remove(old, id)
+			hashIx.insert(v, id)
+		}
+		if orderedIx != nil {
+			orderedIx.Delete(old, id)
+			orderedIx.Insert(v, id)
+		}
+	}
+	return skipped, nil
+}
+
+// AddColumnBatch adds deltas[i] to column col of entity ids[i] in one
+// columnar pass over a numeric column. Deltas apply in slice order, so
+// float accumulation is bit-reproducible for a deterministically
+// ordered batch. Rows whose id is missing or whose delta cannot coerce
+// to the column kind are skipped and counted; a non-numeric column
+// skips every row. Like SetColumnBatch, change listeners are not
+// invoked — callers reconcile derived state after the batch.
+func (t *Table) AddColumnBatch(col string, ids []ID, deltas []Value) (int, error) {
+	if len(ids) != len(deltas) {
+		return 0, fmt.Errorf("entity: batch length mismatch: %d ids, %d deltas", len(ids), len(deltas))
+	}
+	ci, ok := t.schema.Col(col)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+	}
+	kind := t.schema.ColAt(ci).Kind
+	if kind != KindInt && kind != KindFloat {
+		return len(ids), nil
+	}
+	column := t.cols[ci]
+	hashIx := t.hash[col]
+	orderedIx := t.ordered[col]
+	skipped := 0
+	for i, id := range ids {
+		r, has := t.rowOf[id]
+		if !has {
+			skipped++
+			continue
+		}
+		old := column[r]
+		var v Value
+		if kind == KindInt {
+			d, okI := deltas[i].AsInt()
+			if !okI {
+				skipped++
+				continue
+			}
+			v = Int(old.Int() + d)
+		} else {
+			d, okF := deltas[i].AsFloat()
+			if !okF {
+				skipped++
+				continue
+			}
+			v = Float(old.Float() + d)
+		}
+		if old == v {
+			continue
+		}
+		column[r] = v
+		if hashIx != nil {
+			hashIx.remove(old, id)
+			hashIx.insert(v, id)
+		}
+		if orderedIx != nil {
+			orderedIx.Delete(old, id)
+			orderedIx.Insert(v, id)
+		}
+	}
+	return skipped, nil
+}
+
 // Row returns a copy of the entity's row in schema column order.
 func (t *Table) Row(id ID) ([]Value, error) {
 	r, ok := t.rowOf[id]
@@ -274,6 +391,13 @@ func (t *Table) IDs() []ID {
 	return out
 }
 
+// AppendIDs appends all entity IDs in storage order to dst and returns
+// it — the allocation-free variant of IDs for per-tick snapshots that
+// reuse their buffers.
+func (t *Table) AppendIDs(dst []ID) []ID {
+	return append(dst, t.ids...)
+}
+
 // Scan visits every row in storage order. The row slice is reused between
 // calls; copy it to retain. Iteration stops early if fn returns false.
 // The table must not be mutated during the scan.
@@ -292,6 +416,14 @@ func (t *Table) Scan(fn func(id ID, row []Value) bool) {
 // IDAt returns the entity ID in storage row r. The query executor uses
 // positional access to avoid per-row map lookups; r must be < Len().
 func (t *Table) IDAt(r int) ID { return t.ids[r] }
+
+// RowIndex returns the storage row currently holding id, for positional
+// access via ValueAt. Any insert or delete may invalidate the index
+// (deletes swap the last row in).
+func (t *Table) RowIndex(id ID) (int, bool) {
+	r, ok := t.rowOf[id]
+	return r, ok
+}
 
 // ValueAt returns the value at column index c, storage row r, both
 // bounds-unchecked beyond slice panics. Pair with Schema().Col for c.

@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParRunsEveryIndexExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	const n = 1000
+	var hits [n]atomic.Int32
+	p.Par(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestParSmallAndZero(t *testing.T) {
+	p := NewPool(2)
+	ran := 0
+	p.Par(0, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("Par(0) ran %d tasks", ran)
+	}
+	p.Par(1, func(i int) {
+		if i != 0 {
+			t.Fatalf("Par(1) got index %d", i)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("Par(1) ran %d tasks", ran)
+	}
+}
+
+// TestParNestedDoesNotDeadlock drives nested parallel regions through a
+// deliberately tiny pool: every outer task fans out again, so at some
+// point every pool worker is inside an outer task and the inner regions
+// must complete inline on their callers.
+func TestParNestedDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	p.Par(8, func(int) {
+		p.Par(8, func(int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested Par ran %d inner tasks, want 64", got)
+	}
+}
+
+func TestSharedIsSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned two distinct pools")
+	}
+	if Shared().Size() <= 0 {
+		t.Fatal("shared pool has no workers")
+	}
+}

@@ -1,7 +1,8 @@
 // Package shard is the sharded world runtime: it partitions the map into
 // N spatial regions, runs each region as an independent world.World
-// ticking in its own goroutine, and coordinates the shards through a
-// tick barrier that performs deterministic cross-shard entity handoff
+// ticking in parallel on the shared worker pool, and coordinates the
+// shards through a tick barrier that performs deterministic cross-shard
+// entity handoff
 // and ghost replication of boundary neighbors.
 //
 // This is the paper's scale story made concrete: causality bubbles and

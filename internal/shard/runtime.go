@@ -13,6 +13,7 @@ import (
 	"gamedb/internal/entity"
 	"gamedb/internal/metrics"
 	"gamedb/internal/replica"
+	"gamedb/internal/sched"
 	"gamedb/internal/spatial"
 	"gamedb/internal/world"
 )
@@ -47,6 +48,15 @@ type Config struct {
 	// legacy single-threaded direct-write trigger drain instead of the
 	// effect-aware round drain.
 	DirectTriggers bool
+	// RowApply passes through to world.Config.RowApply on every shard
+	// world: the legacy row-at-a-time effect apply instead of the
+	// columnar batch apply (both bit-identical; see world.Config).
+	RowApply bool
+	// Pool is the worker pool shard ticks and every shard world's
+	// tick-parallel phases run on. Nil means the process-wide
+	// sched.Shared() pool, so Shards × Workers shares GOMAXPROCS
+	// goroutines instead of spawning Shards × Workers of its own.
+	Pool *sched.Pool
 
 	// GhostBand is the width of the border strip mirrored into
 	// neighboring shards as read-only ghosts. It should be at least the
@@ -90,11 +100,6 @@ type StepStats struct {
 	BarrierNS  int64
 }
 
-type shardResult struct {
-	stats world.TickStats
-	err   error
-}
-
 // ghostRec tracks one ghost mirror's last-shipped field values.
 type ghostRec struct {
 	sent     []float64
@@ -110,14 +115,19 @@ type Runtime struct {
 	rng    *rand.Rand
 	specs  []replica.FieldSpec
 
+	// pool executes the parallel tick phase: shard ticks are offered to
+	// the shared worker pool and the calling goroutine participates, so
+	// the runtime owns no goroutines of its own (each shard world's
+	// inner query/trigger fan-out shares the same pool).
+	pool *sched.Pool
+	// stepErrs is per-tick scratch for the parallel phase's results.
+	stepErrs []error
+
 	// ghostRecs[i] holds shard i's ghost mirrors keyed by entity id.
 	ghostRecs []map[entity.ID]*ghostRec
 
 	nextID entity.ID
 	tick   int64
-
-	tickCh []chan struct{}
-	doneCh []chan shardResult
 
 	// LocalCount[i] is shard i's owned-entity count, refreshed at each
 	// barrier; Rebalance consumes it. HandoffTotal, GhostShipTotal and
@@ -130,7 +140,8 @@ type Runtime struct {
 	StepNS metrics.Histogram
 }
 
-// New builds a sharded runtime and starts one goroutine per shard.
+// New builds a sharded runtime. Shard ticks run on the shared worker
+// pool at Step time; the runtime itself owns no goroutines.
 func New(cfg Config) (*Runtime, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
@@ -155,6 +166,10 @@ func New(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = sched.Shared()
+	}
 	n := part.N()
 	rt := &Runtime{
 		cfg:        cfg,
@@ -162,9 +177,9 @@ func New(cfg Config) (*Runtime, error) {
 		worlds:     make([]*world.World, n),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		specs:      cfg.GhostFields,
+		pool:       pool,
+		stepErrs:   make([]error, n),
 		ghostRecs:  make([]map[entity.ID]*ghostRec, n),
-		tickCh:     make([]chan struct{}, n),
-		doneCh:     make([]chan shardResult, n),
 		LocalCount: make([]metrics.Counter, n),
 	}
 	for i := 0; i < n; i++ {
@@ -177,34 +192,22 @@ func New(cfg Config) (*Runtime, error) {
 			TickDT:         cfg.TickDT,
 			Workers:        cfg.Workers,
 			DirectTriggers: cfg.DirectTriggers,
+			RowApply:       cfg.RowApply,
+			Pool:           pool,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).
 		w.SetIDAllocator(scriptIDBase+entity.ID(i+1), uint64(n))
 		rt.worlds[i] = w
 		rt.ghostRecs[i] = make(map[entity.ID]*ghostRec)
-		rt.tickCh[i] = make(chan struct{})
-		rt.doneCh[i] = make(chan shardResult, 1)
-		go rt.shardLoop(i)
 	}
 	return rt, nil
 }
 
-// shardLoop is shard i's goroutine: tick on demand until Close.
-func (rt *Runtime) shardLoop(i int) {
-	w := rt.worlds[i]
-	for range rt.tickCh[i] {
-		st, err := w.Step()
-		rt.doneCh[i] <- shardResult{stats: st, err: err}
-	}
-}
-
-// Close stops the shard goroutines. The runtime must not be used after.
-func (rt *Runtime) Close() {
-	for _, ch := range rt.tickCh {
-		close(ch)
-	}
-}
+// Close releases the runtime. Since the move to the shared worker pool
+// the runtime owns no goroutines, so Close is a no-op kept for callers
+// written against the per-shard-goroutine runtime.
+func (rt *Runtime) Close() {}
 
 // Shards returns the number of region shards.
 func (rt *Runtime) Shards() int { return rt.part.N() }
@@ -306,17 +309,20 @@ func (rt *Runtime) Step() (StepStats, error) {
 	st := StepStats{Tick: rt.tick}
 
 	t0 := time.Now()
-	for i := range rt.tickCh {
-		rt.tickCh[i] <- struct{}{}
-	}
-	var firstErr error
+	// The parallel phase fans shard ticks across the shared pool; each
+	// world's own query/trigger fan-out nests on the same pool, so total
+	// concurrency stays bounded by the pool size (plus this caller)
+	// regardless of Shards × Workers.
 	st.Shards = make([]world.TickStats, len(rt.worlds))
-	for i := range rt.doneCh {
-		res := <-rt.doneCh[i]
-		st.Shards[i] = res.stats
-		if res.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("shard %d: %w", i, res.err)
+	rt.pool.Par(len(rt.worlds), func(i int) {
+		st.Shards[i], rt.stepErrs[i] = rt.worlds[i].Step()
+	})
+	var firstErr error
+	for i, err := range rt.stepErrs {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
 		}
+		rt.stepErrs[i] = nil
 	}
 	st.ParallelNS = time.Since(t0).Nanoseconds()
 	if firstErr != nil {

@@ -112,6 +112,73 @@ func SeedCascadeCrowd(rt *Runtime, units int, side float64, seed int64, speed fl
 	return rt.Sync()
 }
 
+// MinglePackXML is the apply-heavy behavior scenario (the E14 workload
+// shape): every entity scans its neighborhood, moves toward the local
+// centroid (two position sets per tick via move_toward) and counts
+// encounters (an int add), while velocity physics contributes additive
+// x/y deltas. One tick therefore floods the apply phase with set and
+// add effects across four columns — the workload the columnar apply
+// path (BenchmarkE16ApplyBatch) is measured on.
+const MinglePackXML = `
+<contentpack name="mingle-crowd">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="vx" kind="float"/>
+    <column name="vy" kind="float"/>
+    <column name="met" kind="int"/>
+  </schema>
+  <archetype name="unit" table="units" script="mingle"/>
+  <script name="mingle">
+fn on_tick(self) {
+  let ns = nearby(self, 8.0);
+  let n = len(ns);
+  if n == 0 { return; }
+  let cx = 0.0;
+  let cy = 0.0;
+  for id in ns {
+    cx = cx + get(id, "x");
+    cy = cy + get(id, "y");
+  }
+  move_toward(self, cx / n, cy / n, 0.5);
+  add(self, "met", n);
+}
+  </script>
+</contentpack>`
+
+// SeedMingleCrowd loads MinglePackXML into every shard and spawns
+// `units` drifting minglers from a seed-fixed stream (four rng draws
+// per entity: position in [0,side)², velocity in [-speed,speed)), then
+// syncs initial ghosts. Spawns go through the coordinator, so ids,
+// positions and velocities are identical for every shard count.
+func SeedMingleCrowd(rt *Runtime, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(MinglePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: mingle pack rejected: %v", errs[0])
+	}
+	if err := rt.LoadPack(c); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < units; i++ {
+		pos := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		vx := (rng.Float64()*2 - 1) * speed
+		vy := (rng.Float64()*2 - 1) * speed
+		id, err := rt.Spawn("unit", pos)
+		if err != nil {
+			return err
+		}
+		w := rt.ShardWorld(rt.Partitioner().Locate(pos))
+		if err := w.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		if err := w.Set(id, "vy", entity.Float(vy)); err != nil {
+			return err
+		}
+	}
+	return rt.Sync()
+}
+
 // SeedDriftingCrowd creates the "units" table on every shard and spawns
 // `units` entities from the ForEachCrowdSpawn stream, then syncs
 // initial ghosts. The stream depends only on the seed, never the shard

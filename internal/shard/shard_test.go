@@ -345,11 +345,12 @@ func TestDeterministicAcrossShardCounts(t *testing.T) {
 
 // cascadeRun drives the trigger-cascade scenario on an n-shard runtime
 // and returns the final hash plus total trigger activations.
-func cascadeRun(t *testing.T, shards, workers int, direct bool) (uint64, int) {
+func cascadeRun(t *testing.T, shards, workers int, direct, rowApply bool) (uint64, int) {
 	t.Helper()
 	rt, err := New(Config{
 		Seed: 7, Shards: shards, World: spatial.NewRect(0, 0, 1000, 1000),
 		TickDT: 0.5, GhostBand: 25, Workers: workers, DirectTriggers: direct,
+		RowApply: rowApply,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -379,7 +380,7 @@ func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
 	// bit-identical across the whole Shards × Workers grid: cascades
 	// batch per round, actions fan across workers, and the per-round
 	// apply is keyed by (event seq, rule seq) — never by partitioning.
-	baseHash, baseFired := cascadeRun(t, 1, 1, false)
+	baseHash, baseFired := cascadeRun(t, 1, 1, false, false)
 	if baseFired == 0 {
 		t.Fatal("scenario fired no triggers")
 	}
@@ -388,7 +389,7 @@ func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
 			if shards == 1 && workers == 1 {
 				continue
 			}
-			h, fired := cascadeRun(t, shards, workers, false)
+			h, fired := cascadeRun(t, shards, workers, false, false)
 			if h != baseHash {
 				t.Fatalf("hash diverged at shards=%d workers=%d: %x vs %x", shards, workers, h, baseHash)
 			}
@@ -400,7 +401,7 @@ func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
 	}
 	// The legacy direct-execution drain is the semantic baseline: on a
 	// strictly per-entity cascade it must produce the identical world.
-	directHash, directFired := cascadeRun(t, 1, 1, true)
+	directHash, directFired := cascadeRun(t, 1, 1, true, false)
 	if directHash != baseHash || directFired != baseFired {
 		t.Fatalf("effect drain diverged from direct execution: hash %x vs %x, fired %d vs %d",
 			baseHash, directHash, baseFired, directFired)
@@ -594,6 +595,77 @@ func TestScriptIDAllocatorsDisjoint(t *testing.T) {
 				t.Fatalf("id %d allocated by shards %d and %d", id, prev, i)
 			}
 			seen[id] = i
+		}
+	}
+}
+
+// mingleRun drives the apply-heavy mingle scenario (the E14 workload
+// shape) on an n-shard runtime and returns the final hash plus total
+// applied effects.
+func mingleRun(t *testing.T, shards, workers int, rowApply bool) (uint64, int) {
+	t.Helper()
+	rt, err := New(Config{
+		Seed: 7, Shards: shards, World: spatial.NewRect(0, 0, 400, 400),
+		TickDT: 0.5, GhostBand: 25, Workers: workers,
+		ScriptFuel: 1 << 20, RowApply: rowApply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	if err := SeedMingleCrowd(rt, 250, 400, 77, 30); err != nil {
+		t.Fatal(err)
+	}
+	effects := 0
+	for i := 0; i < 25; i++ {
+		st, err := rt.Step()
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d tick %d: %v", shards, workers, st.Tick, err)
+		}
+		for _, ws := range st.Shards {
+			effects += ws.Effects
+		}
+	}
+	if effects == 0 {
+		t.Fatalf("shards=%d workers=%d: scenario applied no effects", shards, workers)
+	}
+	if shards > 1 && rt.HandoffTotal.Load() == 0 {
+		t.Fatalf("%d shards: no handoffs — mingle scenario not exercising boundaries", shards)
+	}
+	return rt.Hash(), effects
+}
+
+// TestBatchedApplyHashInvariantAcrossGrid pins the columnar apply to
+// the legacy row-at-a-time apply bit-for-bit across the whole
+// Shards × Workers grid, on both tick-pipeline workloads: the
+// apply-heavy E14 mingle crowd (set + add floods over four columns plus
+// physics deltas) and the E15 trigger cascade (per-round applies inside
+// the trigger drain). Grouping by (table, column) must never show in
+// the world state — only in the profile.
+func TestBatchedApplyHashInvariantAcrossGrid(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 2, 4} {
+			bh, be := mingleRun(t, shards, workers, false)
+			rh, re := mingleRun(t, shards, workers, true)
+			if bh != rh {
+				t.Fatalf("mingle: batched hash diverged from row apply at shards=%d workers=%d: %x vs %x",
+					shards, workers, bh, rh)
+			}
+			if be != re {
+				t.Fatalf("mingle: effect counts diverged at shards=%d workers=%d: %d vs %d",
+					shards, workers, be, re)
+			}
+
+			ch, cf := cascadeRun(t, shards, workers, false, false)
+			crh, crf := cascadeRun(t, shards, workers, false, true)
+			if ch != crh {
+				t.Fatalf("cascade: batched hash diverged from row apply at shards=%d workers=%d: %x vs %x",
+					shards, workers, ch, crh)
+			}
+			if cf != crf {
+				t.Fatalf("cascade: activations diverged at shards=%d workers=%d: %d vs %d",
+					shards, workers, cf, crf)
+			}
 		}
 	}
 }

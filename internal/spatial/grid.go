@@ -102,6 +102,20 @@ func (g *Grid) Move(id ID, p Vec2) {
 	g.pos[id] = p
 }
 
+// MoveBatch applies a batch of position updates in one pass, the flush
+// side of the world's columnar effect apply: instead of chasing each
+// row write through a change notification, the apply phase accumulates
+// every entity whose x/y changed this tick and hands the final
+// positions over together. Entries are processed in slice order with
+// Move semantics, so a batch containing duplicate ids lands on the
+// last entry — callers that need reproducible grids should order
+// batches deterministically, as applyEffects does.
+func (g *Grid) MoveBatch(pts []Point) {
+	for i := range pts {
+		g.Move(pts[i].ID, pts[i].Pos)
+	}
+}
+
 // Pos implements Index.
 func (g *Grid) Pos(id ID) (Vec2, bool) {
 	p, ok := g.pos[id]

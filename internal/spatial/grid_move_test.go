@@ -1,0 +1,106 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func queryAll(g *Grid, r Rect) []ID {
+	var out []ID
+	g.QueryRect(r, func(id ID, _ Vec2) bool {
+		out = append(out, id)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestMoveBatchMatchesSequentialMoves drives the same random walk
+// through per-entity Move calls and through one MoveBatch per step and
+// checks positions and query results agree at every step.
+func TestMoveBatchMatchesSequentialMoves(t *testing.T) {
+	const n = 200
+	seqG := NewGrid(10)
+	batG := NewGrid(10)
+	rng := rand.New(rand.NewSource(3))
+	pos := make([]Vec2, n)
+	for i := 0; i < n; i++ {
+		pos[i] = Vec2{X: rng.Float64() * 300, Y: rng.Float64() * 300}
+		seqG.Insert(ID(i+1), pos[i])
+		batG.Insert(ID(i+1), pos[i])
+	}
+	for step := 0; step < 20; step++ {
+		batch := make([]Point, 0, n)
+		for i := 0; i < n; i++ {
+			// Mix small in-cell jitters with cross-cell jumps.
+			d := 2.0
+			if i%7 == 0 {
+				d = 40.0
+			}
+			pos[i].X += (rng.Float64()*2 - 1) * d
+			pos[i].Y += (rng.Float64()*2 - 1) * d
+			seqG.Move(ID(i+1), pos[i])
+			batch = append(batch, Point{ID: ID(i + 1), Pos: pos[i]})
+		}
+		batG.MoveBatch(batch)
+		for i := 0; i < n; i++ {
+			sp, _ := seqG.Pos(ID(i + 1))
+			bp, ok := batG.Pos(ID(i + 1))
+			if !ok || sp != bp {
+				t.Fatalf("step %d id %d: batch pos %v, sequential %v", step, i+1, bp, sp)
+			}
+		}
+		probe := NewRect(pos[0].X-25, pos[0].Y-25, pos[0].X+25, pos[0].Y+25)
+		sq, bq := queryAll(seqG, probe), queryAll(batG, probe)
+		if len(sq) != len(bq) {
+			t.Fatalf("step %d: query sizes diverge: %d vs %d", step, len(sq), len(bq))
+		}
+		for i := range sq {
+			if sq[i] != bq[i] {
+				t.Fatalf("step %d: query results diverge at %d: %v vs %v", step, i, sq, bq)
+			}
+		}
+	}
+	if seqG.Len() != batG.Len() {
+		t.Fatalf("grid sizes diverge: %d vs %d", seqG.Len(), batG.Len())
+	}
+}
+
+func TestMoveBatchInsertsUnknownIDs(t *testing.T) {
+	g := NewGrid(8)
+	g.MoveBatch([]Point{{ID: 7, Pos: Vec2{X: 3, Y: 4}}})
+	p, ok := g.Pos(7)
+	if !ok || p != (Vec2{X: 3, Y: 4}) {
+		t.Fatalf("unknown id should insert: %v %v", p, ok)
+	}
+	found := false
+	g.QueryCircle(Vec2{X: 3, Y: 4}, 1, func(id ID, _ Vec2) bool {
+		found = found || id == 7
+		return true
+	})
+	if !found {
+		t.Fatal("inserted id not queryable")
+	}
+}
+
+func TestMoveBatchDuplicateIDsLastWins(t *testing.T) {
+	g := NewGrid(8)
+	g.Insert(1, Vec2{X: 0, Y: 0})
+	g.MoveBatch([]Point{
+		{ID: 1, Pos: Vec2{X: 100, Y: 100}},
+		{ID: 1, Pos: Vec2{X: 50, Y: 50}},
+	})
+	p, _ := g.Pos(1)
+	if p != (Vec2{X: 50, Y: 50}) {
+		t.Fatalf("last entry should win, got %v", p)
+	}
+	count := 0
+	g.QueryRect(NewRect(-200, -200, 200, 200), func(ID, Vec2) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("duplicate moves left %d grid entries, want 1", count)
+	}
+}

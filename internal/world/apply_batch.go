@@ -1,0 +1,198 @@
+package world
+
+// The columnar apply path: the set-oriented execution the declarative
+// model promises (Sowell et al., "From Declarative Languages to
+// Declarative Processing in Computer Games"). Where the legacy path
+// walks the merged effect sequence row-at-a-time — each record paying a
+// table lookup, a column lookup, a kind check and a change-notification
+// sweep — the columnar path groups the merged records by (table,
+// column) and writes each group through one batch call that resolves
+// everything once. Position changes are not chased through per-row
+// change notifications either: every entity whose x/y changed is
+// accumulated during the group passes and the spatial grid is
+// re-synced by a single MoveBatch flush.
+//
+// Determinism is inherited, not re-established: groups form in merged
+// (source id, source order) order and preserve it per (entity, column),
+// assignments still apply before deltas, and deltas still sum in merged
+// order — so the columnar result is bit-identical to Config.RowApply
+// for any Shards × Workers combination (the equivalence tests pin
+// this). The one permitted divergence is spatial cell-bucket ordering,
+// which no hashed state observes.
+
+import (
+	"gamedb/internal/entity"
+	"gamedb/internal/spatial"
+)
+
+// colBatch accumulates one (table, column) group of the merged effect
+// sequence. The ids/vals slices persist across ticks on the World's
+// scratch lists, so steady-state apply allocates nothing.
+type colBatch struct {
+	tab *entity.Table
+	col string
+	// pos marks the x/y column of a spatially indexed table: applying
+	// this group dirties the grid, so the flush pass must visit it.
+	pos  bool
+	ids  []entity.ID
+	vals []entity.Value
+}
+
+// resetBatches empties the group list while keeping the per-group
+// slice capacity. It runs at the END of each apply (not the start) so
+// table pointers clear as soon as the groups are consumed — a table
+// dropped by ResetState/Restore is never pinned between ticks.
+func resetBatches(bs []colBatch) []colBatch {
+	for i := range bs {
+		bs[i].tab = nil
+		bs[i].ids = bs[i].ids[:0]
+		bs[i].vals = bs[i].vals[:0]
+	}
+	return bs[:0]
+}
+
+// batchFor returns the group for (tab, col), appending a new one in
+// first-seen order. The live column set of one tick's writes is single
+// digits, so a linear scan beats a map and allocates nothing.
+func batchFor(bs *[]colBatch, tab *entity.Table, col string) *colBatch {
+	b := *bs
+	for i := range b {
+		if b[i].tab == tab && b[i].col == col {
+			return &b[i]
+		}
+	}
+	if len(b) < cap(b) {
+		b = b[:len(b)+1]
+	} else {
+		b = append(b, colBatch{})
+	}
+	g := &b[len(b)-1]
+	g.tab, g.col = tab, col
+	g.pos = (col == "x" || col == "y") && isSpatial(tab.Schema())
+	g.ids, g.vals = g.ids[:0], g.vals[:0]
+	*bs = b
+	return g
+}
+
+// applyAssignColumnar is the batched replacement for the row-at-a-time
+// assignment and delta passes: one grouping sweep over the merged
+// sequence, one SetColumnBatch per written (table, column), one
+// AddColumnBatch per delta'd (table, column), one MoveBatch flush.
+// Conflict accounting matches the row path record-for-record: a record
+// whose target cannot resolve, whose entity is unknown, or whose value
+// is skipped inside the batch counts exactly one conflict.
+func (w *World) applyAssignColumnar(merged []Effect, resolve func(entity.ID) (entity.ID, bool), conflicts *int) {
+	posDirty := false
+
+	// One-entry target → table memo: the merged sequence sorts by
+	// source entity and behaviors overwhelmingly target self, so
+	// consecutive records repeat the same tableOf/tables lookups.
+	var memoID entity.ID
+	var memoTab *entity.Table
+	memoOK := false
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectSet && e.Kind != EffectAdd {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			*conflicts++
+			continue
+		}
+		if !memoOK || id != memoID {
+			name, okT := w.tableOf[id]
+			if !okT {
+				*conflicts++
+				continue
+			}
+			memoID, memoTab, memoOK = id, w.tables[name], true
+		}
+		var g *colBatch
+		if e.Kind == EffectSet {
+			g = batchFor(&w.setBatches, memoTab, e.Col)
+		} else {
+			g = batchFor(&w.addBatches, memoTab, e.Col)
+		}
+		g.ids = append(g.ids, id)
+		g.vals = append(g.vals, e.Val)
+		if g.pos {
+			posDirty = true
+		}
+	}
+
+	// Assignments first, then deltas over the post-assignment values —
+	// the same phase order as the row path.
+	for i := range w.setBatches {
+		g := &w.setBatches[i]
+		skipped, err := g.tab.SetColumnBatch(g.col, g.ids, g.vals)
+		if err != nil {
+			*conflicts += len(g.ids)
+			continue
+		}
+		*conflicts += skipped
+	}
+	for i := range w.addBatches {
+		g := &w.addBatches[i]
+		skipped, err := g.tab.AddColumnBatch(g.col, g.ids, g.vals)
+		if err != nil {
+			*conflicts += len(g.ids)
+			continue
+		}
+		*conflicts += skipped
+	}
+
+	if posDirty {
+		w.flushMoves()
+	}
+	w.setBatches = resetBatches(w.setBatches)
+	w.addBatches = resetBatches(w.addBatches)
+}
+
+// flushMoves re-syncs the spatial index after the columnar passes: one
+// sweep over the position groups reading each touched entity's final
+// (x, y), then one grid MoveBatch. An entity typically sits in several
+// position groups (set-x and set-y from move_toward, add-x and add-y
+// from physics), so a seen-set dedupes the flush to one entry per
+// moved entity. Entities whose row vanished (a skipped write against a
+// previously despawned id) never moved, so they are simply not
+// flushed; moves to an unchanged position are no-ops inside the grid.
+func (w *World) flushMoves() {
+	if w.moveSeen == nil {
+		w.moveSeen = make(map[entity.ID]struct{})
+	}
+	moves := w.moveBuf[:0]
+	collect := func(bs []colBatch) {
+		for i := range bs {
+			g := &bs[i]
+			if !g.pos || len(g.ids) == 0 {
+				continue
+			}
+			s := g.tab.Schema()
+			xci, _ := s.Col("x")
+			yci, _ := s.Col("y")
+			for _, id := range g.ids {
+				if _, dup := w.moveSeen[id]; dup {
+					continue
+				}
+				r, ok := g.tab.RowIndex(id)
+				if !ok {
+					continue
+				}
+				w.moveSeen[id] = struct{}{}
+				moves = append(moves, spatial.Point{
+					ID: spatial.ID(id),
+					Pos: spatial.Vec2{
+						X: g.tab.ValueAt(xci, r).Float(),
+						Y: g.tab.ValueAt(yci, r).Float(),
+					},
+				})
+			}
+		}
+	}
+	collect(w.setBatches)
+	collect(w.addBatches)
+	clear(w.moveSeen)
+	w.moveBuf = moves
+	w.index.MoveBatch(moves)
+}

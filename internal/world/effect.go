@@ -95,10 +95,44 @@ type EffectBuffer struct {
 	// seeded from (world seed, tick, source entity), so the stream is
 	// reproducible for any worker count or partitioning.
 	rng uint64
+
+	// tinfos caches (table → table pointer, schema, column index, kind)
+	// resolution across emissions: tableFor/checkCol sit on the emission
+	// hot path, and without the cache every set/add re-does the tables
+	// map lookup, the schema column lookup and the kind fetch. Entries
+	// revalidate by pointer comparison, so schema migrations and
+	// ResetState/Restore (which build new Table objects) invalidate
+	// naturally.
+	tinfos map[string]*tableInfo
+	// memoID/memoTbl memoize the last target → table resolution within
+	// the current invocation (behaviors overwhelmingly target self, so
+	// consecutive emissions repeat the same tableOf lookup). begin
+	// invalidates the memo; within one invocation no effect despawns or
+	// moves rows, so it cannot go stale.
+	memoID  entity.ID
+	memoTbl string
+	memoOK  bool
+}
+
+// tableInfo is one table's cached resolution state in an EffectBuffer.
+type tableInfo struct {
+	tab    *entity.Table
+	schema *entity.Schema
+	cols   map[string]colInfo
+}
+
+// colInfo caches one column's index and kind.
+type colInfo struct {
+	idx  int
+	kind entity.Kind
 }
 
 func newEffectBuffer(w *World) *EffectBuffer {
-	return &EffectBuffer{w: w, provTable: make(map[entity.ID]string)}
+	return &EffectBuffer{
+		w:         w,
+		provTable: make(map[entity.ID]string),
+		tinfos:    make(map[string]*tableInfo),
+	}
 }
 
 // reset clears the buffer for a new tick.
@@ -112,6 +146,7 @@ func (b *EffectBuffer) begin(src entity.ID) int {
 	b.src = src
 	b.seq = 0
 	b.spawnIdx = 0
+	b.memoOK = false
 	b.rng = mix64(uint64(b.w.cfg.Seed)) ^ mix64(uint64(b.w.tick)) ^ mix64(uint64(src)*0x9e3779b97f4a7c15)
 	return len(b.effects)
 }
@@ -144,41 +179,65 @@ func (b *EffectBuffer) push(e Effect) {
 }
 
 // tableFor resolves the table holding target, following provisional
-// spawn ids through this invocation's bookkeeping.
+// spawn ids through this invocation's bookkeeping. A one-entry memo
+// short-circuits the repeated-target case (self-targeted effect runs).
 func (b *EffectBuffer) tableFor(target entity.ID) (string, error) {
+	if b.memoOK && target == b.memoID {
+		return b.memoTbl, nil
+	}
+	var tbl string
+	var ok bool
 	if target >= provBase {
-		if tbl, ok := b.provTable[target]; ok {
-			return tbl, nil
-		}
+		tbl, ok = b.provTable[target]
+	} else {
+		tbl, ok = b.w.tableOf[target]
+	}
+	if !ok {
 		return "", fmt.Errorf("world: unknown entity %d", target)
 	}
-	if tbl, ok := b.w.tableOf[target]; ok {
-		return tbl, nil
+	b.memoID, b.memoTbl, b.memoOK = target, tbl, true
+	return tbl, nil
+}
+
+// tableInfo returns tbl's cached resolution entry, rebuilding it when
+// the table or its schema object changed (migration, ResetState).
+func (b *EffectBuffer) tableInfo(tbl string) *tableInfo {
+	tab := b.w.tables[tbl]
+	ti := b.tinfos[tbl]
+	if ti == nil || ti.tab != tab || ti.schema != tab.Schema() {
+		ti = &tableInfo{tab: tab, schema: tab.Schema(), cols: make(map[string]colInfo)}
+		b.tinfos[tbl] = ti
 	}
-	return "", fmt.Errorf("world: unknown entity %d", target)
+	return ti
 }
 
 // checkCol validates the column and coerces/checks the value kind the
 // way direct-mode Set would, so errors surface to the script at the
-// call site instead of silently at apply.
+// call site instead of silently at apply. Resolution runs against the
+// buffer's cache; only the first emission touching a (table, column)
+// pays the schema map lookups.
 func (b *EffectBuffer) checkCol(target entity.ID, col string, v entity.Value) (entity.Value, error) {
 	tbl, err := b.tableFor(target)
 	if err != nil {
 		return v, err
 	}
-	s := b.w.tables[tbl].Schema()
-	ci, ok := s.Col(col)
+	ti := b.tableInfo(tbl)
+	info, ok := ti.cols[col]
 	if !ok {
-		return v, fmt.Errorf("world: no column %q in %q", col, tbl)
+		ci, has := ti.schema.Col(col)
+		if !has {
+			return v, fmt.Errorf("world: no column %q in %q", col, tbl)
+		}
+		info = colInfo{idx: ci, kind: ti.schema.ColAt(ci).Kind}
+		ti.cols[col] = info
 	}
-	kind := s.ColAt(ci).Kind
-	if kind == entity.KindFloat {
+	if info.kind == entity.KindFloat {
 		if f, okF := v.AsFloat(); okF {
 			v = entity.Float(f)
 		}
 	}
-	if v.Kind() != kind {
-		return v, fmt.Errorf("world: column %q wants %s, got %s", col, kind, v.Kind())
+	if v.Kind() != info.kind {
+		return v, fmt.Errorf("world: column %q wants %s, got %s", col, info.kind, v.Kind())
 	}
 	return v, nil
 }
@@ -260,6 +319,12 @@ func (b *EffectBuffer) physDelta(id entity.ID, seq int32, col string, delta floa
 // conflicts and skipped — the effect analogue of a lost OCC validation.
 // The applied-record and conflict tallies land in *effects/*conflicts —
 // the behavior query phase and the trigger rounds account separately.
+//
+// The assignment and delta passes run columnar by default: merged
+// effects group by (table, column) and write through the batch entry
+// points on entity.Table, with one spatial MoveBatch flush for position
+// changes (see apply_batch.go). Config.RowApply selects the legacy
+// row-at-a-time passes; both produce bit-identical world state.
 func (w *World) applyEffects(bufs []*EffectBuffer, effects, conflicts *int) {
 	total := 0
 	for _, b := range bufs {
@@ -306,6 +371,53 @@ func (w *World) applyEffects(bufs []*EffectBuffer, effects, conflicts *int) {
 		return real, ok
 	}
 
+	if w.cfg.RowApply {
+		w.applyAssignRows(merged, resolve, conflicts)
+	} else {
+		w.applyAssignColumnar(merged, resolve, conflicts)
+	}
+
+	// Despawns, deduplicated.
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectDespawn {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			*conflicts++
+			continue
+		}
+		if _, exists := w.tableOf[id]; !exists {
+			*conflicts++ // raced with another despawn
+			continue
+		}
+		if err := w.Despawn(id); err != nil {
+			*conflicts++
+		}
+	}
+
+	// Event posts queue for the trigger drain that follows apply.
+	for i := range merged {
+		e := &merged[i]
+		if e.Kind != EffectPost {
+			continue
+		}
+		id, ok := resolve(e.Target)
+		if !ok {
+			*conflicts++
+			continue
+		}
+		w.Post(e.Name, id, e.Val)
+	}
+}
+
+// applyAssignRows is the legacy row-at-a-time assignment and delta
+// apply (Config.RowApply): every record goes through world.Set's
+// table-lookup → column-lookup → change-notification chain. Kept as the
+// semantic baseline the columnar path must match bit-for-bit, and for
+// hosts whose change listeners need per-row update notifications.
+func (w *World) applyAssignRows(merged []Effect, resolve func(entity.ID) (entity.ID, bool), conflicts *int) {
 	// Assignments, in sorted order: last write wins.
 	for i := range merged {
 		e := &merged[i]
@@ -361,39 +473,5 @@ func (w *World) applyEffects(bufs []*EffectBuffer, effects, conflicts *int) {
 		if err := w.Set(id, e.Col, next); err != nil {
 			*conflicts++
 		}
-	}
-
-	// Despawns, deduplicated.
-	for i := range merged {
-		e := &merged[i]
-		if e.Kind != EffectDespawn {
-			continue
-		}
-		id, ok := resolve(e.Target)
-		if !ok {
-			*conflicts++
-			continue
-		}
-		if _, exists := w.tableOf[id]; !exists {
-			*conflicts++ // raced with another despawn
-			continue
-		}
-		if err := w.Despawn(id); err != nil {
-			*conflicts++
-		}
-	}
-
-	// Event posts queue for the trigger drain that follows apply.
-	for i := range merged {
-		e := &merged[i]
-		if e.Kind != EffectPost {
-			continue
-		}
-		id, ok := resolve(e.Target)
-		if !ok {
-			*conflicts++
-			continue
-		}
-		w.Post(e.Name, id, e.Val)
 	}
 }

@@ -131,4 +131,11 @@ func (w *World) ResetState() {
 	w.tick = 0
 	w.nextID = 0
 	w.trig.Reset()
+	// The per-worker emission caches hold (table, schema) pointers from
+	// the pre-reset epoch; drop them so the replaced tables are not
+	// pinned (entries would otherwise only refresh on a same-name
+	// lookup, which may never come).
+	for _, b := range w.workerBufs {
+		clear(b.tinfos)
+	}
 }

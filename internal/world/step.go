@@ -3,7 +3,6 @@ package world
 import (
 	"errors"
 	"sort"
-	"sync"
 	"time"
 
 	"gamedb/internal/entity"
@@ -63,7 +62,8 @@ func (w *World) Step() (TickStats, error) {
 	w.rosterBuf = roster
 
 	// Physics work list: spatial tables carrying velocity columns. The
-	// id snapshots are taken once so every worker chunks the same view.
+	// id snapshots are taken once so every worker chunks the same view;
+	// snapshot buffers are reused tick-to-tick (AppendIDs, not IDs).
 	physTabs := w.physTabs[:0]
 	physIDs := w.physIDs[:0]
 	for _, name := range w.tableNames() {
@@ -79,7 +79,13 @@ func (w *World) Step() (TickStats, error) {
 			continue
 		}
 		physTabs = append(physTabs, t)
-		physIDs = append(physIDs, t.IDs())
+		if len(physIDs) < cap(physIDs) {
+			physIDs = physIDs[:len(physIDs)+1]
+		} else {
+			physIDs = append(physIDs, nil)
+		}
+		last := len(physIDs) - 1
+		physIDs[last] = t.AppendIDs(physIDs[last][:0])
 	}
 	w.physTabs, w.physIDs = physTabs, physIDs
 
@@ -89,19 +95,10 @@ func (w *World) Step() (TickStats, error) {
 	}
 	w.workerStats = stats
 
-	if workers == 1 {
-		w.runWorker(0, 1)
-	} else {
-		var wg sync.WaitGroup
-		for i := 0; i < workers; i++ {
-			wg.Add(1)
-			go func(wi int) {
-				defer wg.Done()
-				w.runWorker(wi, workers)
-			}(i)
-		}
-		wg.Wait()
-	}
+	// The chunks fan across the shared worker pool — no per-tick
+	// goroutines. Chunk wi always emits into buffer wi, so results are
+	// independent of which pool worker runs which chunk.
+	w.pool.Par(workers, func(wi int) { w.runWorker(wi, workers) })
 	var tickErr error
 	var tickErrID entity.ID
 	for i := range stats {

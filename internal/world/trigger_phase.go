@@ -27,7 +27,6 @@ package world
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"gamedb/internal/entity"
 	"gamedb/internal/script"
@@ -153,9 +152,18 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 	}
 
 	// Cond: parallel read-only queries over the round-start state.
-	// Each match index is written by exactly one worker.
-	conds := make([]condResult, len(matches))
-	fuels := make([]int64, workers)
+	// Each match index is written by exactly one worker. The result and
+	// fuel buffers are World scratch reused across rounds.
+	conds := w.condsBuf[:0]
+	for range matches {
+		conds = append(conds, condResult{})
+	}
+	w.condsBuf = conds
+	fuels := w.fuelsBuf[:0]
+	for i := 0; i < workers; i++ {
+		fuels = append(fuels, 0)
+	}
+	w.fuelsBuf = fuels
 	w.fanOut(workers, len(matches), func(wi, lo, hi int) {
 		buf := w.workerBufs[wi]
 		for mi := lo; mi < hi; mi++ {
@@ -197,7 +205,7 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 	// round's effect apply and are visible to later direct rules, the
 	// serial-engine contract they were registered under.
 	var errs []error
-	fires := make([]int, 0, len(matches))
+	fires := w.firesBuf[:0]
 	for mi, m := range matches {
 		bt := w.trigBound[m.Rule]
 		if bt == nil {
@@ -253,11 +261,18 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 		fires = append(fires, mi)
 	}
 
+	w.firesBuf = fires
+
 	// Act: the firing GSL actions fan across the workers, each
 	// invocation atomic in its worker's buffer, keyed by the match's
 	// deterministic source id — the partitioning never shows.
-	actErrs := make([]error, len(fires))
-	actSkip := make([]bool, len(fires))
+	actErrs := w.actErrBuf[:0]
+	actSkip := w.actSkipBuf[:0]
+	for range fires {
+		actErrs = append(actErrs, nil)
+		actSkip = append(actSkip, false)
+	}
+	w.actErrBuf, w.actSkipBuf = actErrs, actSkip
 	w.fanOut(workers, len(fires), func(wi, lo, hi int) {
 		buf := w.workerBufs[wi]
 		for fi := lo; fi < hi; fi++ {
@@ -298,10 +313,12 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 	return errs
 }
 
-// fanOut chunks n items contiguously across the worker pool and runs fn
-// per worker, inline when workers is 1 (the same partitioning idiom as
-// the query phase, so a match's worker assignment is stable for a given
-// worker count — though nothing downstream depends on it).
+// fanOut chunks n items contiguously across the shared worker pool and
+// runs fn per worker slot, inline when workers is 1 (the same
+// partitioning idiom as the query phase, so a match's worker-slot
+// assignment is stable for a given worker count — though nothing
+// downstream depends on it). Slot wi always owns chunk wi regardless of
+// which pool goroutine executes it, so per-slot buffers stay exclusive.
 func (w *World) fanOut(workers, n int, fn func(wi, lo, hi int)) {
 	if n == 0 {
 		return
@@ -310,17 +327,10 @@ func (w *World) fanOut(workers, n int, fn func(wi, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
+	w.pool.Par(workers, func(wi int) {
 		lo, hi := chunkRange(n, workers, wi)
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(wi, lo, hi int) {
-			defer wg.Done()
+		if lo < hi {
 			fn(wi, lo, hi)
-		}(wi, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }

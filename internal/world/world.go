@@ -14,6 +14,7 @@ import (
 
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/sched"
 	"gamedb/internal/script"
 	"gamedb/internal/spatial"
 	"gamedb/internal/trigger"
@@ -51,6 +52,22 @@ type Config struct {
 	// for hosts whose Go rule actions must observe one another's writes
 	// within a single round.
 	DirectTriggers bool
+	// RowApply selects the legacy row-at-a-time effect apply: every
+	// merged record written through world.Set's table-lookup →
+	// change-notification chain, with the spatial index maintained one
+	// Move per position write. The default (false) is the columnar
+	// apply, which groups merged effects by (table, column), writes
+	// them through entity.Table's batch entry points, and re-syncs the
+	// spatial index in one MoveBatch flush. Both produce bit-identical
+	// world state (the equivalence tests pin this); row mode remains as
+	// the baseline for BenchmarkE16ApplyBatch and for hosts whose table
+	// change listeners need per-row update notifications during apply.
+	RowApply bool
+	// Pool is the worker pool tick-parallel phases run on. Nil means
+	// the process-wide sched.Shared() pool (sized to GOMAXPROCS), which
+	// every world and shard runtime shares by default so Shards ×
+	// Workers configurations cannot oversubscribe the scheduler.
+	Pool *sched.Pool
 }
 
 // World is a running game shard.
@@ -89,6 +106,11 @@ type World struct {
 	// ResetState invalidate it.
 	tableList []string
 
+	// pool is the worker pool every tick-parallel phase fans across
+	// (the query phase, trigger rounds): cfg.Pool, or the process-wide
+	// shared pool. Worlds never spawn per-tick goroutines.
+	pool *sched.Pool
+
 	// Per-worker state for the parallel query phase. Buffers persist
 	// across ticks because each worker's script clones capture theirs;
 	// the clone caches reset when LoadContent brings new scripts. The
@@ -100,6 +122,20 @@ type World struct {
 	physTabs      []*entity.Table
 	physIDs       [][]entity.ID
 	mergeBuf      []Effect
+
+	// Columnar-apply scratch (apply_batch.go), reused tick-to-tick.
+	setBatches []colBatch
+	addBatches []colBatch
+	moveBuf    []spatial.Point
+	moveSeen   map[entity.ID]struct{}
+
+	// Trigger-round scratch (trigger_phase.go), reused round-to-round
+	// so cascade draining stops allocating per round.
+	condsBuf   []condResult
+	fuelsBuf   []int64
+	firesBuf   []int
+	actErrBuf  []error
+	actSkipBuf []bool
 
 	// LastScriptError keeps the most recent behavior error for
 	// diagnostics; the tick itself continues (one bad designer script
@@ -162,8 +198,13 @@ func New(cfg Config) *World {
 	if cfg.TickDT <= 0 {
 		cfg.TickDT = 0.1
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = sched.Shared()
+	}
 	return &World{
 		cfg:        cfg,
+		pool:       pool,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		tables:     make(map[string]*entity.Table),
 		tableOf:    make(map[entity.ID]string),
