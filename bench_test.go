@@ -731,6 +731,68 @@ func BenchmarkE16ApplyBatch(b *testing.B) {
 	}
 }
 
+// conflictBenchWorld builds the E17 scenario: the shared
+// shard.ConflictPackXML crowd — drifting claimers racing to stamp
+// shared beacon rows (one blind write-write race plus one
+// read-modify-write per visible beacon), the workload whose conflicting
+// assignments the OCC policy re-runs.
+func conflictBenchWorld(b *testing.B, claimers, beacons, workers int, conflict string) *world.World {
+	b.Helper()
+	w := world.New(world.Config{
+		Seed: 42, CellSize: 12, ScriptFuel: 1 << 40, TickDT: 0.5,
+		Workers: workers, ConflictPolicy: conflict,
+	})
+	if err := shard.SeedConflictWorld(w, claimers, beacons, 400, 1); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkE17ConflictPolicy: one tick of the beacon-claiming crowd
+// under lastwrite vs occ at 1/4 workers. The delta is the full price of
+// serializable conflict resolution — read-set logging during the query
+// phase, the validate pass over the merge, and the serial re-run
+// rounds; retries/tick and aborts/tick size the conflict load the
+// policy is paying for.
+func BenchmarkE17ConflictPolicy(b *testing.B) {
+	const claimers, beacons = 2000, 64
+	run := func(b *testing.B, conflict string, workers int) {
+		w := conflictBenchWorld(b, claimers, beacons, workers, conflict)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var applyNS, queryNS int64
+		retries, aborts, conflicts := 0, 0, 0
+		for i := 0; i < b.N; i++ {
+			st, err := w.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.ScriptErrors > 0 {
+				b.Fatal(w.LastScriptError)
+			}
+			applyNS += st.ApplyNS
+			queryNS += st.QueryNS
+			retries += st.EffectRetries
+			aborts += st.EffectAborts
+			conflicts += st.EffectConflicts
+		}
+		b.ReportMetric(float64(claimers)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+		b.ReportMetric(float64(applyNS)/float64(b.N), "apply-ns/op")
+		b.ReportMetric(float64(queryNS)/float64(b.N), "query-ns/op")
+		b.ReportMetric(float64(retries)/float64(b.N), "retries/tick")
+		b.ReportMetric(float64(aborts)/float64(b.N), "aborts/tick")
+		b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/tick")
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("lastwrite-w%d", workers), func(b *testing.B) {
+			run(b, world.ConflictLastWrite, workers)
+		})
+		b.Run(fmt.Sprintf("occ-w%d", workers), func(b *testing.B) {
+			run(b, world.ConflictOCC, workers)
+		})
+	}
+}
+
 // BenchmarkE12NavMesh: pathfinding per representation plus BSP sight.
 func BenchmarkE12NavMesh(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

@@ -25,6 +25,7 @@ import (
 	"gamedb/internal/metrics"
 	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
+	"gamedb/internal/world"
 )
 
 func parseShardList(s string) ([]int, error) {
@@ -51,7 +52,7 @@ type raceResult struct {
 	elapsed        time.Duration
 }
 
-func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool) (raceResult, error) {
+func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict string) (raceResult, error) {
 	rt, err := shard.New(shard.Config{
 		Seed:           seed,
 		Shards:         shards,
@@ -62,6 +63,7 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		GhostBand:      band,
 		RebalanceEvery: rebalance,
 		RowApply:       rowApply,
+		ConflictPolicy: conflict,
 	})
 	if err != nil {
 		return raceResult{}, err
@@ -104,8 +106,13 @@ func main() {
 	rebalance := flag.Int64("rebalance", 50, "rebalance boundaries every N ticks (0 = static)")
 	workers := flag.Int("workers", 1, "per-shard query-phase workers (hash is identical for any value)")
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (hash is identical either way)")
+	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ (hash is identical across shard counts under either)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
 	flag.Parse()
+	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
+		fmt.Fprintf(os.Stderr, "shardsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
+		os.Exit(2)
+	}
 
 	counts, err := parseShardList(*shardList)
 	if err != nil {
@@ -123,7 +130,7 @@ func main() {
 	var firstHash uint64
 	hashesAgree := true
 	for i, n := range counts {
-		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply)
+		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -142,6 +149,7 @@ func main() {
 			EntitiesPerSec: res.entitiesPerSec,
 			Extra: map[string]any{
 				"workers":           *workers,
+				"conflict_policy":   *conflict,
 				"ticks_per_sec":     res.ticksPerSec,
 				"handoffs_per_tick": res.handoffsPerTik,
 				"ghosts":            res.ghosts,

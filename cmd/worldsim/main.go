@@ -69,8 +69,13 @@ func main() {
 	workers := flag.Int("workers", 1, "query-phase and trigger-round worker goroutines (state is identical for any value)")
 	directTriggers := flag.Bool("direct-triggers", false, "use the legacy single-threaded direct-write trigger drain")
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (state is identical either way)")
+	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	flag.Parse()
+	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
+		fmt.Fprintf(os.Stderr, "worldsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
+		os.Exit(2)
+	}
 
 	var src string
 	if *packPath == "" {
@@ -94,7 +99,10 @@ func main() {
 	for _, warn := range c.Warnings {
 		fmt.Fprintf(os.Stderr, "worldsim: warning: %v\n", warn)
 	}
-	w := world.New(world.Config{Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers, RowApply: *rowApply})
+	w := world.New(world.Config{
+		Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers,
+		RowApply: *rowApply, ConflictPolicy: *conflict,
+	})
 	if err := w.LoadPack(c); err != nil {
 		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
 		os.Exit(1)
@@ -104,7 +112,7 @@ func main() {
 			c.Name, w.Entities(), w.TableNames(), *workers)
 	}
 
-	var effects, conflicts, queryNS, applyNS, triggerNS int64
+	var effects, conflicts, retries, aborts, queryNS, applyNS, triggerNS int64
 	var trigFired, trigRounds, trigEffects, trigConflicts int64
 	scriptErrors, scriptSkips := 0, 0
 	entityTicks := 0
@@ -117,6 +125,8 @@ func main() {
 		}
 		effects += int64(st.Effects)
 		conflicts += int64(st.EffectConflicts)
+		retries += int64(st.EffectRetries)
+		aborts += int64(st.EffectAborts)
 		queryNS += st.QueryNS
 		applyNS += st.ApplyNS
 		triggerNS += st.TriggerNS
@@ -149,8 +159,11 @@ func main() {
 				"workers":           *workers,
 				"ticks":             *ticks,
 				"trigger_drain":     drain,
+				"conflict_policy":   *conflict,
 				"effects_per_tick":  float64(effects) / float64(*ticks),
 				"effect_conflicts":  conflicts,
+				"effect_retries":    retries,
+				"effect_aborts":     aborts,
 				"script_errors":     scriptErrors,
 				"script_skips":      scriptSkips,
 				"trigger_fired":     trigFired,

@@ -44,6 +44,12 @@ type Options struct {
 	// Pool overrides the worker pool tick-parallel phases run on
 	// (default: the process-wide sched.Shared() pool).
 	Pool *sched.Pool
+	// ConflictPolicy selects how conflicting assignments resolve in the
+	// apply phase: world.ConflictLastWrite (default) or world.ConflictOCC
+	// (serializable re-runs via read-set validation; see world.Config).
+	ConflictPolicy string
+	// EffectRetryCap bounds OCC re-run rounds (see world.Config).
+	EffectRetryCap int
 
 	// Checkpoint enables snapshot persistence with the given policy
 	// (persist.Periodic or persist.EventKeyed). Nil disables it.
@@ -90,6 +96,8 @@ func New(opts Options) (*Engine, error) {
 			DirectTriggers: opts.DirectTriggers,
 			RowApply:       opts.RowApply,
 			Pool:           opts.Pool,
+			ConflictPolicy: opts.ConflictPolicy,
+			EffectRetryCap: opts.EffectRetryCap,
 		}),
 	}
 	if opts.Checkpoint != nil {

@@ -41,6 +41,12 @@ type ShardedOptions struct {
 	// Pool overrides the worker pool shard ticks and world phases run
 	// on (default: the process-wide sched.Shared() pool).
 	Pool *sched.Pool
+	// ConflictPolicy selects the apply phase's conflict resolution on
+	// every shard world: world.ConflictLastWrite (default) or
+	// world.ConflictOCC (serializable re-runs via read-set validation).
+	ConflictPolicy string
+	// EffectRetryCap bounds OCC re-run rounds (see world.Config).
+	EffectRetryCap int
 
 	// GhostBand is the mirrored border width (≥ the interaction range;
 	// 0 = default 2×CellSize, negative disables ghosts); GhostFields
@@ -77,6 +83,8 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		DirectTriggers: opts.DirectTriggers,
 		RowApply:       opts.RowApply,
 		Pool:           opts.Pool,
+		ConflictPolicy: opts.ConflictPolicy,
+		EffectRetryCap: opts.EffectRetryCap,
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,

@@ -57,6 +57,14 @@ type Config struct {
 	// sched.Shared() pool, so Shards × Workers shares GOMAXPROCS
 	// goroutines instead of spawning Shards × Workers of its own.
 	Pool *sched.Pool
+	// ConflictPolicy passes through to world.Config.ConflictPolicy on
+	// every shard world: world.ConflictLastWrite (default) or
+	// world.ConflictOCC. Conflict detection and re-runs are shard-local
+	// (effects never cross a shard mid-tick), and both policies keep the
+	// runtime hash invariant across any Shards × Workers combination.
+	ConflictPolicy string
+	// EffectRetryCap passes through to world.Config.EffectRetryCap.
+	EffectRetryCap int
 
 	// GhostBand is the width of the border strip mirrored into
 	// neighboring shards as read-only ghosts. It should be at least the
@@ -194,6 +202,8 @@ func New(cfg Config) (*Runtime, error) {
 			DirectTriggers: cfg.DirectTriggers,
 			RowApply:       cfg.RowApply,
 			Pool:           pool,
+			ConflictPolicy: cfg.ConflictPolicy,
+			EffectRetryCap: cfg.EffectRetryCap,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).

@@ -8,6 +8,7 @@ import (
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
 	"gamedb/internal/spatial"
+	"gamedb/internal/world"
 )
 
 // DriftingCrowdSchema returns the schema the drifting-crowd demo
@@ -177,6 +178,96 @@ func SeedMingleCrowd(rt *Runtime, units int, side float64, seed int64, speed flo
 		}
 	}
 	return rt.Sync()
+}
+
+// ConflictPackXML is the write-write-contention scenario behind
+// BenchmarkE17ConflictPolicy and the E17 experiment: drifting claimer
+// units race to stamp shared beacon rows. Every claimer scans its
+// neighborhood and, for each beacon it finds, assigns the beacon's
+// `claim` column to its own id (a blind write-write race) and bumps the
+// beacon's `heat` via set(get+1) — a read-modify-write whose losers
+// computed from stale state. Under ConflictLastWrite each contended
+// beacon gains one heat per tick no matter how many claimers raced (the
+// classic lost update); under ConflictOCC the losers re-run round by
+// round and heat counts every claimer, matching serial execution — at
+// the cost of EffectRetries (and EffectAborts once contention outruns
+// the retry cap). The rmw is deliberately set(get+1) rather than `add`:
+// adds commute and would never conflict.
+const ConflictPackXML = `
+<contentpack name="conflict-crowd">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="vx" kind="float"/>
+    <column name="vy" kind="float"/>
+    <column name="kind" kind="int"/>
+    <column name="claim" kind="int"/>
+    <column name="heat" kind="int"/>
+  </schema>
+  <archetype name="beacon" table="units">
+    <set column="kind" value="1"/>
+  </archetype>
+  <archetype name="claimer" table="units" script="claim"/>
+  <script name="claim">
+fn on_tick(self) {
+  let ns = nearby(self, 12.0);
+  for id in ns {
+    if get(id, "kind") == 1 {
+      set(id, "claim", self);
+      set(id, "heat", get(id, "heat") + 1);
+    }
+  }
+}
+  </script>
+</contentpack>`
+
+// SeedConflictWorld loads ConflictPackXML into a single world and
+// spawns `beacons` static beacons on a uniform grid across the
+// side×side map plus `claimers` drifting claimers from a seed-fixed
+// stream (four rng draws per claimer: position in [0,side)², velocity
+// in [-speed,speed) with speed fixed at 30). Conflict resolution is
+// shard-local, so the contention scenario runs single-world —
+// BenchmarkE17ConflictPolicy and the E17 experiment both seed through
+// here.
+func SeedConflictWorld(w *world.World, claimers, beacons int, side float64, seed int64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(ConflictPackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: conflict pack rejected: %v", errs[0])
+	}
+	if err := w.LoadPack(c); err != nil {
+		return err
+	}
+	cols := 1
+	for cols*cols < beacons {
+		cols++
+	}
+	for i := 0; i < beacons; i++ {
+		pos := spatial.Vec2{
+			X: (float64(i%cols) + 0.5) * side / float64(cols),
+			Y: (float64(i/cols) + 0.5) * side / float64(cols),
+		}
+		if _, err := w.Spawn("beacon", pos); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const speed = 30.0
+	for i := 0; i < claimers; i++ {
+		pos := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		vx := (rng.Float64()*2 - 1) * speed
+		vy := (rng.Float64()*2 - 1) * speed
+		id, err := w.Spawn("claimer", pos)
+		if err != nil {
+			return err
+		}
+		if err := w.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		if err := w.Set(id, "vy", entity.Float(vy)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SeedDriftingCrowd creates the "units" table on every shard and spawns

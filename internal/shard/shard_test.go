@@ -6,6 +6,7 @@ import (
 	"gamedb/internal/entity"
 	"gamedb/internal/replica"
 	"gamedb/internal/spatial"
+	"gamedb/internal/world"
 )
 
 func unitSchema(t *testing.T) *entity.Schema {
@@ -345,12 +346,12 @@ func TestDeterministicAcrossShardCounts(t *testing.T) {
 
 // cascadeRun drives the trigger-cascade scenario on an n-shard runtime
 // and returns the final hash plus total trigger activations.
-func cascadeRun(t *testing.T, shards, workers int, direct, rowApply bool) (uint64, int) {
+func cascadeRun(t *testing.T, shards, workers int, direct, rowApply bool, conflict string) (uint64, int) {
 	t.Helper()
 	rt, err := New(Config{
 		Seed: 7, Shards: shards, World: spatial.NewRect(0, 0, 1000, 1000),
 		TickDT: 0.5, GhostBand: 25, Workers: workers, DirectTriggers: direct,
-		RowApply: rowApply,
+		RowApply: rowApply, ConflictPolicy: conflict,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -380,7 +381,7 @@ func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
 	// bit-identical across the whole Shards × Workers grid: cascades
 	// batch per round, actions fan across workers, and the per-round
 	// apply is keyed by (event seq, rule seq) — never by partitioning.
-	baseHash, baseFired := cascadeRun(t, 1, 1, false, false)
+	baseHash, baseFired := cascadeRun(t, 1, 1, false, false, "")
 	if baseFired == 0 {
 		t.Fatal("scenario fired no triggers")
 	}
@@ -389,7 +390,7 @@ func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
 			if shards == 1 && workers == 1 {
 				continue
 			}
-			h, fired := cascadeRun(t, shards, workers, false, false)
+			h, fired := cascadeRun(t, shards, workers, false, false, "")
 			if h != baseHash {
 				t.Fatalf("hash diverged at shards=%d workers=%d: %x vs %x", shards, workers, h, baseHash)
 			}
@@ -401,7 +402,7 @@ func TestTriggerCascadeHashInvariantAcrossGrid(t *testing.T) {
 	}
 	// The legacy direct-execution drain is the semantic baseline: on a
 	// strictly per-entity cascade it must produce the identical world.
-	directHash, directFired := cascadeRun(t, 1, 1, true, false)
+	directHash, directFired := cascadeRun(t, 1, 1, true, false, "")
 	if directHash != baseHash || directFired != baseFired {
 		t.Fatalf("effect drain diverged from direct execution: hash %x vs %x, fired %d vs %d",
 			baseHash, directHash, baseFired, directFired)
@@ -602,12 +603,12 @@ func TestScriptIDAllocatorsDisjoint(t *testing.T) {
 // mingleRun drives the apply-heavy mingle scenario (the E14 workload
 // shape) on an n-shard runtime and returns the final hash plus total
 // applied effects.
-func mingleRun(t *testing.T, shards, workers int, rowApply bool) (uint64, int) {
+func mingleRun(t *testing.T, shards, workers int, rowApply bool, conflict string) (uint64, int) {
 	t.Helper()
 	rt, err := New(Config{
 		Seed: 7, Shards: shards, World: spatial.NewRect(0, 0, 400, 400),
 		TickDT: 0.5, GhostBand: 25, Workers: workers,
-		ScriptFuel: 1 << 20, RowApply: rowApply,
+		ScriptFuel: 1 << 20, RowApply: rowApply, ConflictPolicy: conflict,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -645,8 +646,8 @@ func mingleRun(t *testing.T, shards, workers int, rowApply bool) (uint64, int) {
 func TestBatchedApplyHashInvariantAcrossGrid(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		for _, shards := range []int{1, 2, 4} {
-			bh, be := mingleRun(t, shards, workers, false)
-			rh, re := mingleRun(t, shards, workers, true)
+			bh, be := mingleRun(t, shards, workers, false, "")
+			rh, re := mingleRun(t, shards, workers, true, "")
 			if bh != rh {
 				t.Fatalf("mingle: batched hash diverged from row apply at shards=%d workers=%d: %x vs %x",
 					shards, workers, bh, rh)
@@ -656,8 +657,8 @@ func TestBatchedApplyHashInvariantAcrossGrid(t *testing.T) {
 					shards, workers, be, re)
 			}
 
-			ch, cf := cascadeRun(t, shards, workers, false, false)
-			crh, crf := cascadeRun(t, shards, workers, false, true)
+			ch, cf := cascadeRun(t, shards, workers, false, false, "")
+			crh, crf := cascadeRun(t, shards, workers, false, true, "")
 			if ch != crh {
 				t.Fatalf("cascade: batched hash diverged from row apply at shards=%d workers=%d: %x vs %x",
 					shards, workers, ch, crh)
@@ -665,6 +666,45 @@ func TestBatchedApplyHashInvariantAcrossGrid(t *testing.T) {
 			if cf != crf {
 				t.Fatalf("cascade: activations diverged at shards=%d workers=%d: %d vs %d",
 					shards, workers, cf, crf)
+			}
+		}
+	}
+}
+
+// TestOCCConflictPolicyHashInvariantAcrossGrid pins ConflictPolicy=occ
+// across the whole Workers × Shards grid on both tick-pipeline
+// workloads. Both scenarios write strictly per-entity, so occ must land
+// on the exact lastwrite hash (PR 4's baseline): the validate pass is
+// pure observation until a conflicting assignment actually appears, and
+// the re-run machinery is a function of the deterministic merge alone.
+// The cascade scenario is additionally shard-count invariant, so its
+// occ hashes are pinned grid-wide to one base; the mingle crowd reads
+// neighbors (whose cross-boundary view is the weakened Coarse ghost
+// mirror, a pre-existing property of the scenario, not of the policy),
+// so its occ hash is pinned to the lastwrite hash at the same grid
+// point instead.
+func TestOCCConflictPolicyHashInvariantAcrossGrid(t *testing.T) {
+	cascadeBase, cascadeFired := cascadeRun(t, 1, 1, false, false, "")
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 2, 4} {
+			lh, le := mingleRun(t, shards, workers, false, "")
+			mh, me := mingleRun(t, shards, workers, false, world.ConflictOCC)
+			if mh != lh {
+				t.Fatalf("mingle: occ hash diverged from lastwrite at shards=%d workers=%d: %x vs %x",
+					shards, workers, mh, lh)
+			}
+			if me != le {
+				t.Fatalf("mingle: occ effect counts diverged at shards=%d workers=%d: %d vs %d",
+					shards, workers, me, le)
+			}
+			ch, cf := cascadeRun(t, shards, workers, false, false, world.ConflictOCC)
+			if ch != cascadeBase {
+				t.Fatalf("cascade: occ hash diverged from lastwrite baseline at shards=%d workers=%d: %x vs %x",
+					shards, workers, ch, cascadeBase)
+			}
+			if cf != cascadeFired {
+				t.Fatalf("cascade: occ activations diverged at shards=%d workers=%d: %d vs %d",
+					shards, workers, cf, cascadeFired)
 			}
 		}
 	}

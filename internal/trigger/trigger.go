@@ -341,32 +341,36 @@ type Match struct {
 	reg  *registered
 }
 
-// TakeRound pops every event queued so far — one cascade round. Events
-// posted while the host processes the round land in a fresh queue and
-// form the next round. An empty result means the cascade is done.
-func (en *Engine) TakeRound() []Event {
-	batch := en.queue
-	en.queue = nil
-	return batch
+// TakeRound pops every event queued so far — one cascade round — into
+// dst (reused from length 0; pass nil to allocate). Events posted while
+// the host processes the round accumulate in the engine's retained
+// queue storage and form the next round, so a steady-state cascade
+// allocates neither queue nor round batch. An empty result means the
+// cascade is done.
+func (en *Engine) TakeRound(dst []Event) []Event {
+	dst = append(dst[:0], en.queue...)
+	en.queue = en.queue[:0]
+	return dst
 }
 
 // MatchRound pairs each event of a round's batch with the rules
 // registered for its name, in deterministic source order: events in
-// batch order, rules in firing (priority, registration) order. Nothing
-// is evaluated or executed, and dead registrations are skipped. The
+// batch order, rules in firing (priority, registration) order, filling
+// dst (reused from length 0; pass nil to allocate). Nothing is
+// evaluated or executed, and dead registrations are skipped. The
 // returned matches stay valid across Register/Unregister calls (lists
 // are copy-on-write); Activate re-checks liveness at firing time.
-func (en *Engine) MatchRound(batch []Event) []Match {
-	var ms []Match
+func (en *Engine) MatchRound(dst []Match, batch []Event) []Match {
+	dst = dst[:0]
 	for _, ev := range batch {
 		for _, reg := range en.byEvent[ev.Name] {
 			if reg.dead {
 				continue
 			}
-			ms = append(ms, Match{Rule: reg.rule, Ev: ev, reg: reg})
+			dst = append(dst, Match{Rule: reg.rule, Ev: ev, reg: reg})
 		}
 	}
-	return ms
+	return dst
 }
 
 // Alive reports whether the match's rule can still fire: not

@@ -365,11 +365,11 @@ func TestRoundMatchingAndOnce(t *testing.T) {
 	en.Register(&Rule{Name: "many", Event: "e", Action: act})
 	en.Post(Event{Name: "e", Entity: 1})
 	en.Post(Event{Name: "e", Entity: 2})
-	batch := en.TakeRound()
+	batch := en.TakeRound(nil)
 	if len(batch) != 2 || en.Pending() != 0 {
 		t.Fatalf("TakeRound = %d events, %d pending", len(batch), en.Pending())
 	}
-	ms := en.MatchRound(batch)
+	ms := en.MatchRound(nil, batch)
 	if len(ms) != 4 {
 		t.Fatalf("matches = %d, want 4 (2 events × 2 rules)", len(ms))
 	}
@@ -392,7 +392,7 @@ func TestRoundMatchingAndOnce(t *testing.T) {
 	if en.Rules() != 1 {
 		t.Fatalf("Rules = %d, want 1 (once compacted out)", en.Rules())
 	}
-	if len(en.MatchRound([]Event{{Name: "e"}})) != 1 {
+	if len(en.MatchRound(nil, []Event{{Name: "e"}})) != 1 {
 		t.Fatal("consumed once rule still matches")
 	}
 }
@@ -417,5 +417,41 @@ func TestDrainDepthLimit(t *testing.T) {
 	// The queue must be cleared so the engine recovers.
 	if n, err := en.Drain(); err != nil || n != 0 {
 		t.Fatalf("post-overflow Drain = %d, %v", n, err)
+	}
+}
+
+// TestRoundBuffersAllocFree pins the round-structured drain's steady
+// state to zero allocations: TakeRound refills a caller-owned batch
+// while the engine retains its queue storage, and MatchRound refills a
+// caller-owned match slice — so cascades stop allocating per round
+// (the remaining churn flagged by the PR 4 roadmap item).
+func TestRoundBuffersAllocFree(t *testing.T) {
+	en := NewEngine(0)
+	act := func(Event) error { return nil }
+	if err := en.Register(&Rule{Name: "a", Event: "e", Priority: 1, Action: act}); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Register(&Rule{Name: "b", Event: "e", Action: act}); err != nil {
+		t.Fatal(err)
+	}
+	var batch []Event
+	var ms []Match
+	round := func() {
+		en.Post(Event{Name: "e", Entity: 1})
+		en.Post(Event{Name: "e", Entity: 2})
+		batch = en.TakeRound(batch)
+		ms = en.MatchRound(ms, batch)
+		for _, m := range ms {
+			if !en.Activate(m) {
+				t.Fatal("live rule failed to activate")
+			}
+		}
+	}
+	round() // warm up: grow the queue, batch and match capacities
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Fatalf("steady-state cascade round allocates %.0f times, want 0", allocs)
+	}
+	if en.FiredCount("a") == 0 || en.FiredCount("b") == 0 {
+		t.Fatal("rounds did not activate the rules")
 	}
 }

@@ -1,0 +1,89 @@
+package txn
+
+// The generic optimistic-concurrency core shared by every OCC scheme in
+// the repo. Two very different consumers compose the same two
+// primitives:
+//
+//   - the microbench executor (OCC in txn.go) runs transactions live
+//     against the versioned Store, validating each attempt's footprint
+//     under write locks and retrying until it commits;
+//   - the world's apply phase (internal/world/occ.go) resolves
+//     conflicting behavior assignments post-hoc: the sorted effect merge
+//     yields an owned write-set per apply round, losing invocations
+//     whose recorded read-sets overlap it re-run serially, and the
+//     round loop is bounded by a retry cap.
+//
+// Both express "did this participant read state some other participant's
+// committed write invalidated?" through WriteSet/Invalidated and drive
+// their retries through RetryLoop, so there is exactly one definition of
+// OCC conflict in the codebase.
+
+// WriteSet is an owned write-set: each cell of comparable type C maps to
+// the id (comparable type O) of the participant whose write owns it.
+// Noting the same cell again transfers ownership — callers note writes
+// in commit order, so the final owner is the write that actually
+// survived (last write wins).
+type WriteSet[C comparable, O comparable] struct {
+	m map[C]O
+}
+
+// Reset empties the set, keeping its allocation for reuse.
+func (ws *WriteSet[C, O]) Reset() {
+	if ws.m == nil {
+		ws.m = make(map[C]O)
+		return
+	}
+	clear(ws.m)
+}
+
+// Note records that owner's write to cell survived (overwriting any
+// earlier owner of the same cell).
+func (ws *WriteSet[C, O]) Note(cell C, owner O) {
+	if ws.m == nil {
+		ws.m = make(map[C]O)
+	}
+	ws.m[cell] = owner
+}
+
+// Owner returns the surviving writer of cell, if any write touched it.
+func (ws *WriteSet[C, O]) Owner(cell C) (O, bool) {
+	o, ok := ws.m[cell]
+	return o, ok
+}
+
+// Len returns the number of cells with a surviving write.
+func (ws *WriteSet[C, O]) Len() int { return len(ws.m) }
+
+// Invalidated is the OCC validation predicate: it reports whether any
+// cell in reads is owned by a writer other than self. A participant
+// whose read-set overlaps another participant's committed writes
+// computed against stale state and must retry; reads of cells it wrote
+// itself (or that nobody wrote) never invalidate it.
+func Invalidated[C comparable, O comparable](self O, reads []C, ws *WriteSet[C, O]) bool {
+	if ws.Len() == 0 {
+		return false
+	}
+	for _, c := range reads {
+		if o, ok := ws.m[c]; ok && o != self {
+			return true
+		}
+	}
+	return false
+}
+
+// RetryLoop drives a bounded optimistic retry loop. attempt executes
+// one optimistic round and reports whether the work validated (true
+// ends the loop). maxRounds bounds the number of attempts; maxRounds
+// <= 0 retries forever (the microbench executor's commit-exactly-once
+// contract). It returns the number of failed attempts and whether the
+// loop completed before exhausting its bound.
+func RetryLoop(maxRounds int, attempt func(round int) bool) (retries int, completed bool) {
+	for round := 0; ; round++ {
+		if attempt(round) {
+			return round, true
+		}
+		if maxRounds > 0 && round+1 >= maxRounds {
+			return round + 1, false
+		}
+	}
+}

@@ -207,12 +207,23 @@ type OCC struct{}
 // Name implements Executor.
 func (OCC) Name() string { return "occ" }
 
-// Run implements Executor.
+// Run implements Executor. The per-transaction loop is the generic
+// RetryLoop/WriteSet/Invalidated core from occ.go: each attempt
+// snapshots versions, computes optimistically, then — under write locks
+// — collects the footprint cells whose version moved into a WriteSet of
+// foreign writes and validates through Invalidated. The world's apply
+// phase drives the identical core over (entity, column) cells.
 func (OCC) Run(s *Store, txns []*Txn, workers int) Stats {
 	var aborted atomic.Int64
 	run := func(t *Txn) {
 		plan := planLocks(t)
-		for {
+		// changed is reused across attempts: the cells of this txn's
+		// footprint some other txn committed to since the snapshot. The
+		// owner is anonymous (the store tracks versions, not writers),
+		// so any hit is a foreign write.
+		var changed WriteSet[Key, int]
+		const foreign, self = 1, 0
+		retries, _ := RetryLoop(0, func(int) bool {
 			// Read phase: snapshot versions of the whole footprint.
 			snap := make([]uint64, len(plan.keys))
 			for i, k := range plan.keys {
@@ -242,13 +253,17 @@ func (OCC) Run(s *Store, txns []*Txn, workers int) Stats {
 					s.locks[k].Lock()
 				}
 			}
-			valid := true
+			changed.Reset()
 			for i, k := range plan.keys {
 				if s.vers[k].Load() != snap[i] {
-					valid = false
+					// One foreign write already dooms the attempt; stop
+					// scanning — every footprint lock is held right now,
+					// so the validate pass must stay minimal.
+					changed.Note(k, foreign)
 					break
 				}
 			}
+			valid := !Invalidated(self, plan.keys, &changed)
 			if valid {
 				for _, w := range pending {
 					atomic.StoreInt64(&s.vals[w.k], w.v)
@@ -260,11 +275,9 @@ func (OCC) Run(s *Store, txns []*Txn, workers int) Stats {
 					s.locks[plan.keys[i]].Unlock()
 				}
 			}
-			if valid {
-				return
-			}
-			aborted.Add(1)
-		}
+			return valid
+		})
+		aborted.Add(int64(retries))
 	}
 	fanOut(txns, workers, run)
 	return Stats{Committed: int64(len(txns)), Aborted: aborted.Load()}

@@ -170,3 +170,70 @@ func TestExecutorNames(t *testing.T) {
 		t.Fatalf("executor names not unique: %v", names)
 	}
 }
+
+func TestWriteSetOwnership(t *testing.T) {
+	var ws WriteSet[string, int]
+	if ws.Len() != 0 {
+		t.Fatal("zero WriteSet not empty")
+	}
+	ws.Note("a", 1)
+	ws.Note("b", 1)
+	ws.Note("a", 2) // later note transfers ownership: last write wins
+	if ws.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ws.Len())
+	}
+	if o, ok := ws.Owner("a"); !ok || o != 2 {
+		t.Fatalf("Owner(a) = %d,%v, want 2,true", o, ok)
+	}
+	ws.Reset()
+	if ws.Len() != 0 {
+		t.Fatal("Reset did not empty the set")
+	}
+	if _, ok := ws.Owner("a"); ok {
+		t.Fatal("Reset kept an owner")
+	}
+}
+
+func TestInvalidatedPredicate(t *testing.T) {
+	var ws WriteSet[string, int]
+	ws.Note("x", 1)
+	ws.Note("y", 2)
+	if Invalidated(1, []string{"x"}, &ws) {
+		t.Fatal("own write must not invalidate")
+	}
+	if Invalidated(1, []string{"z"}, &ws) {
+		t.Fatal("unwritten cell must not invalidate")
+	}
+	if !Invalidated(1, []string{"x", "y"}, &ws) {
+		t.Fatal("foreign write must invalidate")
+	}
+	if Invalidated(3, nil, &ws) {
+		t.Fatal("empty read-set must not invalidate")
+	}
+}
+
+func TestRetryLoop(t *testing.T) {
+	// Succeeds on the third attempt within a bound of 5: two retries.
+	n := 0
+	retries, completed := RetryLoop(5, func(round int) bool {
+		if round != n {
+			t.Fatalf("round = %d, want %d", round, n)
+		}
+		n++
+		return n == 3
+	})
+	if retries != 2 || !completed {
+		t.Fatalf("RetryLoop = (%d, %v), want (2, true)", retries, completed)
+	}
+	// Exhausts a bound of 3: three failed attempts, not completed.
+	retries, completed = RetryLoop(3, func(int) bool { return false })
+	if retries != 3 || completed {
+		t.Fatalf("bounded RetryLoop = (%d, %v), want (3, false)", retries, completed)
+	}
+	// Unbounded (≤ 0) retries until success.
+	n = 0
+	retries, completed = RetryLoop(0, func(int) bool { n++; return n == 7 })
+	if retries != 6 || !completed {
+		t.Fatalf("unbounded RetryLoop = (%d, %v), want (6, true)", retries, completed)
+	}
+}

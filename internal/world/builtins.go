@@ -32,8 +32,15 @@ func asID(v script.Value) (entity.ID, error) {
 }
 
 // readBuiltins is the read-only core shared by both execution modes:
-// state access, spatial queries and the tick clock.
-func (w *World) readBuiltins() []script.Builtin {
+// state access, spatial queries and the tick clock. buf is the
+// effect-mode invocation buffer, or nil for direct execution; when the
+// OCC conflict policy is active the buffer logs every observed cell as
+// the invocation's read-set (noteRead is free otherwise). Position
+// reads log as the owning entity's x/y cells; nearby logs the query
+// center's position — the neighbor *set* itself is a predicate read the
+// cell-level tracking deliberately approximates (spatial phantoms are
+// out of the conflict policy's scope).
+func (w *World) readBuiltins(buf *EffectBuffer) []script.Builtin {
 	return []script.Builtin{
 		{Name: "get", MinArgs: 2, MaxArgs: 2, Fn: func(args []script.Value) (script.Value, error) {
 			id, err := asID(args[0])
@@ -48,6 +55,7 @@ func (w *World) readBuiltins() []script.Builtin {
 			if err != nil {
 				return script.Null(), err
 			}
+			buf.noteRead(id, col)
 			return script.FromEntity(v), nil
 		}},
 		{Name: "nearby", MinArgs: 2, MaxArgs: 2, Fn: func(args []script.Value) (script.Value, error) {
@@ -59,6 +67,8 @@ func (w *World) readBuiltins() []script.Builtin {
 			if !ok {
 				return script.Null(), fmt.Errorf("world: nearby radius must be numeric")
 			}
+			buf.noteRead(id, "x")
+			buf.noteRead(id, "y")
 			ids := w.Nearby(id, r)
 			out := make([]script.Value, len(ids))
 			for i, got := range ids {
@@ -77,6 +87,14 @@ func (w *World) readBuiltins() []script.Builtin {
 			}
 			pa, okA := w.Pos(a)
 			pb, okB := w.Pos(b)
+			if okA {
+				buf.noteRead(a, "x")
+				buf.noteRead(a, "y")
+			}
+			if okB {
+				buf.noteRead(b, "x")
+				buf.noteRead(b, "y")
+			}
 			if !okA || !okB {
 				return script.Float(math.Inf(1)), nil
 			}
@@ -91,6 +109,7 @@ func (w *World) readBuiltins() []script.Builtin {
 			if !ok {
 				return script.Null(), fmt.Errorf("world: entity %d has no position", id)
 			}
+			buf.noteRead(id, "x")
 			return script.Float(p.X), nil
 		}},
 		{Name: "pos_y", MinArgs: 1, MaxArgs: 1, Fn: func(args []script.Value) (script.Value, error) {
@@ -102,6 +121,7 @@ func (w *World) readBuiltins() []script.Builtin {
 			if !ok {
 				return script.Null(), fmt.Errorf("world: entity %d has no position", id)
 			}
+			buf.noteRead(id, "y")
 			return script.Float(p.Y), nil
 		}},
 		{Name: "tick", MinArgs: 0, MaxArgs: 0, Fn: func([]script.Value) (script.Value, error) {
@@ -154,7 +174,7 @@ func (w *World) moveTowardStep(args []script.Value) (entity.ID, spatial.Vec2, er
 
 // builtins is the direct-execution set: reads plus immediate writes.
 func (w *World) builtins() []script.Builtin {
-	bs := w.readBuiltins()
+	bs := w.readBuiltins(nil)
 	return append(bs, []script.Builtin{
 		{Name: "set", MinArgs: 3, MaxArgs: 3, Fn: func(args []script.Value) (script.Value, error) {
 			id, col, ev, err := setArgs(args)
@@ -245,7 +265,7 @@ func (w *World) builtins() []script.Builtin {
 // writes buffered into buf. rand_float draws a per-(seed, tick, entity)
 // deterministic stream so results do not depend on worker scheduling.
 func (w *World) effectBuiltins(buf *EffectBuffer) []script.Builtin {
-	bs := w.readBuiltins()
+	bs := w.readBuiltins(buf)
 	return append(bs, []script.Builtin{
 		{Name: "set", MinArgs: 3, MaxArgs: 3, Fn: func(args []script.Value) (script.Value, error) {
 			id, col, ev, err := setArgs(args)
@@ -266,6 +286,10 @@ func (w *World) effectBuiltins(buf *EffectBuffer) []script.Builtin {
 			if err != nil {
 				return script.Null(), err
 			}
+			// The step is computed from the entity's frozen position —
+			// a read-modify-write on its x/y cells.
+			buf.noteRead(id, "x")
+			buf.noteRead(id, "y")
 			if err := buf.emitSet(id, "x", entity.Float(np.X)); err != nil {
 				return script.Null(), err
 			}

@@ -75,6 +75,27 @@ type Effect struct {
 	Pos    spatial.Vec2 // Spawn position
 }
 
+// readCell identifies one read (or written) cell for conflict tracking:
+// an entity's column. The owning table is implied — the id allocator
+// never reuses ids, so (id, column) names a cell unambiguously across
+// the whole world (the issue-level description "(table, row, column)"
+// collapses to this pair). readCell is the comparable cell type the
+// generic txn OCC core operates over.
+type readCell struct {
+	id  entity.ID
+	col string
+}
+
+// invocRec marks one invocation's contiguous slice of its buffer's
+// read log. Records stay open while the invocation runs and close on
+// the next begin / closeInvoc; a rolled back invocation's record is
+// popped — it contributed nothing and can never be re-run.
+type invocRec struct {
+	src            entity.ID
+	readLo, readHi int
+	open           bool
+}
+
 // EffectBuffer collects one worker's effects during the query phase.
 // Emission validates against the frozen tick-start state so scripts see
 // the same errors direct execution would have raised (unknown entity,
@@ -84,6 +105,15 @@ type Effect struct {
 type EffectBuffer struct {
 	w       *World
 	effects []Effect
+
+	// trackReads enables per-invocation read-set logging (set when the
+	// world's ConflictPolicy is occ): the read-only builtins note every
+	// cell they observe into reads, and invocs records each invocation's
+	// slice of both logs so the apply phase can validate losers of
+	// conflicting assignments against what they actually read.
+	trackReads bool
+	reads      []readCell
+	invocs     []invocRec
 
 	src      entity.ID
 	seq      int32
@@ -129,15 +159,18 @@ type colInfo struct {
 
 func newEffectBuffer(w *World) *EffectBuffer {
 	return &EffectBuffer{
-		w:         w,
-		provTable: make(map[entity.ID]string),
-		tinfos:    make(map[string]*tableInfo),
+		w:          w,
+		trackReads: w.occEnabled(),
+		provTable:  make(map[entity.ID]string),
+		tinfos:     make(map[string]*tableInfo),
 	}
 }
 
 // reset clears the buffer for a new tick.
 func (b *EffectBuffer) reset() {
 	b.effects = b.effects[:0]
+	b.reads = b.reads[:0]
+	b.invocs = b.invocs[:0]
 	clear(b.provTable)
 }
 
@@ -148,14 +181,51 @@ func (b *EffectBuffer) begin(src entity.ID) int {
 	b.spawnIdx = 0
 	b.memoOK = false
 	b.rng = mix64(uint64(b.w.cfg.Seed)) ^ mix64(uint64(b.w.tick)) ^ mix64(uint64(src)*0x9e3779b97f4a7c15)
+	if b.trackReads {
+		b.closeInvoc()
+		b.invocs = append(b.invocs, invocRec{src: src, readLo: len(b.reads), open: true})
+	}
 	return len(b.effects)
+}
+
+// closeInvoc seals the open invocation record, if any. Idempotent; the
+// physics pass calls it before appending raw deltas so the last
+// behavior invocation's record never swallows them.
+func (b *EffectBuffer) closeInvoc() {
+	if !b.trackReads || len(b.invocs) == 0 {
+		return
+	}
+	last := &b.invocs[len(b.invocs)-1]
+	if last.open {
+		last.readHi = len(b.reads)
+		last.open = false
+	}
+}
+
+// noteRead logs one observed cell of the current invocation. Safe on a
+// nil receiver (direct-execution builtins have no buffer) and free when
+// tracking is off.
+func (b *EffectBuffer) noteRead(id entity.ID, col string) {
+	if b == nil || !b.trackReads {
+		return
+	}
+	b.reads = append(b.reads, readCell{id: id, col: col})
 }
 
 // rollback discards everything emitted since mark — behaviors are
 // atomic: an invocation that errors or runs out of fuel contributes no
-// effects at all.
+// effects at all. Under read tracking the open invocation record and
+// its reads are discarded with it: a rolled-back invocation can never
+// be a conflict participant.
 func (b *EffectBuffer) rollback(mark int) {
 	b.effects = b.effects[:mark]
+	if b.trackReads && len(b.invocs) > 0 {
+		last := &b.invocs[len(b.invocs)-1]
+		if last.open {
+			b.reads = b.reads[:last.readLo]
+			b.invocs = b.invocs[:len(b.invocs)-1]
+		}
+	}
 }
 
 // randFloat draws the next per-invocation deterministic float in [0,1).
@@ -300,8 +370,11 @@ func (b *EffectBuffer) emitPost(name string, target entity.ID, amount entity.Val
 }
 
 // physDelta appends a physics integration delta, ordered after any
-// behavior effect of the same entity.
+// behavior effect of the same entity. Deltas are not invocations (they
+// commute and are never re-run), so any open invocation record is
+// sealed first to keep it from swallowing them.
 func (b *EffectBuffer) physDelta(id entity.ID, seq int32, col string, delta float64) {
+	b.closeInvoc()
 	b.effects = append(b.effects, Effect{
 		Kind: EffectAdd, Src: id, Seq: physicsSeq + seq,
 		Target: id, Col: col, Val: entity.Float(delta),
@@ -325,27 +398,55 @@ func (b *EffectBuffer) physDelta(id entity.ID, seq int32, col string, delta floa
 // points on entity.Table, with one spatial MoveBatch flush for position
 // changes (see apply_batch.go). Config.RowApply selects the legacy
 // row-at-a-time passes; both produce bit-identical world state.
+//
+// This is the ConflictLastWrite path. Config.ConflictPolicy == occ
+// routes applies through applyEffectsOCC (occ.go) instead, which wraps
+// the same merge and passes in a read-set validate / serial re-run
+// loop built on the internal/txn OCC core.
 func (w *World) applyEffects(bufs []*EffectBuffer, effects, conflicts *int) {
+	merged := w.collectMerge(bufs)
+	if len(merged) == 0 {
+		return
+	}
+	*effects += len(merged)
+	w.applyMerged(merged, conflicts)
+}
+
+// collectMerge concatenates the workers' buffers into the world's merge
+// scratch and sorts the result into the deterministic (source id,
+// source order) apply sequence. The returned slice aliases w.mergeBuf;
+// it is valid until the next collectMerge.
+func (w *World) collectMerge(bufs []*EffectBuffer) []Effect {
 	total := 0
 	for _, b := range bufs {
 		total += len(b.effects)
 	}
 	if total == 0 {
-		return
+		return nil
 	}
 	merged := w.mergeBuf[:0]
 	for _, b := range bufs {
 		merged = append(merged, b.effects...)
 	}
 	w.mergeBuf = merged[:0]
+	sortEffects(merged)
+	return merged
+}
+
+// sortEffects orders records by (source id, source order) — the one
+// total order every apply pass consumes.
+func sortEffects(merged []Effect) {
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Src != merged[j].Src {
 			return merged[i].Src < merged[j].Src
 		}
 		return merged[i].Seq < merged[j].Seq
 	})
-	*effects += total
+}
 
+// applyMerged runs the five apply passes over one sorted merged
+// sequence (see applyEffects).
+func (w *World) applyMerged(merged []Effect, conflicts *int) {
 	// Spawns: allocate real ids in deterministic order.
 	var prov map[entity.ID]entity.ID
 	for i := range merged {

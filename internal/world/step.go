@@ -2,6 +2,7 @@ package world
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -119,7 +120,11 @@ func (w *World) Step() (TickStats, error) {
 	st.QueryNS = time.Since(t0).Nanoseconds()
 
 	t1 := time.Now()
-	w.applyEffects(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts)
+	if w.occEnabled() {
+		w.applyEffectsOCC(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts, &st, w.rerunBehavior)
+	} else {
+		w.applyEffects(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts)
+	}
 	st.ApplyNS = time.Since(t1).Nanoseconds()
 
 	t2 := time.Now()
@@ -141,14 +146,7 @@ func (w *World) runWorker(wi, workers int) {
 
 	lo, hi := chunkRange(len(w.rosterBuf), workers, wi)
 	for _, id := range w.rosterBuf[lo:hi] {
-		name := w.behaviors[id]
-		in, cached := interps[name]
-		if !cached {
-			if base := w.scripts[name]; base != nil && base.Program().Fns["on_tick"] != nil {
-				in = base.Clone(w.effectBuiltins(buf))
-			}
-			interps[name] = in
-		}
+		in := w.behaviorInterp(interps, wi, w.behaviors[id])
 		if in == nil {
 			continue
 		}
@@ -190,6 +188,39 @@ func (w *World) runWorker(wi, workers int) {
 			}
 		}
 	}
+}
+
+// behaviorInterp returns worker slot wi's effect-mode clone of the
+// named script, building it on first use (nil when the script has no
+// on_tick). interps is w.workerInterps[wi]; the clone's builtins
+// capture w.workerBufs[wi], so a clone may only run on its own slot.
+func (w *World) behaviorInterp(interps map[string]*script.Interp, wi int, name string) *script.Interp {
+	in, cached := interps[name]
+	if !cached {
+		if base := w.scripts[name]; base != nil && base.Program().Fns["on_tick"] != nil {
+			in = base.Clone(w.effectBuiltins(w.workerBufs[wi]))
+		}
+		interps[name] = in
+	}
+	return in
+}
+
+// rerunBehavior re-executes entity src's behavior for the OCC conflict
+// policy: worker slot 0's clone, emitting into workerBufs[0] (the OCC
+// loop brackets the call with begin/rollback there). An entity that
+// lost its behavior mid-apply — despawned by the round just applied —
+// cannot re-run and aborts.
+func (w *World) rerunBehavior(src entity.ID) (int64, error) {
+	name, ok := w.behaviors[src]
+	if !ok {
+		return 0, fmt.Errorf("world: entity %d no longer runs a behavior", src)
+	}
+	in := w.behaviorInterp(w.workerInterps[0], 0, name)
+	if in == nil {
+		return 0, nil
+	}
+	_, err := in.Call("on_tick", script.Int(int64(src)))
+	return in.FuelUsed(), err
 }
 
 // chunkRange splits n items into contiguous per-worker ranges (the

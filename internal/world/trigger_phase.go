@@ -102,7 +102,11 @@ func (w *World) drainTriggers(st *TickStats) error {
 
 	var errs []error
 	for round := 0; ; round++ {
-		batch := w.trig.TakeRound()
+		// Round batch and match buffers are world scratch the engine
+		// refills, so popping and matching a round allocates nothing in
+		// steady state.
+		batch := w.trig.TakeRound(w.trigEvBuf)
+		w.trigEvBuf = batch
 		if len(batch) == 0 {
 			break
 		}
@@ -113,7 +117,8 @@ func (w *World) drainTriggers(st *TickStats) error {
 			break
 		}
 		st.TriggerRounds++
-		matches := w.trig.MatchRound(batch)
+		matches := w.trig.MatchRound(w.trigMatchBuf, batch)
+		w.trigMatchBuf = matches
 		if len(matches) == 0 {
 			continue
 		}
@@ -308,8 +313,32 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 	}
 
 	// Apply: one deterministic merge ends the round; the events it
-	// posts become the next round's batch.
-	w.applyEffects(bufs, &st.TriggerEffects, &st.TriggerConflicts)
+	// posts become the next round's batch. Under the OCC conflict
+	// policy, losing trigger actions that read cells the winning set
+	// wrote re-run on worker slot 0's clones, looked up by the match's
+	// deterministic source id.
+	if w.occEnabled() {
+		rerun := func(src entity.ID) (int64, error) {
+			mi := int(src - entity.ID(round+1)*triggerRoundStride)
+			if mi < 0 || mi >= len(matches) {
+				return 0, fmt.Errorf("world: re-run source %d outside trigger round %d", src, round)
+			}
+			m := matches[mi]
+			bt := w.trigBound[m.Rule]
+			if bt == nil {
+				// Host Go rules run direct — their writes are never
+				// effects, so they can never lose a merge; defensive.
+				return 0, fmt.Errorf("world: host rule %q cannot re-run", m.Rule.Name)
+			}
+			in := bt.actIns[0]
+			_, err := in.Call("act",
+				script.Int(int64(m.Ev.Entity)), script.FromEntity(m.Ev.Field("amount")))
+			return in.FuelUsed(), err
+		}
+		w.applyEffectsOCC(bufs, &st.TriggerEffects, &st.TriggerConflicts, st, rerun)
+	} else {
+		w.applyEffects(bufs, &st.TriggerEffects, &st.TriggerConflicts)
+	}
 	return errs
 }
 

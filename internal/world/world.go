@@ -18,7 +18,34 @@ import (
 	"gamedb/internal/script"
 	"gamedb/internal/spatial"
 	"gamedb/internal/trigger"
+	"gamedb/internal/txn"
 )
+
+// Conflict policies for the apply phase's conflicting assignments (two
+// invocations `set`ting the same (entity, column) cell in one merge).
+const (
+	// ConflictLastWrite resolves conflicts by the deterministic merged
+	// order: the last write in (source id, source order) wins and the
+	// losing writes are silently superseded. This is the state-effect
+	// paper's resolution-by-fiat, bit-identical to every prior release,
+	// and the default.
+	ConflictLastWrite = "lastwrite"
+	// ConflictOCC gives conflicting assignments serializable semantics
+	// via the generalized internal/txn OCC core: the query phase records
+	// every invocation's read-set, the apply merge detects losing
+	// assignments, and losers that read a cell the winning set wrote are
+	// withheld and re-run serially (deterministic source order, worker
+	// slot 0's fuel-metered interpreter clones) against the post-apply
+	// state, round by round until a fixpoint or Config.EffectRetryCap.
+	// Invocations still conflicting at the cap abort: their effects are
+	// dropped and counted in TickStats.EffectAborts. State remains
+	// hash-invariant across any Shards × Workers combination.
+	ConflictOCC = "occ"
+)
+
+// DefaultEffectRetryCap bounds OCC re-run rounds when
+// Config.EffectRetryCap is unset.
+const DefaultEffectRetryCap = 8
 
 // Config parameterizes a world.
 type Config struct {
@@ -68,6 +95,17 @@ type Config struct {
 	// every world and shard runtime shares by default so Shards ×
 	// Workers configurations cannot oversubscribe the scheduler.
 	Pool *sched.Pool
+	// ConflictPolicy selects how the apply phase resolves conflicting
+	// assignments: ConflictLastWrite (the default; "" and any unknown
+	// value behave identically) or ConflictOCC (serializable re-runs via
+	// read-set validation). See the policy constants for semantics.
+	ConflictPolicy string
+	// EffectRetryCap bounds the OCC re-run rounds of one apply under
+	// ConflictOCC (≤ 0 selects DefaultEffectRetryCap). Each round
+	// re-executes the still-invalidated invocations serially; anything
+	// still conflicting when the cap trips aborts into
+	// TickStats.EffectAborts.
+	EffectRetryCap int
 }
 
 // World is a running game shard.
@@ -130,12 +168,25 @@ type World struct {
 	moveSeen   map[entity.ID]struct{}
 
 	// Trigger-round scratch (trigger_phase.go), reused round-to-round
-	// so cascade draining stops allocating per round.
-	condsBuf   []condResult
-	fuelsBuf   []int64
-	firesBuf   []int
-	actErrBuf  []error
-	actSkipBuf []bool
+	// so cascade draining stops allocating per round. trigEvBuf and
+	// trigMatchBuf are the caller-owned round buffers the engine's
+	// TakeRound/MatchRound fill, so popping and matching a cascade
+	// round allocates nothing in steady state.
+	condsBuf     []condResult
+	fuelsBuf     []int64
+	firesBuf     []int
+	actErrBuf    []error
+	actSkipBuf   []bool
+	trigEvBuf    []trigger.Event
+	trigMatchBuf []trigger.Match
+
+	// OCC conflict-resolution scratch (occ.go), reused apply-to-apply.
+	occWrites    txn.WriteSet[readCell, entity.ID]
+	occReadIdx   map[entity.ID][]readCell
+	occSeen      map[entity.ID]struct{}
+	occExclude   map[entity.ID]struct{}
+	occInvalid   []entity.ID
+	occFilterBuf []Effect
 
 	// LastScriptError keeps the most recent behavior error for
 	// diagnostics; the tick itself continues (one bad designer script
@@ -178,6 +229,15 @@ type TickStats struct {
 	// behavior despawned the same tick).
 	Effects         int
 	EffectConflicts int
+	// EffectRetries counts invocation re-runs performed by the OCC
+	// conflict policy (behavior-phase and trigger-round applies
+	// combined): losers of conflicting assignments that read a cell the
+	// winning set wrote, re-executed against post-apply state.
+	// EffectAborts counts invocations whose effects were dropped — still
+	// conflicting when EffectRetryCap tripped, or erroring during a
+	// re-run. Both stay zero under ConflictLastWrite.
+	EffectRetries int
+	EffectAborts  int
 	// QueryNS, ApplyNS and TriggerNS split the tick's wall time between
 	// the parallel read-only query phase, the sequential effect apply,
 	// and the trigger drain, so the merge overhead and cascade cost are
@@ -234,6 +294,19 @@ func (w *World) SetIDAllocator(next entity.ID, stride uint64) {
 
 // Tick returns the current tick number.
 func (w *World) Tick() int64 { return w.tick }
+
+// occEnabled reports whether the OCC conflict policy is active. Any
+// value other than ConflictOCC — including "" and ConflictLastWrite —
+// selects last-write-wins.
+func (w *World) occEnabled() bool { return w.cfg.ConflictPolicy == ConflictOCC }
+
+// effectRetryCap returns the bounded OCC re-run round count.
+func (w *World) effectRetryCap() int {
+	if w.cfg.EffectRetryCap > 0 {
+		return w.cfg.EffectRetryCap
+	}
+	return DefaultEffectRetryCap
+}
 
 // Triggers exposes the trigger engine for host-registered rules.
 func (w *World) Triggers() *trigger.Engine { return w.trig }
