@@ -20,9 +20,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gamedb/internal/metrics"
+	"gamedb/internal/obs"
 	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
 	"gamedb/internal/world"
@@ -52,7 +54,18 @@ type raceResult struct {
 	elapsed        time.Duration
 }
 
-func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict string) (raceResult, error) {
+// raceObs is the optional observability rig one race runs under:
+// tracer/profiler attachment, live-registry feeding and per-tick
+// reporting. The zero value is fully inert.
+type raceObs struct {
+	tracer *obs.Tracer
+	prof   *obs.Profiler
+	reg    *obs.Registry
+	live   *atomic.Int64 // entity gauge backing
+	report int           // print per-tick stats every N ticks (0 = off)
+}
+
+func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict string, ro raceObs) (raceResult, error) {
 	rt, err := shard.New(shard.Config{
 		Seed:           seed,
 		Shards:         shards,
@@ -64,6 +77,8 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		RebalanceEvery: rebalance,
 		RowApply:       rowApply,
 		ConflictPolicy: conflict,
+		Tracer:         ro.tracer,
+		Profile:        ro.prof,
 	})
 	if err != nil {
 		return raceResult{}, err
@@ -74,10 +89,35 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		return raceResult{}, err
 	}
 
+	printTick := func(st shard.StepStats) {
+		fmt.Printf("  [%d shards] tick %4d  entities=%d ghosts=%d handoffs=%d ghost-ships=%d\n",
+			shards, st.Tick, st.Entities, st.Ghosts, st.Handoffs, st.GhostShips)
+	}
+	lastPrinted := false
 	start := time.Now()
 	for i := 0; i < ticks; i++ {
-		if _, err := rt.Step(); err != nil {
+		tickStart := time.Now()
+		st, err := rt.Step()
+		if err != nil {
 			return raceResult{}, err
+		}
+		if ro.reg != nil {
+			ro.live.Store(int64(st.Entities))
+			ro.reg.Counter("shardsim_ticks_total").Inc()
+			ro.reg.Counter("shardsim_handoffs_total").Add(int64(st.Handoffs))
+			ro.reg.Counter("shardsim_ghost_ships_total").Add(int64(st.GhostShips))
+			ro.reg.Histogram("shardsim_tick_ns").Record(float64(time.Since(tickStart).Nanoseconds()))
+		}
+		lastPrinted = false
+		if ro.report > 0 && int(st.Tick)%ro.report == 0 {
+			printTick(st)
+			lastPrinted = true
+		}
+		// The race's final tick always prints under -report, whether or
+		// not -report divides -ticks: the exit state is the line people
+		// read.
+		if ro.report > 0 && i == ticks-1 && !lastPrinted {
+			printTick(st)
 		}
 	}
 	elapsed := time.Since(start)
@@ -108,6 +148,11 @@ func main() {
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (hash is identical either way)")
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ (hash is identical across shard counts under either)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
+	report := flag.Int("report", 0, "print per-tick stats every N ticks during each race (0 = off; the final tick of a race always prints)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the LAST raced shard count's tick spans to this file")
+	profileOn := flag.Bool("profile", false, "print the per-behavior / per-rule profile of the LAST raced shard count")
+	listen := flag.String("listen", "", "serve /metrics, /trace, /profile and /debug/pprof on this address (operators only; bind a trusted interface such as 127.0.0.1:8080)")
+	linger := flag.Duration("linger", 0, "keep the -listen endpoint serving this long after the races finish")
 	flag.Parse()
 	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
 		fmt.Fprintf(os.Stderr, "shardsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
@@ -120,6 +165,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability rig: the tracer and profiler attach to the LAST
+	// raced shard count only (one runtime's worth of spans/attribution,
+	// not four interleaved); the registry and endpoint span all races.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *listen != "" {
+		tracer = obs.NewTracer(obs.DefaultSpanCap)
+	}
+	var prof *obs.Profiler
+	if *profileOn || *listen != "" {
+		prof = obs.NewProfiler()
+	}
+	var reg *obs.Registry
+	var liveEntities atomic.Int64
+	if *listen != "" {
+		reg = obs.Default()
+		reg.Gauge("shardsim_entities", func() float64 { return float64(liveEntities.Load()) })
+		srv, ln, err := obs.Serve(*listen, obs.NewServeMux(reg, tracer, prof))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "shardsim: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	if !*jsonOut {
 		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d workers/shard, %d cores\n\n",
 			*entities, *side, *side, *ticks, *workers, runtime.GOMAXPROCS(0))
@@ -130,7 +200,14 @@ func main() {
 	var firstHash uint64
 	hashesAgree := true
 	for i, n := range counts {
-		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict)
+		ro := raceObs{reg: reg, live: &liveEntities}
+		if !*jsonOut {
+			ro.report = *report
+		}
+		if i == len(counts)-1 {
+			ro.tracer, ro.prof = tracer, prof
+		}
+		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, ro)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -160,6 +237,10 @@ func main() {
 		})
 	}
 	if *jsonOut {
+		if *profileOn {
+			// Attribution rode on the last race only; attach it there.
+			rep.Records[len(rep.Records)-1].Extra["profile"] = prof.Rows()
+		}
 		if err := metrics.WriteBenchJSON(os.Stdout, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %v\n", err)
 			os.Exit(1)
@@ -167,6 +248,10 @@ func main() {
 	} else {
 		tbl.Note = "hash must be identical across shard counts: handoff + ghost replication preserve state bit-exactly"
 		tbl.Fprint(os.Stdout)
+		if *profileOn {
+			fmt.Println()
+			prof.Table().Fprint(os.Stdout)
+		}
 	}
 	if !hashesAgree {
 		fmt.Fprintln(os.Stderr, "shardsim: FAIL — world hash diverged across shard counts")
@@ -174,5 +259,24 @@ func main() {
 	}
 	if !*jsonOut {
 		fmt.Println("\nall shard counts produced the identical world hash ✓")
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "shardsim: wrote trace of the %d-shard race to %s\n", counts[len(counts)-1], *tracePath)
+		tracer.WriteSlowestTimeline(os.Stderr)
+	}
+	if *listen != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "shardsim: lingering %v for scrapers\n", *linger)
+		time.Sleep(*linger)
 	}
 }

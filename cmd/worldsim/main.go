@@ -5,6 +5,8 @@
 //	worldsim -pack game.xml -ticks 100
 //	worldsim                              # runs the embedded demo pack
 //	worldsim -workers 4 -json > BENCH.json # parallel tick, bench record
+//	worldsim -trace out.json -profile      # tick spans + per-rule profile
+//	worldsim -listen 127.0.0.1:8080        # live /metrics + pprof endpoint
 package main
 
 import (
@@ -12,10 +14,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gamedb/internal/content"
 	"gamedb/internal/metrics"
+	"gamedb/internal/obs"
 	"gamedb/internal/world"
 )
 
@@ -71,6 +75,10 @@ func main() {
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (state is identical either way)")
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run's tick spans to this file")
+	profileOn := flag.Bool("profile", false, "collect and print the per-behavior / per-rule profile")
+	listen := flag.String("listen", "", "serve /metrics, /trace, /profile and /debug/pprof on this address (operators only; bind a trusted interface such as 127.0.0.1:8080)")
+	linger := flag.Duration("linger", 0, "keep the -listen endpoint serving this long after the run finishes (lets a scraper collect final values)")
 	flag.Parse()
 	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
 		fmt.Fprintf(os.Stderr, "worldsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
@@ -99,9 +107,22 @@ func main() {
 	for _, warn := range c.Warnings {
 		fmt.Fprintf(os.Stderr, "worldsim: warning: %v\n", warn)
 	}
+	// Observability: a tracer when anything wants spans, a profiler when
+	// anything wants attribution. Both stay nil (and cost one branch per
+	// hook) unless asked for.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *listen != "" {
+		tracer = obs.NewTracer(obs.DefaultSpanCap)
+	}
+	var prof *obs.Profiler
+	if *profileOn || *listen != "" {
+		prof = obs.NewProfiler()
+	}
+
 	w := world.New(world.Config{
 		Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers,
 		RowApply: *rowApply, ConflictPolicy: *conflict,
+		Trace: tracer.Context(0), Profile: prof,
 	})
 	if err := w.LoadPack(c); err != nil {
 		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
@@ -112,12 +133,35 @@ func main() {
 			c.Name, w.Entities(), w.TableNames(), *workers)
 	}
 
+	// Live endpoint: registry instruments fed from the tick loop, served
+	// alongside the tracer, profiler and pprof.
+	var liveEntities atomic.Int64
+	var reg *obs.Registry
+	if *listen != "" {
+		reg = obs.Default()
+		reg.Gauge("worldsim_entities", func() float64 { return float64(liveEntities.Load()) })
+		srv, ln, err := obs.Serve(*listen, obs.NewServeMux(reg, tracer, prof))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "worldsim: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	var effects, conflicts, retries, aborts, queryNS, applyNS, triggerNS int64
 	var trigFired, trigRounds, trigEffects, trigConflicts int64
 	scriptErrors, scriptSkips := 0, 0
 	entityTicks := 0
+	lastPrinted := false
+	printTick := func(st world.TickStats) {
+		fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d rounds=%d effects=%d fuel=%d errors=%d\n",
+			st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.TriggerRounds,
+			st.Effects+st.TriggerEffects, st.FuelUsed, st.ScriptErrors)
+	}
 	start := time.Now()
 	for i := 0; i < *ticks; i++ {
+		tickStart := time.Now()
 		st, err := w.Step()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worldsim: tick %d: %v\n", st.Tick, err)
@@ -137,13 +181,51 @@ func main() {
 		scriptErrors += st.ScriptErrors
 		scriptSkips += st.ScriptSkips
 		entityTicks += st.Entities
+		if reg != nil {
+			liveEntities.Store(int64(st.Entities))
+			reg.Counter("worldsim_ticks_total").Inc()
+			reg.Counter("worldsim_effects_total").Add(int64(st.Effects + st.TriggerEffects))
+			reg.Counter("worldsim_conflicts_total").Add(int64(st.EffectConflicts + st.TriggerConflicts))
+			reg.Counter("worldsim_script_errors_total").Add(int64(st.ScriptErrors))
+			reg.Histogram("worldsim_tick_ns").Record(float64(time.Since(tickStart).Nanoseconds()))
+		}
+		lastPrinted = false
 		if !*jsonOut && *every > 0 && int(st.Tick)%*every == 0 {
-			fmt.Printf("tick %4d  entities=%d scripts=%d triggers=%d rounds=%d effects=%d fuel=%d errors=%d\n",
-				st.Tick, st.Entities, st.ScriptCalls, st.TriggerFired, st.TriggerRounds,
-				st.Effects+st.TriggerEffects, st.FuelUsed, st.ScriptErrors)
+			printTick(st)
+			lastPrinted = true
+		}
+		// The run's final tick always prints, whether or not -report
+		// divides -ticks: the exit state is the line people read.
+		if !*jsonOut && i == *ticks-1 && !lastPrinted {
+			printTick(st)
 		}
 	}
 	elapsed := time.Since(start)
+
+	// Exit-time observability artifacts, shared by the text and -json
+	// paths: the Chrome trace file (plus a human-readable slowest-tick
+	// timeline on stderr) and the -linger window for scrapers.
+	finish := func() {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err == nil {
+				err = tracer.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "worldsim: trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "worldsim: wrote trace to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *tracePath)
+			tracer.WriteSlowestTimeline(os.Stderr)
+		}
+		if *listen != "" && *linger > 0 {
+			fmt.Fprintf(os.Stderr, "worldsim: lingering %v for scrapers\n", *linger)
+			time.Sleep(*linger)
+		}
+	}
 
 	if *jsonOut {
 		drain := "effect"
@@ -175,6 +257,9 @@ func main() {
 				"trigger_ns_per_op": float64(triggerNS) / float64(*ticks),
 			},
 		})
+		if *profileOn {
+			rep.Records[0].Extra["profile"] = prof.Rows()
+		}
 		if err := metrics.WriteBenchJSON(os.Stdout, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
 			os.Exit(1)
@@ -185,6 +270,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "worldsim: warning: %d script errors during the run (last: %v)\n",
 				scriptErrors, w.LastScriptError)
 		}
+		finish()
 		return
 	}
 	if w.LastScriptError != nil {
@@ -193,4 +279,9 @@ func main() {
 	fmt.Printf("done after %d ticks, %d entities alive (%d effects, %d conflicts, apply %.1f%% of tick)\n",
 		*ticks, w.Entities(), effects, conflicts,
 		100*float64(applyNS)/float64(queryNS+applyNS))
+	if *profileOn {
+		fmt.Println()
+		prof.Table().Fprint(os.Stdout)
+	}
+	finish()
 }

@@ -31,6 +31,7 @@ package gamedb
 import (
 	"gamedb/internal/core"
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/persist"
 	"gamedb/internal/replica"
 	"gamedb/internal/shard"
@@ -107,6 +108,31 @@ type (
 	// checkpointing).
 	EventKeyed = persist.EventKeyed
 )
+
+// Tracer records span-based tick traces for Options.Tracer /
+// ShardedOptions.Tracer; export with WriteChromeTrace or
+// WriteSlowestTimeline. Profiler attributes interpreter time, effects,
+// reads, conflicts, retries and aborts per behavior / trigger rule for
+// Options.Profile / ShardedOptions.Profile. Both are inert with respect
+// to world state (the grid tests pin it).
+type (
+	Tracer   = obs.Tracer
+	Profiler = obs.Profiler
+)
+
+// Observability constructors: a span tracer (spanCap spans retained
+// per shard; <= 0 selects DefaultSpanCap), a profiler, and the
+// /metrics + pprof HTTP rig the sims serve (operators only: bind a
+// trusted interface).
+var (
+	NewTracer   = obs.NewTracer
+	NewProfiler = obs.NewProfiler
+	NewServeMux = obs.NewServeMux
+	Serve       = obs.Serve
+)
+
+// DefaultSpanCap is the per-shard span-ring capacity the sims use.
+const DefaultSpanCap = obs.DefaultSpanCap
 
 // New builds an engine.
 func New(opts Options) (*Engine, error) { return core.New(opts) }

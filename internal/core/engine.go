@@ -10,6 +10,7 @@ import (
 
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/persist"
 	"gamedb/internal/replica"
 	"gamedb/internal/sched"
@@ -50,6 +51,12 @@ type Options struct {
 	ConflictPolicy string
 	// EffectRetryCap bounds OCC re-run rounds (see world.Config).
 	EffectRetryCap int
+	// Tracer records span-based tick traces (nil = off); the engine's
+	// world records onto the tracer's shard-0 context. Profile is the
+	// per-behavior / per-rule profiler (nil = off). Both are inert with
+	// respect to world state (see world.Config.Trace / Profile).
+	Tracer  *obs.Tracer
+	Profile *obs.Profiler
 
 	// Checkpoint enables snapshot persistence with the given policy
 	// (persist.Periodic or persist.EventKeyed). Nil disables it.
@@ -98,6 +105,8 @@ func New(opts Options) (*Engine, error) {
 			Pool:           opts.Pool,
 			ConflictPolicy: opts.ConflictPolicy,
 			EffectRetryCap: opts.EffectRetryCap,
+			Trace:          opts.Tracer.Context(0),
+			Profile:        opts.Profile,
 		}),
 	}
 	if opts.Checkpoint != nil {

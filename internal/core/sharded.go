@@ -6,6 +6,7 @@ import (
 
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/replica"
 	"gamedb/internal/sched"
 	"gamedb/internal/shard"
@@ -47,6 +48,12 @@ type ShardedOptions struct {
 	ConflictPolicy string
 	// EffectRetryCap bounds OCC re-run rounds (see world.Config).
 	EffectRetryCap int
+	// Tracer records span-based tick traces across all shards plus the
+	// coordinator barrier (nil = off); Profile is the per-behavior /
+	// per-rule profiler shared by every shard world (nil = off). See
+	// shard.Config.Tracer / Profile.
+	Tracer  *obs.Tracer
+	Profile *obs.Profiler
 
 	// GhostBand is the mirrored border width (≥ the interaction range;
 	// 0 = default 2×CellSize, negative disables ghosts); GhostFields
@@ -85,6 +92,8 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		Pool:           opts.Pool,
 		ConflictPolicy: opts.ConflictPolicy,
 		EffectRetryCap: opts.EffectRetryCap,
+		Tracer:         opts.Tracer,
+		Profile:        opts.Profile,
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,

@@ -43,6 +43,13 @@ type Histogram struct {
 	min    float64
 	max    float64
 	stride int64 // record every stride-th observation once over cap
+
+	// sorted caches the sort of vals so repeated Quantile calls (a
+	// metrics scrape asks for several quantiles per histogram) don't
+	// copy and re-sort the retained sample each time. Any mutation of
+	// vals marks it dirty; Quantile rebuilds it lazily.
+	sorted []float64
+	dirty  bool
 }
 
 // histCap bounds retained observations so long experiments stay in memory.
@@ -71,9 +78,11 @@ func (h *Histogram) Record(v float64) {
 		}
 		h.vals = kept
 		h.stride *= 2
+		h.dirty = true
 	}
 	if h.count%h.stride == 0 {
 		h.vals = append(h.vals, v)
+		h.dirty = true
 	}
 }
 
@@ -126,9 +135,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if len(h.vals) == 0 {
 		return 0
 	}
-	s := make([]float64, len(h.vals))
-	copy(s, h.vals)
-	sort.Float64s(s)
+	if h.dirty || len(h.sorted) != len(h.vals) {
+		h.sorted = append(h.sorted[:0], h.vals...)
+		sort.Float64s(h.sorted)
+		h.dirty = false
+	}
+	s := h.sorted
 	if q <= 0 {
 		return s[0]
 	}
@@ -155,6 +167,8 @@ func (h *Histogram) Reset() {
 	h.min = 0
 	h.max = 0
 	h.stride = 1
+	h.sorted = h.sorted[:0]
+	h.dirty = false
 }
 
 // Fnum formats a float compactly for table cells: integers print without

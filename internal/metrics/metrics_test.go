@@ -105,6 +105,86 @@ func TestHistogramThinning(t *testing.T) {
 	}
 }
 
+func TestHistogramThinningPreservesTotals(t *testing.T) {
+	// Crossing histCap thins the retained sample but must keep the
+	// exact-statistics fields — Count, Sum, Min, Max — untouched: they
+	// accumulate outside the reservoir.
+	var h Histogram
+	n := histCap + histCap/2
+	var sum float64
+	for i := 1; i <= n; i++ {
+		v := float64(i)
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), sum)
+	}
+	if h.Min() != 1 || h.Max() != float64(n) {
+		t.Fatalf("Min/Max = %v/%v, want 1/%d", h.Min(), h.Max(), n)
+	}
+	// The retained reservoir stays bounded and the quantiles stay
+	// representative of the 1..n ramp: the median near n/2 and the
+	// tails at the extremes, within the thinned sample's resolution.
+	tol := float64(n) * 0.01
+	if med := h.Quantile(0.5); med < float64(n)/2-tol || med > float64(n)/2+tol {
+		t.Fatalf("median = %v, want ≈%v", med, float64(n)/2)
+	}
+	if q9 := h.Quantile(0.9); q9 < 0.9*float64(n)-tol || q9 > 0.9*float64(n)+tol {
+		t.Fatalf("q90 = %v, want ≈%v", q9, 0.9*float64(n))
+	}
+	if q0 := h.Quantile(0); q0 > tol {
+		t.Fatalf("q0 = %v, want near 1", q0)
+	}
+	if q1 := h.Quantile(1); q1 < float64(n)-tol {
+		t.Fatalf("q1 = %v, want near %d", q1, n)
+	}
+}
+
+func TestHistogramQuantileCacheInvalidation(t *testing.T) {
+	// Quantile caches its sorted view; a Record after a Quantile must
+	// invalidate it so the next Quantile sees the new observation.
+	var h Histogram
+	h.Record(10)
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("q1 = %v, want 10", got)
+	}
+	h.Record(30)
+	if got := h.Quantile(1); got != 30 {
+		t.Fatalf("q1 after Record = %v, want 30 (stale sorted cache?)", got)
+	}
+	h.Record(20)
+	if got := h.Quantile(0.5); got != 20 {
+		t.Fatalf("median = %v, want 20", got)
+	}
+	h.Reset()
+	h.Record(5)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("median after Reset = %v, want 5", got)
+	}
+}
+
+// BenchmarkHistogramQuantile prices repeated quantile reads of a large
+// retained sample — the metrics-endpoint scrape pattern (several
+// quantiles per histogram per scrape). The sorted-view cache makes
+// iterations after the first sort O(1) instead of O(n log n).
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < histCap; i++ {
+		h.Record(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.5)
+		h.Quantile(0.9)
+		h.Quantile(0.99)
+	}
+}
+
 func TestHistogramRecordDuration(t *testing.T) {
 	var h Histogram
 	h.RecordDuration(2 * time.Millisecond)

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gamedb/internal/metrics"
+)
+
+// Registry is a process-wide snapshot point for counters, gauges and
+// histograms, servable in the Prometheus text exposition format. The
+// instruments are the metrics package's own (Counter, Histogram), so
+// code already accounting with them registers the same objects instead
+// of double-counting. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string // registration order, for stable exposition
+	counts map[string]*metrics.Counter
+	hists  map[string]*metrics.Histogram
+	gauges map[string]func() float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*metrics.Counter),
+		hists:  make(map[string]*metrics.Histogram),
+		gauges: make(map[string]func() float64),
+	}
+}
+
+// defaultRegistry is the process-wide registry Default returns.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the sims register into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, registering a new one on first
+// use (idempotent: the same name always yields the same counter).
+func (r *Registry) Counter(name string) *metrics.Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &metrics.Counter{}
+		r.counts[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Histogram returns the named histogram, registering a new one on
+// first use. Exposed as a Prometheus summary (quantiles + sum + count).
+func (r *Registry) Histogram(name string) *metrics.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &metrics.Histogram{}
+		r.hists[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// Gauge registers (or replaces) a named gauge read through fn at
+// scrape time. fn must be safe to call from the serving goroutine.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, known := r.gauges[name]; !known {
+		r.order = append(r.order, name)
+	}
+	r.gauges[name] = fn
+}
+
+// summaryQuantiles are the quantile labels a Histogram exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WritePrometheus writes every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), in registration order.
+// Metric names are sanitized to the allowed charset.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	counts := make(map[string]*metrics.Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	hists := make(map[string]*metrics.Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range order {
+		n := SanitizeMetricName(name)
+		switch {
+		case counts[name] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counts[name].Load()); err != nil {
+				return err
+			}
+		case hists[name] != nil:
+			h := hists[name]
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+				return err
+			}
+			for _, q := range summaryQuantiles {
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", n, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count()); err != nil {
+				return err
+			}
+		case gauges[name] != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[name]()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SanitizeMetricName maps an arbitrary instrument name onto the
+// Prometheus metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]*, replacing
+// every disallowed rune with '_'.
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	out := []byte(s)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// sortedNames returns the registered names sorted (test helper and
+// future labeled-family support).
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
 	"gamedb/internal/metrics"
+	"gamedb/internal/obs"
 	"gamedb/internal/replica"
 	"gamedb/internal/sched"
 	"gamedb/internal/spatial"
@@ -77,6 +78,17 @@ type Config struct {
 	// cell, MaxAge 20 ticks). Ghost creation always ships the full row.
 	GhostFields []replica.FieldSpec
 
+	// Tracer records span-based tick traces (nil = tracing off): each
+	// shard world gets its own per-shard span context (query / apply /
+	// trigger rounds / OCC retries, keyed by shard index), and the
+	// runtime records the parallel-phase and barrier spans on the
+	// coordinator context. Tracing never touches world state, so traced
+	// runs keep the Shards × Workers hash invariance.
+	Tracer *obs.Tracer
+	// Profile passes one per-behavior / per-rule profiler through to
+	// every shard world (entries are atomics, so shards share it).
+	Profile *obs.Profiler
+
 	// RebalanceEvery shifts region boundaries toward equalized load
 	// every that many ticks using per-shard entity counts (0 = never).
 	RebalanceEvery int64
@@ -134,6 +146,10 @@ type Runtime struct {
 	// ghostRecs[i] holds shard i's ghost mirrors keyed by entity id.
 	ghostRecs []map[entity.ID]*ghostRec
 
+	// coordSpans is the coordinator's span context (parallel phase and
+	// barrier), nil when tracing is off.
+	coordSpans *obs.SpanCtx
+
 	nextID entity.ID
 	tick   int64
 
@@ -189,6 +205,7 @@ func New(cfg Config) (*Runtime, error) {
 		stepErrs:   make([]error, n),
 		ghostRecs:  make([]map[entity.ID]*ghostRec, n),
 		LocalCount: make([]metrics.Counter, n),
+		coordSpans: cfg.Tracer.Context(obs.CoordShard),
 	}
 	for i := 0; i < n; i++ {
 		w := world.New(world.Config{
@@ -204,6 +221,8 @@ func New(cfg Config) (*Runtime, error) {
 			Pool:           pool,
 			ConflictPolicy: cfg.ConflictPolicy,
 			EffectRetryCap: cfg.EffectRetryCap,
+			Trace:          cfg.Tracer.Context(i),
+			Profile:        cfg.Profile,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).
@@ -335,6 +354,7 @@ func (rt *Runtime) Step() (StepStats, error) {
 		rt.stepErrs[i] = nil
 	}
 	st.ParallelNS = time.Since(t0).Nanoseconds()
+	rt.coordSpans.Span(obs.SpanParallel, rt.tick, -1, t0)
 	if firstErr != nil {
 		return st, firstErr
 	}
@@ -363,6 +383,7 @@ func (rt *Runtime) Step() (StepStats, error) {
 	}
 	st.GhostShips, st.GhostSnapshots = ships, snaps
 	st.BarrierNS = time.Since(t1).Nanoseconds()
+	rt.coordSpans.Span(obs.SpanBarrier, rt.tick, -1, t1)
 
 	for _, w := range rt.worlds {
 		st.Entities += w.LocalEntities()

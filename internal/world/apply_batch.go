@@ -98,12 +98,14 @@ func (w *World) applyAssignColumnar(merged []Effect, resolve func(entity.ID) (en
 		id, ok := resolve(e.Target)
 		if !ok {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		if !memoOK || id != memoID {
 			name, okT := w.tableOf[id]
 			if !okT {
 				*conflicts++
+				w.noteConflict(e.Src)
 				continue
 			}
 			memoID, memoTab, memoOK = id, w.tables[name], true
@@ -122,7 +124,10 @@ func (w *World) applyAssignColumnar(merged []Effect, resolve func(entity.ID) (en
 	}
 
 	// Assignments first, then deltas over the post-assignment values —
-	// the same phase order as the row path.
+	// the same phase order as the row path. Batch-level skips count in
+	// the aggregate conflict tally only: the batch entry points report
+	// how many records skipped, not which, so per-unit profiling
+	// attribution covers the per-record sites above instead.
 	for i := range w.setBatches {
 		g := &w.setBatches[i]
 		skipped, err := g.tab.SetColumnBatch(g.col, g.ids, g.vals)

@@ -457,6 +457,7 @@ func (w *World) applyMerged(merged []Effect, conflicts *int) {
 		id, err := w.Spawn(e.Name, e.Pos)
 		if err != nil {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		if prov == nil {
@@ -487,14 +488,17 @@ func (w *World) applyMerged(merged []Effect, conflicts *int) {
 		id, ok := resolve(e.Target)
 		if !ok {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		if _, exists := w.tableOf[id]; !exists {
 			*conflicts++ // raced with another despawn
+			w.noteConflict(e.Src)
 			continue
 		}
 		if err := w.Despawn(id); err != nil {
 			*conflicts++
+			w.noteConflict(e.Src)
 		}
 	}
 
@@ -507,6 +511,7 @@ func (w *World) applyMerged(merged []Effect, conflicts *int) {
 		id, ok := resolve(e.Target)
 		if !ok {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		w.Post(e.Name, id, e.Val)
@@ -528,10 +533,12 @@ func (w *World) applyAssignRows(merged []Effect, resolve func(entity.ID) (entity
 		id, ok := resolve(e.Target)
 		if !ok {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		if err := w.Set(id, e.Col, e.Val); err != nil {
 			*conflicts++
+			w.noteConflict(e.Src)
 		}
 	}
 
@@ -544,11 +551,13 @@ func (w *World) applyAssignRows(merged []Effect, resolve func(entity.ID) (entity
 		id, ok := resolve(e.Target)
 		if !ok {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		cur, err := w.Get(id, e.Col)
 		if err != nil {
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		var next entity.Value
@@ -557,6 +566,7 @@ func (w *World) applyAssignRows(merged []Effect, resolve func(entity.ID) (entity
 			d, okI := e.Val.AsInt()
 			if !okI {
 				*conflicts++
+				w.noteConflict(e.Src)
 				continue
 			}
 			next = entity.Int(cur.Int() + d)
@@ -564,15 +574,18 @@ func (w *World) applyAssignRows(merged []Effect, resolve func(entity.ID) (entity
 			d, okF := e.Val.AsFloat()
 			if !okF {
 				*conflicts++
+				w.noteConflict(e.Src)
 				continue
 			}
 			next = entity.Float(cur.Float() + d)
 		default:
 			*conflicts++
+			w.noteConflict(e.Src)
 			continue
 		}
 		if err := w.Set(id, e.Col, next); err != nil {
 			*conflicts++
+			w.noteConflict(e.Src)
 		}
 	}
 }

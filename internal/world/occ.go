@@ -41,7 +41,10 @@ package world
 // conflicting assignments the policy is byte-identical to lastwrite.
 
 import (
+	"time"
+
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/txn"
 )
 
@@ -79,8 +82,10 @@ func (w *World) applyEffectsOCC(bufs []*EffectBuffer, effects, conflicts *int, s
 	w.applyMerged(applied, conflicts)
 
 	buf := w.workerBufs[0]
-	_, completed := txn.RetryLoop(w.effectRetryCap(), func(int) bool {
+	_, completed := txn.RetryLoop(w.effectRetryCap(), func(round int) bool {
+		rt0 := time.Now()
 		st.EffectRetries += len(invalid)
+		w.noteRetries(invalid)
 		buf.reset()
 		for _, src := range invalid {
 			mark := buf.begin(src)
@@ -91,6 +96,7 @@ func (w *World) applyEffectsOCC(bufs []*EffectBuffer, effects, conflicts *int, s
 				// exhaustion, its entity despawned mid-apply): abort it.
 				buf.rollback(mark)
 				st.EffectAborts++
+				w.noteAbort(src)
 			}
 		}
 		buf.closeInvoc()
@@ -105,12 +111,14 @@ func (w *World) applyEffectsOCC(bufs []*EffectBuffer, effects, conflicts *int, s
 		}
 		*effects += len(roundApplied)
 		w.applyMerged(roundApplied, conflicts)
+		w.trace.Span(obs.SpanOCCRetry, w.tick, round, rt0)
 		return len(invalid) == 0
 	})
 	if !completed {
 		// Retry cap exhausted: the still-invalid invocations abort with
 		// their final-round effects withheld (bounded-OCC rollback).
 		st.EffectAborts += len(invalid)
+		w.noteAborts(invalid)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/script"
 )
 
@@ -118,18 +119,26 @@ func (w *World) Step() (TickStats, error) {
 		w.LastScriptError = tickErr
 	}
 	st.QueryNS = time.Since(t0).Nanoseconds()
+	w.trace.Span(obs.SpanQuery, w.tick, -1, t0)
 
 	t1 := time.Now()
+	if w.prof != nil {
+		w.profOf = w.behaviorProf
+	}
 	if w.occEnabled() {
 		w.applyEffectsOCC(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts, &st, w.rerunBehavior)
 	} else {
 		w.applyEffects(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts)
 	}
+	w.profOf = nil
 	st.ApplyNS = time.Since(t1).Nanoseconds()
+	w.trace.Span(obs.SpanApply, w.tick, -1, t1)
 
 	t2 := time.Now()
 	err := w.drainTriggers(&st)
 	st.TriggerNS = time.Since(t2).Nanoseconds()
+	w.trace.Span(obs.SpanTrigger, w.tick, -1, t2)
+	w.trace.Span(obs.SpanTick, w.tick, -1, t0)
 	if err != nil {
 		return st, err
 	}
@@ -144,14 +153,27 @@ func (w *World) runWorker(wi, workers int) {
 	interps := w.workerInterps[wi]
 	ws := &w.workerStats[wi]
 
+	var profs map[string]*obs.ProfEntry
+	if w.prof != nil {
+		profs = w.workerProfs[wi]
+	}
+
 	lo, hi := chunkRange(len(w.rosterBuf), workers, wi)
 	for _, id := range w.rosterBuf[lo:hi] {
-		in := w.behaviorInterp(interps, wi, w.behaviors[id])
+		name := w.behaviors[id]
+		in := w.behaviorInterp(interps, wi, name)
 		if in == nil {
 			continue
 		}
+		var pe *obs.ProfEntry
+		if profs != nil {
+			pe = w.profFor(profs, name)
+		}
+		reads0 := len(buf.reads)
 		mark := buf.begin(id)
+		start, sampling := pe.BeginSample()
 		_, err := in.Call("on_tick", script.Int(int64(id)))
+		pe.EndSample(start, sampling)
 		ws.calls++
 		ws.fuel += in.FuelUsed()
 		if err != nil {
@@ -162,6 +184,18 @@ func (w *World) runWorker(wi, workers int) {
 				ws.errors++
 				if ws.firstErr == nil {
 					ws.firstErr, ws.errID = err, id
+				}
+			}
+		}
+		if pe != nil {
+			// Counted after rollback handling: an errored invocation is
+			// atomic and contributed no effects or reads.
+			pe.AddCall(in.FuelUsed(), int64(len(buf.effects)-mark), int64(len(buf.reads)-reads0))
+			if err != nil {
+				if isFuelErr(err) {
+					pe.AddSkip()
+				} else {
+					pe.AddError()
 				}
 			}
 		}
@@ -247,6 +281,11 @@ func (w *World) ensureWorkers(n int) {
 	}
 	for len(w.workerInterps) < n {
 		w.workerInterps = append(w.workerInterps, make(map[string]*script.Interp))
+	}
+	if w.prof != nil {
+		for len(w.workerProfs) < n {
+			w.workerProfs = append(w.workerProfs, make(map[string]*obs.ProfEntry))
+		}
 	}
 }
 

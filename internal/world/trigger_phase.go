@@ -27,8 +27,10 @@ package world
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/script"
 	"gamedb/internal/trigger"
 )
@@ -45,6 +47,12 @@ type boundTrigger struct {
 
 	condIns []*script.Interp
 	actIns  []*script.Interp
+
+	// prof is the rule's "trigger/<name>" profile entry, resolved once
+	// when clones first grow (nil with profiling off — every use is
+	// nil-safe). Caching it here keeps the act fan-out free of profiler
+	// map lookups.
+	prof *obs.ProfEntry
 }
 
 // triggerRoundStride separates the per-round source-id ranges of the
@@ -65,6 +73,9 @@ func triggerSrc(round, mi int) entity.ID {
 // demand-driven — only rules actually matched in a round grow clones,
 // so dead (Once-consumed, unregistered) rules never allocate.
 func (w *World) ensureTriggerClones(bt *boundTrigger, n int) {
+	if w.prof != nil && bt.prof == nil {
+		bt.prof = w.prof.Entry("trigger/" + bt.name)
+	}
 	for len(bt.actIns) < n {
 		wi := len(bt.actIns)
 		bt.actIns = append(bt.actIns, script.NewInterp(bt.act, script.Options{
@@ -144,6 +155,7 @@ type condResult struct {
 // cond / resolve / act / apply pipeline, appending per-rule errors
 // (the round always completes).
 func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int, st *TickStats) []error {
+	roundStart := time.Now()
 	// The round starts from applied state; whatever the buffers held
 	// has already been merged.
 	bufs := w.workerBufs[:workers]
@@ -183,8 +195,13 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 			}
 			in := bt.condIns[wi]
 			mark := buf.begin(triggerSrc(round, mi))
+			// Conditions contribute sampled wall time to the rule's
+			// profile (they are queries — effects roll back, so the
+			// exact counters come from the act pass alone).
+			tSample, sampling := bt.prof.BeginSample()
 			v, err := in.Call("cond",
 				script.Int(int64(m.Ev.Entity)), script.FromEntity(m.Ev.Field("amount")))
+			bt.prof.EndSample(tSample, sampling)
 			buf.rollback(mark) // conditions are queries: discard any emission
 			fuels[wi] += in.FuelUsed()
 			if err != nil {
@@ -285,9 +302,12 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 			m := matches[mi]
 			bt := w.trigBound[m.Rule]
 			in := bt.actIns[wi]
+			reads0 := len(buf.reads)
 			mark := buf.begin(triggerSrc(round, mi))
+			tSample, sampling := bt.prof.BeginSample()
 			_, err := in.Call("act",
 				script.Int(int64(m.Ev.Entity)), script.FromEntity(m.Ev.Field("amount")))
+			bt.prof.EndSample(tSample, sampling)
 			fuels[wi] += in.FuelUsed()
 			if err != nil {
 				buf.rollback(mark)
@@ -295,6 +315,17 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 					actSkip[fi] = true
 				} else {
 					actErrs[fi] = fmt.Errorf("trigger: rule %q action: %w", bt.name, err)
+				}
+			}
+			if bt.prof != nil {
+				// Counted after rollback handling, like runWorker.
+				bt.prof.AddCall(in.FuelUsed(), int64(len(buf.effects)-mark), int64(len(buf.reads)-reads0))
+				if err != nil {
+					if isFuelErr(err) {
+						bt.prof.AddSkip()
+					} else {
+						bt.prof.AddError()
+					}
 				}
 			}
 		}
@@ -317,6 +348,20 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 	// policy, losing trigger actions that read cells the winning set
 	// wrote re-run on worker slot 0's clones, looked up by the match's
 	// deterministic source id.
+	if w.prof != nil {
+		// Round sources map back to their rule for conflict / retry /
+		// abort attribution, by the same arithmetic the OCC re-run uses.
+		base := entity.ID(round+1) * triggerRoundStride
+		w.profOf = func(src entity.ID) *obs.ProfEntry {
+			mi := int(src - base)
+			if mi >= 0 && mi < len(matches) {
+				if bt := w.trigBound[matches[mi].Rule]; bt != nil {
+					return bt.prof
+				}
+			}
+			return w.otherProf
+		}
+	}
 	if w.occEnabled() {
 		rerun := func(src entity.ID) (int64, error) {
 			mi := int(src - entity.ID(round+1)*triggerRoundStride)
@@ -339,6 +384,8 @@ func (w *World) runTriggerRound(round int, matches []trigger.Match, workers int,
 	} else {
 		w.applyEffects(bufs, &st.TriggerEffects, &st.TriggerConflicts)
 	}
+	w.profOf = nil
+	w.trace.Span(obs.SpanTrigRnd, w.tick, round, roundStart)
 	return errs
 }
 

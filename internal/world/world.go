@@ -14,6 +14,7 @@ import (
 
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/obs"
 	"gamedb/internal/sched"
 	"gamedb/internal/script"
 	"gamedb/internal/spatial"
@@ -106,6 +107,20 @@ type Config struct {
 	// still conflicting when the cap trips aborts into
 	// TickStats.EffectAborts.
 	EffectRetryCap int
+	// Trace is the span context the tick phases record into — query,
+	// apply, trigger drain, each trigger cascade round and each OCC
+	// retry round, plus the enclosing tick span (nil = tracing off).
+	// Recording reads the clock and appends into a fixed ring; it never
+	// touches tables, effect ordering or RNG streams, so traced runs
+	// stay hash-identical to untraced ones.
+	Trace *obs.SpanCtx
+	// Profile is the per-behavior / per-rule profiler invocations
+	// attribute to (nil = profiling off): exact call / fuel / effect /
+	// read-set counters plus 1-in-16 sampled wall time per behavior
+	// script and trigger rule, with OCC retries/aborts and apply-phase
+	// conflicts attributed back to the responsible unit. Like Trace,
+	// profiling is inert with respect to world state.
+	Profile *obs.Profiler
 }
 
 // World is a running game shard.
@@ -179,6 +194,20 @@ type World struct {
 	actSkipBuf   []bool
 	trigEvBuf    []trigger.Event
 	trigMatchBuf []trigger.Match
+
+	// Observability (instrument.go). trace/prof mirror Config.Trace /
+	// Config.Profile; nil means off, and every hook no-ops behind one
+	// nil check. workerProfs caches each worker's behavior-name → entry
+	// resolutions so the hot loop pays one map hit, not a profiler
+	// lock; otherProf attributes records whose source runs no behavior
+	// (pure-physics entities); profOf is the source-id → entry mapping
+	// of the apply currently in flight (set by the owning phase so
+	// conflict / retry / abort attribution knows whose record dropped).
+	trace       *obs.SpanCtx
+	prof        *obs.Profiler
+	workerProfs []map[string]*obs.ProfEntry
+	otherProf   *obs.ProfEntry
+	profOf      func(entity.ID) *obs.ProfEntry
 
 	// OCC conflict-resolution scratch (occ.go), reused apply-to-apply.
 	occWrites    txn.WriteSet[readCell, entity.ID]
@@ -262,7 +291,7 @@ func New(cfg Config) *World {
 	if pool == nil {
 		pool = sched.Shared()
 	}
-	return &World{
+	w := &World{
 		cfg:        cfg,
 		pool:       pool,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
@@ -276,7 +305,13 @@ func New(cfg Config) *World {
 		trig:       trigger.NewEngine(0),
 		trigBound:  make(map[*trigger.Rule]*boundTrigger),
 		idStride:   1,
+		trace:      cfg.Trace,
+		prof:       cfg.Profile,
 	}
+	if w.prof != nil {
+		w.otherProf = w.prof.Entry("(physics)")
+	}
+	return w
 }
 
 // SetIDAllocator makes locally assigned entity IDs start at next and
