@@ -559,7 +559,7 @@ func BenchmarkE14ParallelTick(b *testing.B) {
 // fires a 3-round self-targeted trigger cascade each tick (the shared
 // shard.CascadePackXML scenario, so bench and the shard grid test race
 // the same workload).
-func cascadeBenchWorld(b *testing.B, n, workers int, direct, rowApply bool) *world.World {
+func cascadeBenchWorld(b *testing.B, n, workers int, direct, rowApply bool, compile string) *world.World {
 	b.Helper()
 	c, errs := content.LoadAndCompile(strings.NewReader(shard.CascadePackXML))
 	if len(errs) > 0 {
@@ -568,6 +568,7 @@ func cascadeBenchWorld(b *testing.B, n, workers int, direct, rowApply bool) *wor
 	w := world.New(world.Config{
 		Seed: 42, CellSize: 16, ScriptFuel: 1 << 40, TickDT: 0.5,
 		Workers: workers, DirectTriggers: direct, RowApply: rowApply,
+		CompileBehaviors: compile,
 	})
 	if err := w.LoadPack(c); err != nil {
 		b.Fatal(err)
@@ -621,12 +622,12 @@ func BenchmarkE15TriggerCascade(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("direct-w%d", workers), func(b *testing.B) {
-			run(b, cascadeBenchWorld(b, units, workers, true, false))
+			run(b, cascadeBenchWorld(b, units, workers, true, false, ""))
 		})
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("effect-w%d", workers), func(b *testing.B) {
-			run(b, cascadeBenchWorld(b, units, workers, false, false))
+			run(b, cascadeBenchWorld(b, units, workers, false, false, ""))
 		})
 	}
 }
@@ -635,7 +636,7 @@ func BenchmarkE15TriggerCascade(b *testing.B) {
 // shard.MinglePackXML crowd (neighbor scan + two position sets + an int
 // add per entity, velocity physics adding x/y deltas), the workload
 // whose tick cost concentrates in the effect-apply phase.
-func applyBenchWorld(b *testing.B, n, workers int, rowApply bool) *world.World {
+func applyBenchWorld(b *testing.B, n, workers int, rowApply bool, compile string) *world.World {
 	b.Helper()
 	c, errs := content.LoadAndCompile(strings.NewReader(shard.MinglePackXML))
 	if len(errs) > 0 {
@@ -644,6 +645,7 @@ func applyBenchWorld(b *testing.B, n, workers int, rowApply bool) *world.World {
 	w := world.New(world.Config{
 		Seed: 42, CellSize: 8, ScriptFuel: 1 << 40, TickDT: 0.5,
 		Workers: workers, RowApply: rowApply,
+		CompileBehaviors: compile,
 	})
 	if err := w.LoadPack(c); err != nil {
 		b.Fatal(err)
@@ -676,7 +678,7 @@ func applyBenchWorld(b *testing.B, n, workers int, rowApply bool) *world.World {
 func BenchmarkE16ApplyBatch(b *testing.B) {
 	const units = 2500
 	runApply := func(b *testing.B, rowApply bool, workers int) {
-		w := applyBenchWorld(b, units, workers, rowApply)
+		w := applyBenchWorld(b, units, workers, rowApply, "")
 		b.ReportAllocs()
 		b.ResetTimer()
 		var applyNS, queryNS int64
@@ -704,7 +706,7 @@ func BenchmarkE16ApplyBatch(b *testing.B) {
 		})
 	}
 	runCascadeMode := func(b *testing.B, rowApply bool, workers int) {
-		w := cascadeBenchWorld(b, 2000, workers, false, rowApply)
+		w := cascadeBenchWorld(b, 2000, workers, false, rowApply, "")
 		b.ReportAllocs()
 		b.ResetTimer()
 		var trigNS int64
@@ -789,6 +791,57 @@ func BenchmarkE17ConflictPolicy(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("occ-w%d", workers), func(b *testing.B) {
 			run(b, world.ConflictOCC, workers)
+		})
+	}
+}
+
+// BenchmarkE21CompiledBehaviors: per-entity interpretation vs compiled
+// set-at-a-time query plans (Config.CompileBehaviors) on the two
+// tick-pipeline workloads — the E16 apply-heavy mingle crowd and the
+// E15 trigger cascade — at 1/4 workers. Both modes produce bit-identical
+// state (TestCompiledBehaviorsHashInvariantAcrossGrid pins it), so the
+// delta is pure behavior-execution cost: query-ns/op isolates the phase
+// the compiler rebuilt and coverage reports the compiled share of
+// behavior invocations (1.0 = every on_tick ran as a plan).
+func BenchmarkE21CompiledBehaviors(b *testing.B) {
+	run := func(b *testing.B, w *world.World, units int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var queryNS int64
+		calls, compiled := 0, 0
+		for i := 0; i < b.N; i++ {
+			st, err := w.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.ScriptErrors > 0 || st.TriggerErrors > 0 {
+				b.Fatalf("errors during bench: %v", w.LastScriptError)
+			}
+			queryNS += st.QueryNS
+			calls += st.ScriptCalls
+			compiled += st.CompiledCalls
+		}
+		b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+		b.ReportMetric(float64(queryNS)/float64(b.N), "query-ns/op")
+		if calls > 0 {
+			b.ReportMetric(float64(compiled)/float64(calls), "coverage")
+		}
+	}
+	const mingleUnits, cascadeUnits = 2500, 2000
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("apply-heavy/interp-w%d", workers), func(b *testing.B) {
+			run(b, applyBenchWorld(b, mingleUnits, workers, false, world.CompileOff), mingleUnits)
+		})
+		b.Run(fmt.Sprintf("apply-heavy/compiled-w%d", workers), func(b *testing.B) {
+			run(b, applyBenchWorld(b, mingleUnits, workers, false, world.CompileOn), mingleUnits)
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cascade/interp-w%d", workers), func(b *testing.B) {
+			run(b, cascadeBenchWorld(b, cascadeUnits, workers, false, false, world.CompileOff), cascadeUnits)
+		})
+		b.Run(fmt.Sprintf("cascade/compiled-w%d", workers), func(b *testing.B) {
+			run(b, cascadeBenchWorld(b, cascadeUnits, workers, false, false, world.CompileOn), cascadeUnits)
 		})
 	}
 }

@@ -4,24 +4,30 @@
 //	gslrun script.gsl              # run top-level statements, then main()
 //	gslrun -restricted script.gsl  # enforce the no-loop/no-recursion regime
 //	gslrun -check script.gsl       # parse + restricted check only
+//	gslrun -plan script.gsl        # print the compiled on_tick query plan
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"gamedb/internal/gslplan"
 	"gamedb/internal/script"
 )
 
 func main() {
 	restricted := flag.Bool("restricted", false, "enforce restricted mode (no loops, no recursion)")
 	checkOnly := flag.Bool("check", false, "only parse and run restricted-mode checks")
+	plan := flag.Bool("plan", false, "print the compiled on_tick query plan (or the fallback reason)")
 	fuel := flag.Int64("fuel", script.DefaultFuel, "fuel budget per run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gslrun [-restricted] [-check] [-fuel N] <script.gsl>")
+		fmt.Fprintln(os.Stderr, "usage: gslrun [-restricted] [-check] [-plan] [-fuel N] <script.gsl>")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -33,6 +39,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gslrun: %v\n", err)
 		os.Exit(1)
+	}
+	if *plan {
+		name := strings.TrimSuffix(filepath.Base(flag.Arg(0)), filepath.Ext(flag.Arg(0)))
+		p, err := gslplan.Compile(name, prog)
+		if err != nil {
+			var nc *gslplan.NotCompilable
+			if errors.As(err, &nc) {
+				fmt.Printf("interpreter fallback: %s (line %d)\n", nc.Construct, nc.Line)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "gslrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(p.Explain())
+		return
 	}
 	violations := script.CheckRestricted(prog)
 	if *checkOnly {

@@ -50,6 +50,8 @@ type raceResult struct {
 	ghosts         int
 	ghostShips     int64
 	stepP99NS      float64
+	scriptCalls    int64
+	compiledCalls  int64
 	hash           uint64
 	elapsed        time.Duration
 }
@@ -65,7 +67,7 @@ type raceObs struct {
 	report int           // print per-tick stats every N ticks (0 = off)
 }
 
-func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict string, ro raceObs) (raceResult, error) {
+func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile string, ro raceObs) (raceResult, error) {
 	rt, err := shard.New(shard.Config{
 		Seed:           seed,
 		Shards:         shards,
@@ -79,6 +81,8 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		ConflictPolicy: conflict,
 		Tracer:         ro.tracer,
 		Profile:        ro.prof,
+
+		CompileBehaviors: compile,
 	})
 	if err != nil {
 		return raceResult{}, err
@@ -94,12 +98,17 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 			shards, st.Tick, st.Entities, st.Ghosts, st.Handoffs, st.GhostShips)
 	}
 	lastPrinted := false
+	var scriptCalls, compiledCalls int64
 	start := time.Now()
 	for i := 0; i < ticks; i++ {
 		tickStart := time.Now()
 		st, err := rt.Step()
 		if err != nil {
 			return raceResult{}, err
+		}
+		for _, ws := range st.Shards {
+			scriptCalls += int64(ws.ScriptCalls)
+			compiledCalls += int64(ws.CompiledCalls)
 		}
 		if ro.reg != nil {
 			ro.live.Store(int64(st.Entities))
@@ -131,6 +140,8 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		ghosts:         rt.Ghosts(),
 		ghostShips:     rt.GhostShipTotal.Load(),
 		stepP99NS:      rt.StepNS.Quantile(0.99),
+		scriptCalls:    scriptCalls,
+		compiledCalls:  compiledCalls,
 		hash:           rt.Hash(),
 		elapsed:        elapsed,
 	}, nil
@@ -147,6 +158,7 @@ func main() {
 	workers := flag.Int("workers", 1, "per-shard query-phase workers (hash is identical for any value)")
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (hash is identical either way)")
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ (hash is identical across shard counts under either)")
+	compile := flag.String("compile", world.CompileOff, "behavior execution on every shard world: off (interpret) | on (compile to set-at-a-time query plans, hash identical either way)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
 	report := flag.Int("report", 0, "print per-tick stats every N ticks during each race (0 = off; the final tick of a race always prints)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the LAST raced shard count's tick spans to this file")
@@ -156,6 +168,10 @@ func main() {
 	flag.Parse()
 	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
 		fmt.Fprintf(os.Stderr, "shardsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
+		os.Exit(2)
+	}
+	if *compile != world.CompileOff && *compile != world.CompileOn {
+		fmt.Fprintf(os.Stderr, "shardsim: unknown -compile %q (want on or off)\n", *compile)
 		os.Exit(2)
 	}
 
@@ -207,7 +223,7 @@ func main() {
 		if i == len(counts)-1 {
 			ro.tracer, ro.prof = tracer, prof
 		}
-		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, ro)
+		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, ro)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -227,6 +243,9 @@ func main() {
 			Extra: map[string]any{
 				"workers":           *workers,
 				"conflict_policy":   *conflict,
+				"compile_behaviors": *compile,
+				"compiled_calls":    res.compiledCalls,
+				"script_calls":      res.scriptCalls,
 				"ticks_per_sec":     res.ticksPerSec,
 				"handoffs_per_tick": res.handoffsPerTik,
 				"ghosts":            res.ghosts,

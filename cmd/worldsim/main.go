@@ -23,6 +23,15 @@ import (
 	"gamedb/internal/world"
 )
 
+// coverage is the compiled-plan share of behavior invocations (0 when
+// nothing ran).
+func coverage(compiled, calls int) float64 {
+	if calls == 0 {
+		return 0
+	}
+	return float64(compiled) / float64(calls)
+}
+
 const demoPack = `
 <contentpack name="demo-skirmish">
   <schema table="units">
@@ -74,6 +83,7 @@ func main() {
 	directTriggers := flag.Bool("direct-triggers", false, "use the legacy single-threaded direct-write trigger drain")
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (state is identical either way)")
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ")
+	compile := flag.String("compile", world.CompileOff, "behavior execution: off (interpret) | on (compile to set-at-a-time query plans, state identical either way)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run's tick spans to this file")
 	profileOn := flag.Bool("profile", false, "collect and print the per-behavior / per-rule profile")
@@ -82,6 +92,10 @@ func main() {
 	flag.Parse()
 	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
 		fmt.Fprintf(os.Stderr, "worldsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
+		os.Exit(2)
+	}
+	if *compile != world.CompileOff && *compile != world.CompileOn {
+		fmt.Fprintf(os.Stderr, "worldsim: unknown -compile %q (want on or off)\n", *compile)
 		os.Exit(2)
 	}
 
@@ -121,7 +135,7 @@ func main() {
 
 	w := world.New(world.Config{
 		Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers,
-		RowApply: *rowApply, ConflictPolicy: *conflict,
+		RowApply: *rowApply, ConflictPolicy: *conflict, CompileBehaviors: *compile,
 		Trace: tracer.Context(0), Profile: prof,
 	})
 	if err := w.LoadPack(c); err != nil {
@@ -152,6 +166,7 @@ func main() {
 	var effects, conflicts, retries, aborts, queryNS, applyNS, triggerNS int64
 	var trigFired, trigRounds, trigEffects, trigConflicts int64
 	scriptErrors, scriptSkips := 0, 0
+	scriptCalls, compiledCalls := 0, 0
 	entityTicks := 0
 	lastPrinted := false
 	printTick := func(st world.TickStats) {
@@ -180,6 +195,8 @@ func main() {
 		trigConflicts += int64(st.TriggerConflicts)
 		scriptErrors += st.ScriptErrors
 		scriptSkips += st.ScriptSkips
+		scriptCalls += st.ScriptCalls
+		compiledCalls += st.CompiledCalls
 		entityTicks += st.Entities
 		if reg != nil {
 			liveEntities.Store(int64(st.Entities))
@@ -242,6 +259,9 @@ func main() {
 				"ticks":             *ticks,
 				"trigger_drain":     drain,
 				"conflict_policy":   *conflict,
+				"compile_behaviors": *compile,
+				"compiled_calls":    compiledCalls,
+				"compiled_coverage": coverage(compiledCalls, scriptCalls),
 				"effects_per_tick":  float64(effects) / float64(*ticks),
 				"effect_conflicts":  conflicts,
 				"effect_retries":    retries,

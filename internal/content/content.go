@@ -154,9 +154,11 @@ type Compiled struct {
 	Frames     []UIFrame
 	Spawns     []SpawnDef
 	// Warnings are non-fatal lint findings (see lint.go): the pack
-	// loads, but something in it is a known hazard — currently
-	// set(x, get(x)…) accumulation in trigger bodies, which is
-	// last-write-wins under the effect-aware trigger drain.
+	// loads, but something in it is a known hazard — set(x, get(x)…)
+	// accumulation in trigger bodies (last-write-wins under the
+	// effect-aware trigger drain), and behavior scripts whose on_tick
+	// cannot lower onto a set-at-a-time query plan (they stay on the
+	// per-entity interpreter when CompileBehaviors is on).
 	Warnings []Warning
 }
 
@@ -306,7 +308,9 @@ func Compile(p *Pack) (*Compiled, []error) {
 				continue
 			}
 		}
-		c.Scripts[sd.Name] = &CompiledScript{Name: sd.Name, Restricted: restricted, Prog: prog}
+		cs := &CompiledScript{Name: sd.Name, Restricted: restricted, Prog: prog}
+		c.Scripts[sd.Name] = cs
+		c.Warnings = append(c.Warnings, lintScript(cs)...)
 	}
 
 	for _, td := range p.Triggers {

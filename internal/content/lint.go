@@ -11,24 +11,58 @@ package content
 // migration hazard before it bites.
 
 import (
+	"errors"
 	"fmt"
 
+	"gamedb/internal/gslplan"
 	"gamedb/internal/script"
 )
 
 // Warning is one non-fatal content-pack lint finding. Compile collects
 // them on Compiled.Warnings; packs with warnings still load.
 type Warning struct {
-	// Trigger names the rule whose body tripped the lint.
+	// Trigger names the rule whose body tripped the lint; empty for
+	// script findings.
 	Trigger string
-	// Line is the source line inside the generated trigger program.
+	// Script names the behavior script the finding is about; empty for
+	// trigger findings.
+	Script string
+	// Line is the source line inside the offending program.
 	Line int
 	// Msg describes the finding and the fix.
 	Msg string
 }
 
 func (w Warning) String() string {
+	if w.Script != "" {
+		return fmt.Sprintf("script %q: line %d: %s", w.Script, w.Line, w.Msg)
+	}
 	return fmt.Sprintf("trigger %q: line %d: %s", w.Trigger, w.Line, w.Msg)
+}
+
+// lintScript checks whether a behavior script's on_tick lowers onto a
+// set-at-a-time query plan and, when it does not, names the first
+// non-compilable construct. Purely advisory: the interpreter runs every
+// body, compiled or not, but a world with CompileBehaviors on will run
+// this script per-entity — authors chasing tick time want to know.
+func lintScript(cs *CompiledScript) []Warning {
+	if cs.Prog.Fns[gslplan.EntryFn] == nil {
+		return nil
+	}
+	_, err := gslplan.Compile(cs.Name, cs.Prog)
+	if err == nil {
+		return nil
+	}
+	var nc *gslplan.NotCompilable
+	if !errors.As(err, &nc) {
+		return []Warning{{Script: cs.Name, Msg: "not compilable: " + err.Error()}}
+	}
+	return []Warning{{
+		Script: cs.Name,
+		Line:   nc.Line,
+		Msg: fmt.Sprintf("on_tick stays on the per-entity interpreter under compiled execution: %s",
+			nc.Construct),
+	}}
 }
 
 // lintTrigger walks a compiled trigger's action program for

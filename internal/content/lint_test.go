@@ -91,3 +91,35 @@ func TestLintDoesNotRejectThePack(t *testing.T) {
 		t.Fatalf("trigger missing from compiled pack: %+v", c.Triggers)
 	}
 }
+
+func TestLintFlagsNonCompilableBehavior(t *testing.T) {
+	c := compilePack(t, lintPackHeader+`
+  <script name="hoarder">
+fn on_tick(self) {
+  let seen = list();
+  push(seen, self);
+}
+  </script>
+  <script name="leaner">
+fn on_tick(self) {
+  add(self, "hp", 1);
+}
+  </script>
+  <script name="helper">
+fn pick(x) { return x; }
+  </script>
+</contentpack>`)
+	if len(c.Warnings) != 1 {
+		t.Fatalf("want 1 warning (hoarder only), got %d: %v", len(c.Warnings), c.Warnings)
+	}
+	w := c.Warnings[0]
+	if w.Script != "hoarder" || w.Trigger != "" {
+		t.Fatalf("warning attribution wrong: %+v", w)
+	}
+	if !strings.Contains(w.Msg, "interpreter") || !strings.Contains(w.Msg, `builtin "list"`) {
+		t.Fatalf("warning should name the first non-compilable construct: %s", w.Msg)
+	}
+	if !strings.Contains(w.String(), `script "hoarder"`) {
+		t.Fatalf("String() should carry the script name: %s", w.String())
+	}
+}

@@ -51,6 +51,11 @@ type Options struct {
 	ConflictPolicy string
 	// EffectRetryCap bounds OCC re-run rounds (see world.Config).
 	EffectRetryCap int
+	// CompileBehaviors selects set-at-a-time compiled behavior execution:
+	// world.CompileOn compiles behavior scripts onto query plans at load
+	// (per-entity interpreter fallback for non-compilable bodies); "" or
+	// world.CompileOff interprets everything. Bit-identical either way.
+	CompileBehaviors string
 	// Tracer records span-based tick traces (nil = off); the engine's
 	// world records onto the tracer's shard-0 context. Profile is the
 	// per-behavior / per-rule profiler (nil = off). Both are inert with
@@ -107,6 +112,8 @@ func New(opts Options) (*Engine, error) {
 			EffectRetryCap: opts.EffectRetryCap,
 			Trace:          opts.Tracer.Context(0),
 			Profile:        opts.Profile,
+
+			CompileBehaviors: opts.CompileBehaviors,
 		}),
 	}
 	if opts.Checkpoint != nil {

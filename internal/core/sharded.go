@@ -48,6 +48,10 @@ type ShardedOptions struct {
 	ConflictPolicy string
 	// EffectRetryCap bounds OCC re-run rounds (see world.Config).
 	EffectRetryCap int
+	// CompileBehaviors selects set-at-a-time compiled behavior execution
+	// on every shard world (world.CompileOn / world.CompileOff; see
+	// world.Config.CompileBehaviors). Bit-identical either way.
+	CompileBehaviors string
 	// Tracer records span-based tick traces across all shards plus the
 	// coordinator barrier (nil = off); Profile is the per-behavior /
 	// per-rule profiler shared by every shard world (nil = off). See
@@ -97,6 +101,8 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,
+
+		CompileBehaviors: opts.CompileBehaviors,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"gamedb/internal/content"
+	"gamedb/internal/entity"
+	"gamedb/internal/metrics"
+	"gamedb/internal/shard"
+	"gamedb/internal/spatial"
+	"gamedb/internal/world"
+)
+
+// compileScenario is one workload the behavior compiler is priced on —
+// the same E15/E16 crowds the observability experiment uses, so the
+// speedup numbers describe worlds the other benchmarks already measure.
+type compileScenario struct {
+	name     string
+	packXML  string
+	arch     string
+	units    int
+	side     float64
+	cellSize float64
+	speed    float64
+	workers  int
+}
+
+// buildCompileWorld replicates the bench_test.go scenario construction
+// (seed-fixed spawn stream: position in [0,side)², velocity in
+// [-speed,speed)) with behavior compilation set per the mode under test.
+func buildCompileWorld(sc compileScenario, compile string) *world.World {
+	c, errs := content.LoadAndCompile(strings.NewReader(sc.packXML))
+	if len(errs) > 0 {
+		panic(fmt.Sprintf("E21: pack rejected: %v", errs[0]))
+	}
+	w := world.New(world.Config{
+		Seed: 42, CellSize: sc.cellSize, ScriptFuel: 1 << 40, TickDT: 0.5,
+		Workers: sc.workers, CompileBehaviors: compile,
+	})
+	if err := w.LoadPack(c); err != nil {
+		panic(fmt.Sprintf("E21: %v", err))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < sc.units; i++ {
+		p := spatial.Vec2{X: rng.Float64() * sc.side, Y: rng.Float64() * sc.side}
+		id, err := w.Spawn(sc.arch, p)
+		if err != nil {
+			panic(fmt.Sprintf("E21: %v", err))
+		}
+		if err := w.Set(id, "vx", entity.Float((rng.Float64()*2-1)*sc.speed)); err != nil {
+			panic(fmt.Sprintf("E21: %v", err))
+		}
+		if err := w.Set(id, "vy", entity.Float((rng.Float64()*2-1)*sc.speed)); err != nil {
+			panic(fmt.Sprintf("E21: %v", err))
+		}
+	}
+	return w
+}
+
+// E21CompiledBehaviors prices the GSL-to-query-plan compiler: the E16
+// apply-heavy mingle crowd and the E15 trigger cascade are ticked with
+// behaviors interpreted per entity and with them compiled to
+// set-at-a-time plans, and the table reports the behavior-phase
+// (query-tick) delta. Both modes produce bit-identical state — the grid
+// invariance test pins that — so the delta is pure execution-strategy
+// cost. Each mode runs `reps` fresh worlds interleaved and keeps the
+// fastest run; coverage is the fraction of behavior invocations that
+// ran compiled (1.0 = every on_tick lowered onto a plan).
+func E21CompiledBehaviors(quick bool) *metrics.Table {
+	t := metrics.NewTable("E21 — compiled behaviors: per-entity interpreter vs set-at-a-time plans",
+		"scenario", "exec", "query tick", "tick", "entities/sec", "query speedup", "coverage")
+	t.Note = "query speedup = interp query-phase time / compiled (fastest of reps); coverage = compiled calls / behavior calls"
+	ticks := pick(quick, 5, 30)
+	reps := pick(quick, 2, 5)
+	scenarios := []compileScenario{
+		{
+			name: "apply-heavy", packXML: shard.MinglePackXML, arch: "unit",
+			units: pick(quick, 500, 2500), side: 160 * math.Sqrt(pick(quick, 500.0, 2500.0)/2000),
+			cellSize: 8, speed: 4, workers: 4,
+		},
+		{
+			name: "cascade", packXML: shard.CascadePackXML, arch: "pulser",
+			units: pick(quick, 400, 2000), side: 1000, cellSize: 16, speed: 10, workers: 4,
+		},
+	}
+	type sample struct {
+		queryNS float64 // behavior-phase ns per tick
+		tickNS  float64 // whole-tick ns
+		cover   float64 // compiled calls / behavior calls
+	}
+	run := func(sc compileScenario, compile string) sample {
+		w := buildCompileWorld(sc, compile)
+		var queryNS int64
+		calls, compiled := 0, 0
+		elapsed := timeOp(func() {
+			for i := 0; i < ticks; i++ {
+				st, err := w.Step()
+				if err != nil {
+					panic(fmt.Sprintf("E21: tick %d: %v", i, err))
+				}
+				if st.ScriptErrors > 0 {
+					panic(fmt.Sprintf("E21: %v", w.LastScriptError))
+				}
+				queryNS += st.QueryNS
+				calls += st.ScriptCalls
+				compiled += st.CompiledCalls
+			}
+		})
+		s := sample{
+			queryNS: float64(queryNS) / float64(ticks),
+			tickNS:  float64(elapsed.Nanoseconds()) / float64(ticks),
+		}
+		if calls > 0 {
+			s.cover = float64(compiled) / float64(calls)
+		}
+		return s
+	}
+	for _, sc := range scenarios {
+		// Interp and compiled reps interleave so clock drift and scheduler
+		// noise land on both modes alike; each keeps its fastest rep by
+		// query-phase time (the phase the compiler rebuilds).
+		best := map[string]sample{
+			world.CompileOff: {queryNS: math.Inf(1)},
+			world.CompileOn:  {queryNS: math.Inf(1)},
+		}
+		for r := 0; r < reps; r++ {
+			for _, mode := range []string{world.CompileOff, world.CompileOn} {
+				if s := run(sc, mode); s.queryNS < best[mode].queryNS {
+					best[mode] = s
+				}
+			}
+		}
+		interp, compiled := best[world.CompileOff], best[world.CompileOn]
+		t.AddRow(sc.name, "interp", metrics.Fdur(interp.queryNS), metrics.Fdur(interp.tickNS),
+			metrics.Fnum(float64(sc.units)*1e9/interp.tickNS), "—",
+			fmt.Sprintf("%.2f", interp.cover))
+		t.AddRow(sc.name, "compiled", metrics.Fdur(compiled.queryNS), metrics.Fdur(compiled.tickNS),
+			metrics.Fnum(float64(sc.units)*1e9/compiled.tickNS),
+			fmt.Sprintf("%.2fx", interp.queryNS/compiled.queryNS),
+			fmt.Sprintf("%.2f", compiled.cover))
+	}
+	return t
+}

@@ -22,6 +22,10 @@ const sampleMask = 15
 // paths read cleanly when profiling is off.
 type ProfEntry struct {
 	name string
+	// compiled marks the entry as attributing compiled query-plan
+	// execution (CompiledEntry) rather than interpreter execution, so
+	// one behavior's plan and interpreter costs report side by side.
+	compiled bool
 
 	ticket atomic.Int64 // sampling ticket counter (≈ calls, may lead)
 
@@ -47,6 +51,10 @@ func (e *ProfEntry) Name() string {
 	}
 	return e.name
 }
+
+// Compiled reports whether the entry attributes compiled-plan
+// execution.
+func (e *ProfEntry) Compiled() bool { return e != nil && e.compiled }
 
 // BeginSample claims a sampling ticket: roughly one in sampleMask+1
 // calls returns sampling=true with the start timestamp; the rest pay a
@@ -149,9 +157,33 @@ func (p *Profiler) Entry(name string) *ProfEntry {
 	return e
 }
 
+// CompiledEntry returns the named entry's compiled-execution twin,
+// creating it on first use. It shares the display name but is a
+// distinct accumulator tagged compiled=true, so a behavior that splits
+// between the query-plan path and interpreter fallback reports both
+// costs separately. Nil-safe like Entry.
+func (p *Profiler) CompiledEntry(name string) *ProfEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := "compiled\x00" + name
+	e := p.entries[key]
+	if e == nil {
+		e = &ProfEntry{name: name, compiled: true}
+		p.entries[key] = e
+	}
+	return e
+}
+
 // ProfRow is one entry's consistent snapshot.
 type ProfRow struct {
-	Name      string
+	Name string
+	// Compiled marks rows attributing compiled query-plan execution;
+	// the same behavior may also have an interpreter row under the same
+	// name for its fallback share.
+	Compiled  bool
 	Calls     int64
 	Errors    int64
 	Skips     int64
@@ -184,6 +216,7 @@ func (p *Profiler) Rows() []ProfRow {
 	for _, e := range entries {
 		r := ProfRow{
 			Name:      e.name,
+			Compiled:  e.compiled,
 			Calls:     e.calls.Load(),
 			Errors:    e.errors.Load(),
 			Skips:     e.skips.Load(),
@@ -205,7 +238,10 @@ func (p *Profiler) Rows() []ProfRow {
 		if rows[i].EstTotalNS != rows[j].EstTotalNS {
 			return rows[i].EstTotalNS > rows[j].EstTotalNS
 		}
-		return rows[i].Name < rows[j].Name
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return !rows[i].Compiled && rows[j].Compiled
 	})
 	return rows
 }
@@ -217,7 +253,11 @@ func (p *Profiler) Table() *metrics.Table {
 		"unit", "calls", "avg time", "est total", "effects", "reads", "fuel",
 		"conflicts", "retries", "aborts", "err", "skip")
 	for _, r := range p.Rows() {
-		t.AddRow(r.Name,
+		name := r.Name
+		if r.Compiled {
+			name += " [compiled]"
+		}
+		t.AddRow(name,
 			metrics.Fnum(float64(r.Calls)),
 			metrics.Fdur(r.AvgNS),
 			metrics.Fdur(r.EstTotalNS),

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math"
 
 	"gamedb/internal/entity"
 )
@@ -66,6 +67,7 @@ const (
 	opSub
 	opMul
 	opDiv
+	opMod
 	opEq
 	opNe
 	opLt
@@ -77,7 +79,7 @@ const (
 )
 
 var binNames = map[binKind]string{
-	opAdd: "+", opSub: "-", opMul: "*", opDiv: "/",
+	opAdd: "+", opSub: "-", opMul: "*", opDiv: "/", opMod: "%",
 	opEq: "=", opNe: "!=", opLt: "<", opLe: "<=", opGt: ">", opGe: ">=",
 	opAnd: "and", opOr: "or",
 }
@@ -99,6 +101,10 @@ func Mul(l, r Expr) Expr { return &binExpr{opMul, l, r} }
 // Div returns l / r; integer division when both operands are ints.
 func Div(l, r Expr) Expr { return &binExpr{opDiv, l, r} }
 
+// Mod returns l % r: the integer remainder when both operands are ints,
+// math.Mod otherwise.
+func Mod(l, r Expr) Expr { return &binExpr{opMod, l, r} }
+
 // Eq returns l = r.
 func Eq(l, r Expr) Expr { return &binExpr{opEq, l, r} }
 
@@ -117,10 +123,12 @@ func Gt(l, r Expr) Expr { return &binExpr{opGt, l, r} }
 // Ge returns l >= r.
 func Ge(l, r Expr) Expr { return &binExpr{opGe, l, r} }
 
-// And returns l and r (both must be bool).
+// And returns l and r. Short-circuits like GSL: r is not evaluated
+// when l is false.
 func And(l, r Expr) Expr { return &binExpr{opAnd, l, r} }
 
-// Or returns l or r (both must be bool).
+// Or returns l or r. Short-circuits like GSL: r is not evaluated when
+// l is true.
 func Or(l, r Expr) Expr { return &binExpr{opOr, l, r} }
 
 func (b *binExpr) Bind(d *Desc) error {
@@ -135,6 +143,35 @@ func (b *binExpr) String() string {
 }
 
 func (b *binExpr) Eval(t Tuple) (entity.Value, error) {
+	if b.kind == opAnd || b.kind == opOr {
+		// Short-circuit first, exactly like the GSL interpreter: the
+		// right side is never evaluated when the left side decides.
+		lv, err := b.l.Eval(t)
+		if err != nil {
+			return entity.Null(), err
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return entity.Null(), fmt.Errorf("query: %s needs bool, got %s",
+				binNames[b.kind], lv.Kind())
+		}
+		if b.kind == opAnd && !lb {
+			return entity.Bool(false), nil
+		}
+		if b.kind == opOr && lb {
+			return entity.Bool(true), nil
+		}
+		rv, err := b.r.Eval(t)
+		if err != nil {
+			return entity.Null(), err
+		}
+		rb, ok := rv.AsBool()
+		if !ok {
+			return entity.Null(), fmt.Errorf("query: %s needs bool, got %s",
+				binNames[b.kind], rv.Kind())
+		}
+		return entity.Bool(rb), nil
+	}
 	lv, err := b.l.Eval(t)
 	if err != nil {
 		return entity.Null(), err
@@ -144,27 +181,24 @@ func (b *binExpr) Eval(t Tuple) (entity.Value, error) {
 		return entity.Null(), err
 	}
 	switch b.kind {
-	case opAdd, opSub, opMul, opDiv:
+	case opAdd, opSub, opMul, opDiv, opMod:
 		return evalArith(b.kind, lv, rv)
 	case opEq, opNe, opLt, opLe, opGt, opGe:
 		return evalCompare(b.kind, lv, rv)
-	case opAnd, opOr:
-		lb, ok1 := lv.AsBool()
-		rb, ok2 := rv.AsBool()
-		if !ok1 || !ok2 {
-			return entity.Null(), fmt.Errorf("query: %s needs bools, got %s/%s",
-				binNames[b.kind], lv.Kind(), rv.Kind())
-		}
-		if b.kind == opAnd {
-			return entity.Bool(lb && rb), nil
-		}
-		return entity.Bool(lb || rb), nil
 	default:
 		return entity.Null(), fmt.Errorf("query: bad op %d", b.kind)
 	}
 }
 
 func evalArith(k binKind, l, r entity.Value) (entity.Value, error) {
+	if k == opAdd {
+		// String concatenation, like GSL's +.
+		if ls, ok := l.AsStr(); ok {
+			if rs, ok2 := r.AsStr(); ok2 {
+				return entity.Str(ls + rs), nil
+			}
+		}
+	}
 	if li, ok := l.AsInt(); ok {
 		if ri, ok2 := r.AsInt(); ok2 {
 			switch k {
@@ -174,6 +208,11 @@ func evalArith(k binKind, l, r entity.Value) (entity.Value, error) {
 				return entity.Int(li - ri), nil
 			case opMul:
 				return entity.Int(li * ri), nil
+			case opMod:
+				if ri == 0 {
+					return entity.Null(), fmt.Errorf("query: modulo by zero")
+				}
+				return entity.Int(li % ri), nil
 			case opDiv:
 				if ri == 0 {
 					return entity.Null(), fmt.Errorf("query: integer division by zero")
@@ -195,43 +234,94 @@ func evalArith(k binKind, l, r entity.Value) (entity.Value, error) {
 		return entity.Float(lf - rf), nil
 	case opMul:
 		return entity.Float(lf * rf), nil
+	case opMod:
+		return entity.Float(math.Mod(lf, rf)), nil
 	default:
 		return entity.Float(lf / rf), nil
 	}
 }
 
-func evalCompare(k binKind, l, r entity.Value) (entity.Value, error) {
-	var c int
-	lf, lok := l.AsFloat()
-	rf, rok := r.AsFloat()
-	switch {
-	case lok && rok:
-		// Numeric comparison coerces int/float.
-		switch {
-		case lf < rf:
-			c = -1
-		case lf > rf:
-			c = 1
-		}
-	case l.Kind() == r.Kind():
-		c = entity.Compare(l, r)
-	default:
-		return entity.Null(), fmt.Errorf("query: cannot compare %s with %s", l.Kind(), r.Kind())
+// valueEq mirrors GSL equality: numerics compare as floats (so int 1
+// equals float 1.0, and NaN equals nothing including itself),
+// same-kind values compare by payload, and different kinds are simply
+// unequal — never an error.
+func valueEq(l, r entity.Value) bool {
+	if lf, ok := l.AsFloat(); ok {
+		rf, ok2 := r.AsFloat()
+		return ok2 && lf == rf
 	}
+	if l.Kind() != r.Kind() {
+		return false
+	}
+	switch l.Kind() {
+	case entity.KindInvalid:
+		return true
+	case entity.KindString:
+		return l.Str() == r.Str()
+	case entity.KindBool:
+		return l.Bool() == r.Bool()
+	default:
+		return false
+	}
+}
+
+// evalCompare mirrors GSL comparison semantics exactly: equality never
+// errors (valueEq), ordering takes the exact int64 path when both
+// sides are ints, the IEEE float path when both are numeric (every
+// NaN comparison is false, unlike a three-way compare), lexicographic
+// order for string pairs, and errors for anything else (bools and
+// nulls have no order).
+func evalCompare(k binKind, l, r entity.Value) (entity.Value, error) {
 	switch k {
 	case opEq:
-		return entity.Bool(c == 0), nil
+		return entity.Bool(valueEq(l, r)), nil
 	case opNe:
-		return entity.Bool(c != 0), nil
-	case opLt:
-		return entity.Bool(c < 0), nil
-	case opLe:
-		return entity.Bool(c <= 0), nil
-	case opGt:
-		return entity.Bool(c > 0), nil
-	default:
-		return entity.Bool(c >= 0), nil
+		return entity.Bool(!valueEq(l, r)), nil
 	}
+	if li, ok := l.AsInt(); ok {
+		if ri, ok2 := r.AsInt(); ok2 {
+			switch k {
+			case opLt:
+				return entity.Bool(li < ri), nil
+			case opLe:
+				return entity.Bool(li <= ri), nil
+			case opGt:
+				return entity.Bool(li > ri), nil
+			default:
+				return entity.Bool(li >= ri), nil
+			}
+		}
+	}
+	if lf, ok := l.AsFloat(); ok {
+		if rf, ok2 := r.AsFloat(); ok2 {
+			switch k {
+			case opLt:
+				return entity.Bool(lf < rf), nil
+			case opLe:
+				return entity.Bool(lf <= rf), nil
+			case opGt:
+				return entity.Bool(lf > rf), nil
+			default:
+				return entity.Bool(lf >= rf), nil
+			}
+		}
+	}
+	if ls, ok := l.AsStr(); ok {
+		if rs, ok2 := r.AsStr(); ok2 {
+			switch k {
+			case opLt:
+				return entity.Bool(ls < rs), nil
+			case opLe:
+				return entity.Bool(ls <= rs), nil
+			case opGt:
+				return entity.Bool(ls > rs), nil
+			default:
+				return entity.Bool(ls >= rs), nil
+			}
+		}
+	}
+	return entity.Null(), fmt.Errorf("query: invalid operands %s %s %s",
+		l.Kind(), binNames[k], r.Kind())
 }
 
 // Not negates a boolean expression.

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"gamedb/internal/spatial"
+	"gamedb/internal/world"
+)
+
+// compiledScenarioRun drives one of the two tick-pipeline workloads
+// (mingle or cascade) with the given compile mode and returns the final
+// hash, total applied effects, and total compiled-plan invocations.
+func compiledScenarioRun(t *testing.T, scenario string, shards, workers int, compile, conflict string) (uint64, int, int) {
+	t.Helper()
+	cfg := Config{
+		Seed: 7, Shards: shards, TickDT: 0.5, GhostBand: 25, Workers: workers,
+		ScriptFuel: 1 << 20, CompileBehaviors: compile, ConflictPolicy: conflict,
+	}
+	var seed func(rt *Runtime) error
+	ticks := 25
+	switch scenario {
+	case "mingle":
+		cfg.World = spatial.NewRect(0, 0, 400, 400)
+		seed = func(rt *Runtime) error { return SeedMingleCrowd(rt, 250, 400, 77, 30) }
+	case "cascade":
+		cfg.World = spatial.NewRect(0, 0, 1000, 1000)
+		seed = func(rt *Runtime) error { return SeedCascadeCrowd(rt, 200, 1000, 77, 30) }
+		ticks = 40
+	default:
+		t.Fatalf("unknown scenario %q", scenario)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	if err := seed(rt); err != nil {
+		t.Fatal(err)
+	}
+	effects, compiled := 0, 0
+	for i := 0; i < ticks; i++ {
+		st, err := rt.Step()
+		if err != nil {
+			t.Fatalf("%s shards=%d workers=%d compile=%q tick %d: %v",
+				scenario, shards, workers, compile, st.Tick, err)
+		}
+		for _, ws := range st.Shards {
+			effects += ws.Effects
+			compiled += ws.CompiledCalls
+			if ws.ScriptErrors > 0 {
+				t.Fatalf("%s shards=%d workers=%d compile=%q: script errors", scenario, shards, workers, compile)
+			}
+		}
+	}
+	return rt.Hash(), effects, compiled
+}
+
+// TestCompiledBehaviorsHashInvariantAcrossGrid pins the compiled
+// query-plan path to the interpreter bit-for-bit across the whole
+// Shards × Workers grid on both tick-pipeline workloads. The mingle and
+// cascade behaviors are fully compilable, so compile-on must run a
+// nonzero compiled share while landing on the exact compile-off hash at
+// every grid point — set-at-a-time execution may only change where the
+// time goes, never the world.
+func TestCompiledBehaviorsHashInvariantAcrossGrid(t *testing.T) {
+	for _, scenario := range []string{"mingle", "cascade"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, shards := range []int{1, 2, 4} {
+				oh, oe, oc := compiledScenarioRun(t, scenario, shards, workers, world.CompileOff, "")
+				if oc != 0 {
+					t.Fatalf("%s: compile-off counted %d compiled calls", scenario, oc)
+				}
+				nh, ne, nc := compiledScenarioRun(t, scenario, shards, workers, world.CompileOn, "")
+				if nh != oh {
+					t.Fatalf("%s: compiled hash diverged at shards=%d workers=%d: %x vs %x",
+						scenario, shards, workers, nh, oh)
+				}
+				if ne != oe {
+					t.Fatalf("%s: effect counts diverged at shards=%d workers=%d: %d vs %d",
+						scenario, shards, workers, ne, oe)
+				}
+				if nc == 0 {
+					t.Fatalf("%s: compile-on ran zero compiled calls at shards=%d workers=%d",
+						scenario, shards, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledOCCEquivalentOnConflictWorld runs the contended claim
+// scenario under the OCC policy in both compile modes: the compiled
+// path logs the same (id, column) read-sets, so invalidation must pick
+// the same losers and converge to the identical snapshot with identical
+// retry/abort/fuel accounting.
+func TestCompiledOCCEquivalentOnConflictWorld(t *testing.T) {
+	run := func(compile string) ([]byte, world.TickStats) {
+		w := world.New(world.Config{
+			Seed: 7, CellSize: 16, TickDT: 0.5, Workers: 4,
+			ConflictPolicy: world.ConflictOCC, CompileBehaviors: compile,
+		})
+		if err := SeedConflictWorld(w, 120, 25, 200, 77); err != nil {
+			t.Fatal(err)
+		}
+		var sum world.TickStats
+		for i := 0; i < 20; i++ {
+			st, err := w.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum.ScriptCalls += st.ScriptCalls
+			sum.CompiledCalls += st.CompiledCalls
+			sum.FuelUsed += st.FuelUsed
+			sum.EffectRetries += st.EffectRetries
+			sum.EffectAborts += st.EffectAborts
+		}
+		snap, err := w.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap, sum
+	}
+	base, off := run(world.CompileOff)
+	if off.EffectRetries == 0 {
+		t.Fatal("conflict scenario produced no retries — invalidation untested")
+	}
+	snap, on := run(world.CompileOn)
+	if !bytes.Equal(base, snap) {
+		t.Fatal("occ snapshot diverged between compile modes")
+	}
+	if on.EffectRetries != off.EffectRetries || on.EffectAborts != off.EffectAborts {
+		t.Fatalf("occ accounting diverged: retries %d/%d aborts %d/%d",
+			on.EffectRetries, off.EffectRetries, on.EffectAborts, off.EffectAborts)
+	}
+	if on.ScriptCalls != off.ScriptCalls || on.FuelUsed != off.FuelUsed {
+		t.Fatalf("call accounting diverged: calls %d/%d fuel %d/%d",
+			on.ScriptCalls, off.ScriptCalls, on.FuelUsed, off.FuelUsed)
+	}
+	if on.CompiledCalls == 0 {
+		t.Fatal("compile-on conflict world ran zero compiled calls")
+	}
+}

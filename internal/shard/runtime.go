@@ -66,6 +66,12 @@ type Config struct {
 	ConflictPolicy string
 	// EffectRetryCap passes through to world.Config.EffectRetryCap.
 	EffectRetryCap int
+	// CompileBehaviors passes through to world.Config.CompileBehaviors
+	// on every shard world: world.CompileOn lowers compilable behavior
+	// scripts onto set-at-a-time query plans at load, with per-entity
+	// interpreter fallback; "" or world.CompileOff interprets everything.
+	// Both modes are bit-identical for any Shards × Workers combination.
+	CompileBehaviors string
 
 	// GhostBand is the width of the border strip mirrored into
 	// neighboring shards as read-only ghosts. It should be at least the
@@ -223,6 +229,8 @@ func New(cfg Config) (*Runtime, error) {
 			EffectRetryCap: cfg.EffectRetryCap,
 			Trace:          cfg.Tracer.Context(i),
 			Profile:        cfg.Profile,
+
+			CompileBehaviors: cfg.CompileBehaviors,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).

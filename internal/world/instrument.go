@@ -24,6 +24,21 @@ func (w *World) profFor(cache map[string]*obs.ProfEntry, name string) *obs.ProfE
 	return pe
 }
 
+// compiledProfFor returns the cached compiled-execution twin of a
+// behavior's profile entry, registering "behavior/<name>" tagged
+// compiled=true on the first miss. It shares the per-worker cache with
+// profFor under a distinct key so the two never collide. Callers
+// guarantee w.prof != nil.
+func (w *World) compiledProfFor(cache map[string]*obs.ProfEntry, name string) *obs.ProfEntry {
+	key := "c:" + name
+	pe, ok := cache[key]
+	if !ok {
+		pe = w.prof.CompiledEntry("behavior/" + name)
+		cache[key] = pe
+	}
+	return pe
+}
+
 // behaviorProf is the behavior-phase apply's source → entry mapping:
 // the source's behavior entry, or the shared "(physics)" entry for
 // sources running no behavior (pure-physics entities, whose deltas can

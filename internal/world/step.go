@@ -17,6 +17,7 @@ import (
 // so the first error a worker hits is its chunk's lowest.
 type workerStats struct {
 	calls, errors, skips int
+	compiled             int
 	fuel                 int64
 	firstErr             error
 	errID                entity.ID
@@ -107,6 +108,7 @@ func (w *World) Step() (TickStats, error) {
 		st.ScriptCalls += stats[i].calls
 		st.ScriptErrors += stats[i].errors
 		st.ScriptSkips += stats[i].skips
+		st.CompiledCalls += stats[i].compiled
 		st.FuelUsed += stats[i].fuel
 		// The tick's reported error is the lowest source entity id's,
 		// not whichever worker finished last — diagnostics stay
@@ -158,12 +160,43 @@ func (w *World) runWorker(wi, workers int) {
 		profs = w.workerProfs[wi]
 	}
 
+	compileOn := w.compileEnabled()
+
 	lo, hi := chunkRange(len(w.rosterBuf), workers, wi)
 	for _, id := range w.rosterBuf[lo:hi] {
 		name := w.behaviors[id]
 		in := w.behaviorInterp(interps, wi, name)
 		if in == nil {
 			continue
+		}
+		// Compiled fast path: run the behavior's bound query plan when
+		// one exists. A clean, in-budget run commits exactly the records
+		// and reads the interpreter would have produced; any error or
+		// fuel overrun rolls back to the mark and falls through to the
+		// interpreter, whose verdict (effects, error, skip accounting) is
+		// authoritative. begin() reseeds the per-invocation rand stream
+		// deterministically from (seed, tick, id), so the rerun replays
+		// identical draws.
+		if compileOn {
+			if p := w.behaviorPlan(w.workerPlans, wi, name); p != nil {
+				var cpe *obs.ProfEntry
+				if profs != nil {
+					cpe = w.compiledProfFor(profs, name)
+				}
+				reads0 := len(buf.reads)
+				mark := buf.begin(id)
+				start, sampling := cpe.BeginSample()
+				fuel, err := p.Run(id, w.cfg.ScriptFuel)
+				cpe.EndSample(start, sampling)
+				if err == nil {
+					ws.calls++
+					ws.compiled++
+					ws.fuel += fuel
+					cpe.AddCall(fuel, int64(len(buf.effects)-mark), int64(len(buf.reads)-reads0))
+					continue
+				}
+				buf.rollback(mark)
+			}
 		}
 		var pe *obs.ProfEntry
 		if profs != nil {
@@ -285,6 +318,11 @@ func (w *World) ensureWorkers(n int) {
 	if w.prof != nil {
 		for len(w.workerProfs) < n {
 			w.workerProfs = append(w.workerProfs, make(map[string]*obs.ProfEntry))
+		}
+	}
+	if w.compileEnabled() {
+		for len(w.workerPlans) < n {
+			w.workerPlans = append(w.workerPlans, nil)
 		}
 	}
 }

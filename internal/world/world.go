@@ -14,6 +14,7 @@ import (
 
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/gslplan"
 	"gamedb/internal/obs"
 	"gamedb/internal/sched"
 	"gamedb/internal/script"
@@ -47,6 +48,20 @@ const (
 // DefaultEffectRetryCap bounds OCC re-run rounds when
 // Config.EffectRetryCap is unset.
 const DefaultEffectRetryCap = 8
+
+// Compile policies for Config.CompileBehaviors.
+const (
+	// CompileOn compiles behavior bodies onto set-at-a-time query plans
+	// (internal/gslplan) executed per behavior over the roster; bodies
+	// outside the compilable subset — and any compiled invocation that
+	// errors or would exhaust its fuel budget — fall back to the
+	// per-entity interpreter, so world state stays bit-identical to
+	// interpreted execution.
+	CompileOn = "on"
+	// CompileOff runs every behavior on the tree-walking interpreter.
+	// This is the default ("" and unknown values behave identically).
+	CompileOff = "off"
+)
 
 // Config parameterizes a world.
 type Config struct {
@@ -121,6 +136,15 @@ type Config struct {
 	// conflicts attributed back to the responsible unit. Like Trace,
 	// profiling is inert with respect to world state.
 	Profile *obs.Profiler
+	// CompileBehaviors selects the behavior execution engine for the
+	// query phase: CompileOn lowers compilable on_tick bodies onto
+	// set-at-a-time query plans with per-entity interpreter fallback,
+	// CompileOff (the default; "" and unknown values behave identically)
+	// interprets everything. Compiled execution preserves effect
+	// records, read-sets, rand streams and fuel accounting exactly, so
+	// both settings produce bit-identical worlds; TickStats.CompiledCalls
+	// reports how many invocations stayed on the compiled path.
+	CompileBehaviors string
 }
 
 // World is a running game shard.
@@ -171,6 +195,17 @@ type World struct {
 	workerBufs    []*EffectBuffer
 	workerInterps []map[string]*script.Interp
 	workerStats   []workerStats
+
+	// Compiled-behavior state (plan.go). planProgs holds the immutable
+	// compiled plan per script name (shared across workers), planFails
+	// the first non-compilable construct for scripts that stay on the
+	// interpreter; both are built eagerly in LoadContent when
+	// CompileBehaviors is on. workerPlans is each worker's bound-plan
+	// cache (plan + that worker's effect-buffer Env), invalidated
+	// alongside workerInterps.
+	planProgs   map[string]*gslplan.Program
+	planFails   map[string]string
+	workerPlans []map[string]*gslplan.Plan
 	rosterBuf     []entity.ID
 	physTabs      []*entity.Table
 	physIDs       [][]entity.ID
@@ -235,7 +270,13 @@ type TickStats struct {
 	// stop the shard).
 	ScriptSkips  int
 	FuelUsed     int64
-	TriggerFired int
+	// CompiledCalls counts behavior invocations that committed on the
+	// compiled query-plan path this tick (the rest of ScriptCalls ran on
+	// the interpreter, by fallback or because CompileBehaviors is off).
+	// CompiledCalls / ScriptCalls is the coverage fraction the E21
+	// record and -json extras report.
+	CompiledCalls int
+	TriggerFired  int
 	// TriggerRounds counts trigger cascade rounds drained this tick —
 	// under the effect-aware drain each round is its own mini tick
 	// (parallel condition queries, fanned actions, one apply).
@@ -334,6 +375,11 @@ func (w *World) Tick() int64 { return w.tick }
 // value other than ConflictOCC — including "" and ConflictLastWrite —
 // selects last-write-wins.
 func (w *World) occEnabled() bool { return w.cfg.ConflictPolicy == ConflictOCC }
+
+// compileEnabled reports whether behaviors execute on compiled query
+// plans. Any value other than CompileOn — including "" and CompileOff —
+// selects the interpreter.
+func (w *World) compileEnabled() bool { return w.cfg.CompileBehaviors == CompileOn }
 
 // effectRetryCap returns the bounded OCC re-run round count.
 func (w *World) effectRetryCap() int {
@@ -472,6 +518,7 @@ func (w *World) LoadContent(c *content.Compiled) error {
 			Fuel:     w.cfg.ScriptFuel,
 			Builtins: w.builtins(),
 		})
+		w.compileBehavior(name, cs.Prog)
 	}
 	for _, ct := range c.Triggers {
 		if err := w.bindTrigger(ct); err != nil {
@@ -479,9 +526,10 @@ func (w *World) LoadContent(c *content.Compiled) error {
 		}
 	}
 	w.frames = append(w.frames, c.Frames...)
-	// New scripts invalidate the per-worker behavior clones; they
-	// rebuild lazily on the next Step.
+	// New scripts invalidate the per-worker behavior clones and bound
+	// plans; they rebuild lazily on the next Step.
 	w.workerInterps = nil
+	w.workerPlans = nil
 	return nil
 }
 
