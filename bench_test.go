@@ -846,6 +846,49 @@ func BenchmarkE21CompiledBehaviors(b *testing.B) {
 	}
 }
 
+// BenchmarkE22CrossShardEffects: one tick of the border-write crowd
+// (raiders and medics writing each other through ghost mirrors along
+// region boundaries) at 1/2/4 shards under lastwrite vs occ. The delta
+// over shards-1 prices the barrier's effect-forwarding exchange —
+// sealing per-owner RemoteEffectBatches, the deterministic foreign
+// merge, and (under occ) shipping and validating ghost read-sets;
+// fwd/tick and remote-merged/tick size that traffic.
+func BenchmarkE22CrossShardEffects(b *testing.B) {
+	const units, side = 1500, 800.0
+	run := func(b *testing.B, conflict string, shards int) {
+		rt, err := shard.New(shard.Config{
+			Seed: 42, Shards: shards, World: spatial.NewRect(0, 0, side, side),
+			TickDT: 0.5, GhostBand: 20, Workers: 4, ScriptFuel: 1 << 40,
+			GhostFields: shard.BorderGhostFields(), ConflictPolicy: conflict,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(rt.Close)
+		if err := shard.SeedBorderCrowd(rt, units, side, 7, 6); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "entities/sec")
+		b.ReportMetric(float64(rt.ForwardTotal.Load())/float64(b.N), "fwd/tick")
+		b.ReportMetric(float64(rt.RemoteMergeTotal.Load())/float64(b.N), "remote-merged/tick")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("lastwrite-s%d", shards), func(b *testing.B) {
+			run(b, world.ConflictLastWrite, shards)
+		})
+		b.Run(fmt.Sprintf("occ-s%d", shards), func(b *testing.B) {
+			run(b, world.ConflictOCC, shards)
+		})
+	}
+}
+
 // BenchmarkE12NavMesh: pathfinding per representation plus BSP sight.
 func BenchmarkE12NavMesh(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

@@ -1,13 +1,16 @@
-// Command shardsim races a seed-fixed drifting-crowd scenario across
-// shard counts: the same world is run on 1, 2, 4, ... region shards and
-// the runtime reports tick throughput, handoff rate, ghost-band traffic
-// and the final world hash — which must be identical for every shard
-// count (cross-shard handoff and ghost replication preserve
-// physics-driven state bit-exactly; script behaviors reading neighbors
-// would instead see the weakened Coarse ghost view).
+// Command shardsim races a seed-fixed scenario across shard counts: the
+// same world is run on 1, 2, 4, ... region shards and the runtime
+// reports tick throughput, handoff rate, ghost-band traffic, forwarded
+// cross-shard effects and the final world hash — which must be identical
+// for every shard count (cross-shard handoff and ghost replication
+// preserve physics-driven state bit-exactly, and writes targeting ghost
+// mirrors forward to their owning shard through the tick barrier).
 //
 //	shardsim                          # race 1,2,4,8 shards
 //	shardsim -shards 1,4 -ticks 500   # custom race
+//	shardsim -scenario border         # cross-shard-write crowd: raiders
+//	                                  # and medics writing each other
+//	                                  # across region boundaries
 //	shardsim -workers 4               # W query-phase workers per shard;
 //	                                  # the hash must still agree
 //	shardsim -json > BENCH_shard.json # machine-readable results
@@ -49,6 +52,9 @@ type raceResult struct {
 	handoffsPerTik float64
 	ghosts         int
 	ghostShips     int64
+	forwarded      int64
+	remoteMerged   int64
+	remoteInval    int64
 	stepP99NS      float64
 	scriptCalls    int64
 	compiledCalls  int64
@@ -67,8 +73,8 @@ type raceObs struct {
 	report int           // print per-tick stats every N ticks (0 = off)
 }
 
-func runRace(shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile string, ro raceObs) (raceResult, error) {
-	rt, err := shard.New(shard.Config{
+func runRace(scenario string, shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile string, ro raceObs) (raceResult, error) {
+	cfg := shard.Config{
 		Seed:           seed,
 		Shards:         shards,
 		Workers:        workers,
@@ -83,13 +89,27 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		Profile:        ro.prof,
 
 		CompileBehaviors: compile,
-	})
+	}
+	if scenario == "border" {
+		// Border writes are exact only when the read fields mirror
+		// Exactly and the band covers the 9.0 interaction radius.
+		cfg.GhostFields = shard.BorderGhostFields()
+		if cfg.GhostBand < 9 {
+			cfg.GhostBand = 20
+		}
+	}
+	rt, err := shard.New(cfg)
 	if err != nil {
 		return raceResult{}, err
 	}
 	defer rt.Close()
 
-	if err := shard.SeedDriftingCrowd(rt, entities, side, seed, 40); err != nil {
+	if scenario == "border" {
+		err = shard.SeedBorderCrowd(rt, entities, side, seed, 6)
+	} else {
+		err = shard.SeedDriftingCrowd(rt, entities, side, seed, 40)
+	}
+	if err != nil {
 		return raceResult{}, err
 	}
 
@@ -115,6 +135,9 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 			ro.reg.Counter("shardsim_ticks_total").Inc()
 			ro.reg.Counter("shardsim_handoffs_total").Add(int64(st.Handoffs))
 			ro.reg.Counter("shardsim_ghost_ships_total").Add(int64(st.GhostShips))
+			ro.reg.Counter("shardsim_effects_forwarded_total").Add(int64(st.EffectsForwarded))
+			ro.reg.Counter("shardsim_effects_remote_merged_total").Add(int64(st.EffectsRemoteMerged))
+			ro.reg.Counter("shardsim_remote_invalidations_total").Add(int64(st.RemoteInvalidations))
 			ro.reg.Histogram("shardsim_tick_ns").Record(float64(time.Since(tickStart).Nanoseconds()))
 		}
 		lastPrinted = false
@@ -139,6 +162,9 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 		handoffsPerTik: float64(rt.HandoffTotal.Load()) / float64(ticks),
 		ghosts:         rt.Ghosts(),
 		ghostShips:     rt.GhostShipTotal.Load(),
+		forwarded:      rt.ForwardTotal.Load(),
+		remoteMerged:   rt.RemoteMergeTotal.Load(),
+		remoteInval:    rt.RemoteInvalidationTotal.Load(),
 		stepP99NS:      rt.StepNS.Quantile(0.99),
 		scriptCalls:    scriptCalls,
 		compiledCalls:  compiledCalls,
@@ -149,6 +175,7 @@ func runRace(shards, workers, entities, ticks int, seed int64, side, band float6
 
 func main() {
 	shardList := flag.String("shards", "1,2,4,8", "comma-separated shard counts to race")
+	scenario := flag.String("scenario", "drift", "workload: drift (velocity crowd, no cross-shard writes) | border (raiders/medics writing each other across region boundaries through the barrier's effect-forwarding exchange)")
 	entities := flag.Int("entities", 4000, "entities in the scenario")
 	ticks := flag.Int("ticks", 200, "ticks to simulate per race")
 	seed := flag.Int64("seed", 2009, "scenario seed")
@@ -172,6 +199,10 @@ func main() {
 	}
 	if *compile != world.CompileOff && *compile != world.CompileOn {
 		fmt.Fprintf(os.Stderr, "shardsim: unknown -compile %q (want on or off)\n", *compile)
+		os.Exit(2)
+	}
+	if *scenario != "drift" && *scenario != "border" {
+		fmt.Fprintf(os.Stderr, "shardsim: unknown -scenario %q (want drift or border)\n", *scenario)
 		os.Exit(2)
 	}
 
@@ -210,8 +241,8 @@ func main() {
 		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d workers/shard, %d cores\n\n",
 			*entities, *side, *side, *ticks, *workers, runtime.GOMAXPROCS(0))
 	}
-	tbl := metrics.NewTable("sharded world runtime race",
-		"shards", "ticks/sec", "entities/sec", "handoffs/tick", "ghosts", "ghost-ships", "hash")
+	tbl := metrics.NewTable(fmt.Sprintf("sharded world runtime race (%s scenario)", *scenario),
+		"shards", "ticks/sec", "entities/sec", "handoffs/tick", "ghosts", "ghost-ships", "fwd", "hash")
 	rep := metrics.BenchReport{Suite: "shardsim"}
 	var firstHash uint64
 	hashesAgree := true
@@ -223,7 +254,7 @@ func main() {
 		if i == len(counts)-1 {
 			ro.tracer, ro.prof = tracer, prof
 		}
-		res, err := runRace(n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, ro)
+		res, err := runRace(*scenario, n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, ro)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -234,24 +265,28 @@ func main() {
 			hashesAgree = false
 		}
 		tbl.AddRowf(res.shards, res.ticksPerSec, res.entitiesPerSec,
-			res.handoffsPerTik, res.ghosts, res.ghostShips,
+			res.handoffsPerTik, res.ghosts, res.ghostShips, res.forwarded,
 			fmt.Sprintf("%016x", res.hash))
 		rep.Records = append(rep.Records, metrics.BenchRecord{
-			Name:           fmt.Sprintf("shardsim/shards-%d", n),
+			Name:           fmt.Sprintf("shardsim/%s/shards-%d", *scenario, n),
 			NsPerOp:        float64(res.elapsed.Nanoseconds()) / float64(*ticks),
 			EntitiesPerSec: res.entitiesPerSec,
 			Extra: map[string]any{
-				"workers":           *workers,
-				"conflict_policy":   *conflict,
-				"compile_behaviors": *compile,
-				"compiled_calls":    res.compiledCalls,
-				"script_calls":      res.scriptCalls,
-				"ticks_per_sec":     res.ticksPerSec,
-				"handoffs_per_tick": res.handoffsPerTik,
-				"ghosts":            res.ghosts,
-				"ghost_ships":       res.ghostShips,
-				"step_p99_ns":       res.stepP99NS,
-				"hash":              fmt.Sprintf("%016x", res.hash),
+				"scenario":              *scenario,
+				"workers":               *workers,
+				"conflict_policy":       *conflict,
+				"compile_behaviors":     *compile,
+				"compiled_calls":        res.compiledCalls,
+				"script_calls":          res.scriptCalls,
+				"ticks_per_sec":         res.ticksPerSec,
+				"handoffs_per_tick":     res.handoffsPerTik,
+				"ghosts":                res.ghosts,
+				"ghost_ships":           res.ghostShips,
+				"effects_forwarded":     res.forwarded,
+				"effects_remote_merged": res.remoteMerged,
+				"remote_invalidations":  res.remoteInval,
+				"step_p99_ns":           res.stepP99NS,
+				"hash":                  fmt.Sprintf("%016x", res.hash),
 			},
 		})
 	}
@@ -265,7 +300,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		tbl.Note = "hash must be identical across shard counts: handoff + ghost replication preserve state bit-exactly"
+		tbl.Note = "hash must be identical across shard counts: handoff, ghost replication and barrier-forwarded cross-shard effects preserve state bit-exactly"
 		tbl.Fprint(os.Stdout)
 		if *profileOn {
 			fmt.Println()

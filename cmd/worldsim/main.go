@@ -20,6 +20,7 @@ import (
 	"gamedb/internal/content"
 	"gamedb/internal/metrics"
 	"gamedb/internal/obs"
+	"gamedb/internal/shard"
 	"gamedb/internal/world"
 )
 
@@ -76,6 +77,7 @@ fn on_tick(self) {
 
 func main() {
 	packPath := flag.String("pack", "", "content pack XML file (empty = embedded demo)")
+	scenario := flag.String("scenario", "pack", "workload: pack (run -pack or the embedded demo) | border (the E22 cross-shard-write crowd on one world — the baseline every sharded border run must hash-match)")
 	ticks := flag.Int("ticks", 50, "ticks to simulate")
 	seed := flag.Int64("seed", 1, "world seed")
 	every := flag.Int("report", 10, "print stats every N ticks")
@@ -99,27 +101,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	var src string
-	if *packPath == "" {
-		src = demoPack
-	} else {
-		raw, err := os.ReadFile(*packPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+	if *scenario != "pack" && *scenario != "border" {
+		fmt.Fprintf(os.Stderr, "worldsim: unknown -scenario %q (want pack or border)\n", *scenario)
+		os.Exit(2)
+	}
+
+	var c *content.Compiled
+	if *scenario == "pack" {
+		var src string
+		if *packPath == "" {
+			src = demoPack
+		} else {
+			raw, err := os.ReadFile(*packPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+				os.Exit(1)
+			}
+			src = string(raw)
+		}
+		var errs []error
+		c, errs = content.LoadAndCompile(strings.NewReader(src))
+		if len(errs) > 0 {
+			fmt.Fprintln(os.Stderr, "worldsim: content pack rejected:")
+			for _, err := range errs {
+				fmt.Fprintf(os.Stderr, "  %v\n", err)
+			}
 			os.Exit(1)
 		}
-		src = string(raw)
-	}
-	c, errs := content.LoadAndCompile(strings.NewReader(src))
-	if len(errs) > 0 {
-		fmt.Fprintln(os.Stderr, "worldsim: content pack rejected:")
-		for _, err := range errs {
-			fmt.Fprintf(os.Stderr, "  %v\n", err)
+		for _, warn := range c.Warnings {
+			fmt.Fprintf(os.Stderr, "worldsim: warning: %v\n", warn)
 		}
-		os.Exit(1)
-	}
-	for _, warn := range c.Warnings {
-		fmt.Fprintf(os.Stderr, "worldsim: warning: %v\n", warn)
 	}
 	// Observability: a tracer when anything wants spans, a profiler when
 	// anything wants attribution. Both stay nil (and cost one branch per
@@ -138,13 +149,26 @@ func main() {
 		RowApply: *rowApply, ConflictPolicy: *conflict, CompileBehaviors: *compile,
 		Trace: tracer.Context(0), Profile: prof,
 	})
-	if err := w.LoadPack(c); err != nil {
-		fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
-		os.Exit(1)
-	}
-	if !*jsonOut {
-		fmt.Printf("loaded pack %q: %d entities across %v (%d workers)\n",
-			c.Name, w.Entities(), w.TableNames(), *workers)
+	if *scenario == "border" {
+		// The same pack and spawn stream SeedBorderCrowd drives through
+		// the sharded runtime — one world, so every write is local.
+		if err := shard.SeedBorderWorld(w, 240, 400, *seed, 6); err != nil {
+			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("seeded border-write crowd: %d entities across %v (%d workers)\n",
+				w.Entities(), w.TableNames(), *workers)
+		}
+	} else {
+		if err := w.LoadPack(c); err != nil {
+			fmt.Fprintf(os.Stderr, "worldsim: %v\n", err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("loaded pack %q: %d entities across %v (%d workers)\n",
+				c.Name, w.Entities(), w.TableNames(), *workers)
+		}
 	}
 
 	// Live endpoint: registry instruments fed from the tick loop, served
@@ -165,6 +189,7 @@ func main() {
 
 	var effects, conflicts, retries, aborts, queryNS, applyNS, triggerNS int64
 	var trigFired, trigRounds, trigEffects, trigConflicts int64
+	var fwd, remoteMerged, remoteInval int64
 	scriptErrors, scriptSkips := 0, 0
 	scriptCalls, compiledCalls := 0, 0
 	entityTicks := 0
@@ -193,6 +218,9 @@ func main() {
 		trigRounds += int64(st.TriggerRounds)
 		trigEffects += int64(st.TriggerEffects)
 		trigConflicts += int64(st.TriggerConflicts)
+		fwd += int64(st.EffectsForwarded)
+		remoteMerged += int64(st.EffectsRemoteMerged)
+		remoteInval += int64(st.RemoteInvalidations)
 		scriptErrors += st.ScriptErrors
 		scriptSkips += st.ScriptSkips
 		scriptCalls += st.ScriptCalls
@@ -204,6 +232,9 @@ func main() {
 			reg.Counter("worldsim_effects_total").Add(int64(st.Effects + st.TriggerEffects))
 			reg.Counter("worldsim_conflicts_total").Add(int64(st.EffectConflicts + st.TriggerConflicts))
 			reg.Counter("worldsim_script_errors_total").Add(int64(st.ScriptErrors))
+			reg.Counter("worldsim_effects_forwarded_total").Add(int64(st.EffectsForwarded))
+			reg.Counter("worldsim_effects_remote_merged_total").Add(int64(st.EffectsRemoteMerged))
+			reg.Counter("worldsim_remote_invalidations_total").Add(int64(st.RemoteInvalidations))
 			reg.Histogram("worldsim_tick_ns").Record(float64(time.Since(tickStart).Nanoseconds()))
 		}
 		lastPrinted = false
@@ -255,26 +286,29 @@ func main() {
 			NsPerOp:        float64(elapsed.Nanoseconds()) / float64(*ticks),
 			EntitiesPerSec: float64(entityTicks) / elapsed.Seconds(),
 			Extra: map[string]any{
-				"workers":           *workers,
-				"ticks":             *ticks,
-				"trigger_drain":     drain,
-				"conflict_policy":   *conflict,
-				"compile_behaviors": *compile,
-				"compiled_calls":    compiledCalls,
-				"compiled_coverage": coverage(compiledCalls, scriptCalls),
-				"effects_per_tick":  float64(effects) / float64(*ticks),
-				"effect_conflicts":  conflicts,
-				"effect_retries":    retries,
-				"effect_aborts":     aborts,
-				"script_errors":     scriptErrors,
-				"script_skips":      scriptSkips,
-				"trigger_fired":     trigFired,
-				"trigger_rounds":    trigRounds,
-				"trigger_effects":   trigEffects,
-				"trigger_conflicts": trigConflicts,
-				"query_ns_per_op":   float64(queryNS) / float64(*ticks),
-				"apply_ns_per_op":   float64(applyNS) / float64(*ticks),
-				"trigger_ns_per_op": float64(triggerNS) / float64(*ticks),
+				"workers":               *workers,
+				"ticks":                 *ticks,
+				"trigger_drain":         drain,
+				"conflict_policy":       *conflict,
+				"compile_behaviors":     *compile,
+				"compiled_calls":        compiledCalls,
+				"compiled_coverage":     coverage(compiledCalls, scriptCalls),
+				"effects_per_tick":      float64(effects) / float64(*ticks),
+				"effect_conflicts":      conflicts,
+				"effect_retries":        retries,
+				"effect_aborts":         aborts,
+				"effects_forwarded":     fwd,
+				"effects_remote_merged": remoteMerged,
+				"remote_invalidations":  remoteInval,
+				"script_errors":         scriptErrors,
+				"script_skips":          scriptSkips,
+				"trigger_fired":         trigFired,
+				"trigger_rounds":        trigRounds,
+				"trigger_effects":       trigEffects,
+				"trigger_conflicts":     trigConflicts,
+				"query_ns_per_op":       float64(queryNS) / float64(*ticks),
+				"apply_ns_per_op":       float64(applyNS) / float64(*ticks),
+				"trigger_ns_per_op":     float64(triggerNS) / float64(*ticks),
 			},
 		})
 		if *profileOn {

@@ -38,6 +38,7 @@ func All() []Driver {
 		{"E17", "conflict policies: last-write-wins vs serializable OCC re-runs", E17ConflictPolicy},
 		{"E18", "observability overhead: tracing + profiling on vs off", E18ObservabilityOverhead},
 		{"E21", "compiled behaviors: per-entity interpreter vs set-at-a-time plans", E21CompiledBehaviors},
+		{"E22", "cross-shard effects: ghost writes forwarded through the tick barrier", E22CrossShardEffects},
 		{"A1", "ablation: causality-bubble prediction horizon", A1BubbleHorizon},
 		{"A2", "ablation: grid cell size vs query radius", A2GridCellSize},
 		{"A3", "ablation: WAL batch size under rare checkpoints", A3WALBatch},

@@ -33,6 +33,12 @@ const (
 	SpanOCCRetry = "occ.retry"     // one OCC re-run round (Round = attempt)
 	SpanBarrier  = "barrier"       // shard runtime's tick barrier
 	SpanParallel = "parallel"      // shard runtime's parallel phase
+	// Effect-forwarding exchange phases of the shard runtime's barrier:
+	// gathering and routing outbound RemoteEffectBatches to their owning
+	// shards, then validating and merging foreign records (plus the
+	// cross-shard OCC re-runs the verdicts request).
+	SpanForward     = "forward"
+	SpanRemoteMerge = "remote-merge"
 )
 
 // CoordShard is the shard index spans recorded by the coordinator (the

@@ -87,6 +87,17 @@ func (f FieldSpec) ShouldShip(cur, sent float64, tick, sentTick int64) bool {
 	}
 }
 
+// Route names the authoritative home of a replicated row: the shard
+// that owns the entity a mirror reflects. Ghost-band replication
+// attaches a Route to every mirror's bookkeeping so writes landing on
+// the read-only copy can be forwarded to the owner instead of silently
+// clobbered by the next re-ship — the routing half of turning replicas
+// from caches into first-class write targets.
+type Route struct {
+	// Owner is the owning shard's index.
+	Owner int
+}
+
 // ID identifies a replicated entity.
 type ID = spatial.ID
 

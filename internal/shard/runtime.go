@@ -60,9 +60,12 @@ type Config struct {
 	Pool *sched.Pool
 	// ConflictPolicy passes through to world.Config.ConflictPolicy on
 	// every shard world: world.ConflictLastWrite (default) or
-	// world.ConflictOCC. Conflict detection and re-runs are shard-local
-	// (effects never cross a shard mid-tick), and both policies keep the
-	// runtime hash invariant across any Shards × Workers combination.
+	// world.ConflictOCC. Effects never cross a shard mid-tick — writes
+	// targeting ghost mirrors forward at the barrier (one tick late,
+	// deterministically merged at their owner), and under occ the
+	// owner's validation catches cross-shard read-write races and
+	// requests re-runs back to the originating shard. Both policies keep
+	// the runtime hash invariant across any Shards × Workers combination.
 	ConflictPolicy string
 	// EffectRetryCap passes through to world.Config.EffectRetryCap.
 	EffectRetryCap int
@@ -114,6 +117,16 @@ type StepStats struct {
 	Handoffs       int
 	GhostShips     int
 	GhostSnapshots int
+	// EffectsForwarded counts effect records carried across this barrier
+	// in RemoteEffectBatches (writes that targeted ghost mirrors during
+	// the parallel phase); EffectsRemoteMerged counts records merged into
+	// their owning shards at this barrier's exchange;
+	// RemoteInvalidations counts foreign invocations the owners
+	// invalidated (occ only — each triggers a re-run on its originating
+	// shard after ghost re-ship).
+	EffectsForwarded    int
+	EffectsRemoteMerged int
+	RemoteInvalidations int
 	// Shards aggregates the per-shard world.TickStats of the parallel
 	// phase. Note the convention difference: TickStats.Entities counts
 	// every row the shard world ticked, ghost mirrors included, while
@@ -126,11 +139,14 @@ type StepStats struct {
 	BarrierNS  int64
 }
 
-// ghostRec tracks one ghost mirror's last-shipped field values.
+// ghostRec tracks one ghost mirror's last-shipped field values, plus
+// the owner routing that makes the mirror a first-class write target:
+// effect records against it forward to route.Owner at the barrier.
 type ghostRec struct {
 	sent     []float64
 	sentTick []int64
 	present  []bool // field exists in the entity's table schema
+	route    replica.Route
 }
 
 // Runtime runs N region shards under a tick-barrier coordinator.
@@ -166,6 +182,13 @@ type Runtime struct {
 	HandoffTotal       metrics.Counter
 	GhostShipTotal     metrics.Counter
 	GhostSnapshotTotal metrics.Counter
+	// ForwardTotal, RemoteMergeTotal and RemoteInvalidationTotal
+	// accumulate the effect-forwarding exchange across the run: records
+	// forwarded to owners, foreign records merged, and foreign
+	// invocations invalidated by owner-side OCC validation.
+	ForwardTotal            metrics.Counter
+	RemoteMergeTotal        metrics.Counter
+	RemoteInvalidationTotal metrics.Counter
 	// StepNS records per-tick wall time (parallel + barrier).
 	StepNS metrics.Histogram
 }
@@ -235,6 +258,7 @@ func New(cfg Config) (*Runtime, error) {
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).
 		w.SetIDAllocator(scriptIDBase+entity.ID(i+1), uint64(n))
+		w.SetShardIndex(i)
 		rt.worlds[i] = w
 		rt.ghostRecs[i] = make(map[entity.ID]*ghostRec)
 	}
@@ -339,8 +363,13 @@ func (rt *Runtime) Owner(id entity.ID) int {
 }
 
 // Step advances the sharded world one tick: every shard steps in
-// parallel, then the tick barrier rebalances regions (when due), hands
-// off entities that crossed a boundary, and refreshes ghost mirrors.
+// parallel, then the tick barrier runs the effect-forwarding exchange
+// (ghost-targeted writes cross to their owners, are validated under occ
+// and merged in deterministic order), rebalances regions (when due),
+// hands off entities that crossed a boundary, refreshes ghost mirrors —
+// after the foreign merge, so re-ships carry merged values — and
+// finally re-runs invalidated border invocations on their originating
+// shards against the fresh mirrors.
 func (rt *Runtime) Step() (StepStats, error) {
 	rt.tick++
 	st := StepStats{Tick: rt.tick}
@@ -368,6 +397,11 @@ func (rt *Runtime) Step() (StepStats, error) {
 	}
 
 	t1 := time.Now()
+	// Exchange first: owner routes were installed at the previous
+	// barrier's reconcile and ownership only changes at barriers, so the
+	// routes are still exact here. Merging before handoff/reconcile means
+	// migrations and re-ships see post-merge state.
+	reruns := rt.exchangeEffects(&st)
 	counts := make([]int64, len(rt.worlds))
 	for i, w := range rt.worlds {
 		rt.LocalCount[i].Reset()
@@ -390,6 +424,7 @@ func (rt *Runtime) Step() (StepStats, error) {
 		return st, err
 	}
 	st.GhostShips, st.GhostSnapshots = ships, snaps
+	rt.rerunForeign(reruns)
 	st.BarrierNS = time.Since(t1).Nanoseconds()
 	rt.coordSpans.Span(obs.SpanBarrier, rt.tick, -1, t1)
 
@@ -401,9 +436,11 @@ func (rt *Runtime) Step() (StepStats, error) {
 	return st, nil
 }
 
-// Sync runs the barrier phases (handoff + ghost refresh) without
-// stepping, materializing initial ghosts after loading and spawning.
+// Sync runs the barrier phases (exchange + handoff + ghost refresh)
+// without stepping, materializing initial ghosts after loading and
+// spawning.
 func (rt *Runtime) Sync() error {
+	reruns := rt.exchangeEffects(nil)
 	migs, desired, err := rt.collectBarrier()
 	if err != nil {
 		return err
@@ -411,8 +448,111 @@ func (rt *Runtime) Sync() error {
 	if err := rt.applyHandoff(migs); err != nil {
 		return err
 	}
-	_, _, err = rt.reconcileGhosts(desired)
-	return err
+	if _, _, err = rt.reconcileGhosts(desired); err != nil {
+		return err
+	}
+	rt.rerunForeign(reruns)
+	return nil
+}
+
+// exchangeEffects runs the effect-forwarding half of one barrier:
+// gather every shard's outbound RemoteEffectBatches and deliver them to
+// their owning shards (the forward span), then — when anything crossed —
+// collect owner-side validation verdicts under occ, union them (a
+// multi-owner invocation can be invalidated by several owners) and
+// commit the exchange merge at every world, own held records included
+// (the remote-merge span). The returned verdicts re-run after ghost
+// re-ship (rerunForeign). st is nil when called from Sync.
+func (rt *Runtime) exchangeEffects(st *StepStats) []world.ForeignInvalidation {
+	n := len(rt.worlds)
+	t0 := time.Now()
+	forwarded := 0
+	for si := 0; si < n; si++ {
+		out := rt.worlds[si].TakeOutbound()
+		if len(out) == 0 {
+			continue
+		}
+		dsts := make([]int, 0, len(out))
+		for di := range out {
+			dsts = append(dsts, di)
+		}
+		sort.Ints(dsts)
+		for _, di := range dsts {
+			if di < 0 || di >= n || di == si {
+				continue // defensive: a batch cannot route outside the grid
+			}
+			forwarded += len(out[di].Recs)
+			rt.worlds[di].QueueForeign(si, out[di])
+		}
+	}
+	rt.coordSpans.Span(obs.SpanForward, rt.tick, -1, t0)
+	if st != nil {
+		st.EffectsForwarded = forwarded
+	}
+	rt.ForwardTotal.Add(int64(forwarded))
+	if forwarded == 0 {
+		return nil
+	}
+	t1 := time.Now()
+	// All verdicts collect before any world applies: validation reads
+	// pre-exchange tick state.
+	var invalidSet map[world.ForeignKey]struct{}
+	var reruns []world.ForeignInvalidation
+	for di := 0; di < n; di++ {
+		for _, iv := range rt.worlds[di].ValidateForeign() {
+			if invalidSet == nil {
+				invalidSet = make(map[world.ForeignKey]struct{})
+			}
+			if _, dup := invalidSet[iv.Key]; dup {
+				continue
+			}
+			invalidSet[iv.Key] = struct{}{}
+			reruns = append(reruns, iv)
+		}
+	}
+	merged := 0
+	for di := 0; di < n; di++ {
+		merged += rt.worlds[di].ExchangeApply(invalidSet)
+	}
+	if st != nil {
+		st.EffectsRemoteMerged = merged
+		st.RemoteInvalidations = len(reruns)
+	}
+	rt.RemoteMergeTotal.Add(int64(merged))
+	rt.RemoteInvalidationTotal.Add(int64(len(reruns)))
+	rt.coordSpans.Span(obs.SpanRemoteMerge, rt.tick, -1, t1)
+	return reruns
+}
+
+// rerunForeign routes invalidation verdicts back to their source shards
+// and re-runs them there, in ascending shard order. It must run after
+// reconcileGhosts: a re-run reads the mirrors just re-shipped from the
+// owners' merged state. An invocation whose entity migrated this barrier
+// re-runs on the entity's new shard; one whose entity despawned falls
+// back to its origin shard, where the re-run fails behavior lookup and
+// aborts — same accounting as a local OCC re-run of a despawned entity.
+func (rt *Runtime) rerunForeign(reruns []world.ForeignInvalidation) {
+	if len(reruns) == 0 {
+		return
+	}
+	t0 := time.Now()
+	byShard := make(map[int][]world.ForeignInvalidation)
+	for _, r := range reruns {
+		o := rt.Owner(r.Key.Src)
+		if o < 0 {
+			o = r.Key.Shard
+		}
+		byShard[o] = append(byShard[o], r)
+	}
+	shards := make([]int, 0, len(byShard))
+	for o := range byShard {
+		shards = append(shards, o)
+	}
+	sort.Ints(shards)
+	for _, o := range shards {
+		rt.worlds[o].RerunForeign(byShard[o])
+	}
+	rt.coordSpans.Span(obs.SpanRemoteMerge, rt.tick, -1, t0)
 }
 
 // migration is one entity crossing a region boundary.
@@ -591,10 +731,17 @@ func (rt *Runtime) reconcileGhosts(desired []map[entity.ID]ghostCandidate) (int,
 				}
 				dst.SetGhost(id, true)
 				rec = rt.newGhostRec(t, id)
+				rec.route = replica.Route{Owner: cand.owner}
+				dst.SetGhostRoute(id, cand.owner)
 				recs[id] = rec
 				snaps++
 				continue
 			}
+			// Refresh the owner route every barrier, unconditionally: it
+			// is cheap, handoff can move ownership, and a snapshot Restore
+			// wipes the world-side route map without touching our recs.
+			rec.route = replica.Route{Owner: cand.owner}
+			dst.SetGhostRoute(id, cand.owner)
 			for fi, spec := range rt.specs {
 				if !rec.present[fi] {
 					continue
@@ -649,11 +796,14 @@ func (rt *Runtime) newGhostRec(t *entity.Table, id entity.ID) *ghostRec {
 // yields the same hash on every run, and for state driven by per-entity
 // physics and coordinator spawns the hash is also identical for any
 // shard count — handoff preserves rows bit-exactly and ghosts are
-// excluded as derived state. Behaviors that observe neighbors or spawn
-// from scripts see the weakened cross-shard view (Coarse-stale ghosts,
-// per-shard id streams), so their state may legitimately differ from a
-// single-shard run — the paper's "inconsistent, but very similar"
-// tier, traded for partitionability.
+// excluded as derived state. Cross-shard writes are first-class: a
+// record targeting a ghost mirror forwards to its owner and merges
+// deterministically at the barrier (exactly one tick late), so
+// neighbor-writing behaviors stay shard-count-invariant too, provided
+// the fields they *read* are mirrored exactly (replica.Exact
+// GhostFields, GhostBand covering the interaction radius). Behaviors
+// reading Coarse-mirrored fields still see the weakened view — the
+// paper's "inconsistent, but very similar" tier, traded for bandwidth.
 func (rt *Runtime) Hash() uint64 {
 	type rowRef struct {
 		id    entity.ID

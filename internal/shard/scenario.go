@@ -7,6 +7,7 @@ import (
 
 	"gamedb/internal/content"
 	"gamedb/internal/entity"
+	"gamedb/internal/replica"
 	"gamedb/internal/spatial"
 	"gamedb/internal/world"
 )
@@ -268,6 +269,164 @@ func SeedConflictWorld(w *world.World, claimers, beacons int, side float64, seed
 		}
 	}
 	return nil
+}
+
+// BorderWritePackXML is the adversarial cross-shard-write scenario (the
+// E22 workload): two unit kinds drift in tight clusters along region
+// boundaries and write *each other* every tick. Raiders stamp every
+// nearby medic with a claim (an idempotent constant set) and a knockback
+// (a commutative add); medics heal every nearby raider (another add).
+// Near a boundary the written neighbor is a ghost mirror, so every tick
+// floods the barrier's effect-forwarding exchange with RemoteEffectBatch
+// traffic in both directions. Writes are deliberately commutative or
+// idempotent and no behavior reads a written column, so the scenario is
+// exactly shard-count-invariant under both conflict policies — provided
+// the *read* fields (x, y, kind) mirror Exactly and the ghost band
+// covers the 9.0 interaction radius (BorderGhostFields).
+const BorderWritePackXML = `
+<contentpack name="border-writes">
+  <schema table="units">
+    <column name="x" kind="float"/>
+    <column name="y" kind="float"/>
+    <column name="vx" kind="float"/>
+    <column name="vy" kind="float"/>
+    <column name="kind" kind="int"/>
+    <column name="claimed" kind="int"/>
+    <column name="kb" kind="int"/>
+    <column name="hp" kind="int" default="100"/>
+  </schema>
+  <archetype name="raider" table="units" script="raid">
+    <set column="kind" value="1"/>
+  </archetype>
+  <archetype name="medic" table="units" script="mend">
+    <set column="kind" value="2"/>
+  </archetype>
+  <script name="raid">
+fn on_tick(self) {
+  let ns = nearby(self, 9.0);
+  for id in ns {
+    if get(id, "kind") == 2 {
+      set(id, "claimed", 1);
+      add(id, "kb", 1);
+    }
+  }
+}
+  </script>
+  <script name="mend">
+fn on_tick(self) {
+  let ns = nearby(self, 9.0);
+  for id in ns {
+    if get(id, "kind") == 1 {
+      add(id, "hp", 2);
+    }
+  }
+}
+  </script>
+</contentpack>`
+
+// BorderGhostFields is the replication spec BorderWritePackXML needs for
+// shard-count-invariant hashes: every field a behavior *reads* through a
+// ghost mirror ships Exact. Written-only columns (claimed, kb, hp) need
+// no spec — their cross-shard writes forward to the owner instead of
+// relying on the mirror.
+func BorderGhostFields() []replica.FieldSpec {
+	return []replica.FieldSpec{
+		{Name: "x", Class: replica.Exact},
+		{Name: "y", Class: replica.Exact},
+		{Name: "kind", Class: replica.Exact},
+	}
+}
+
+// ForEachBorderSpawn draws the seed-fixed border-crowd spawn stream and
+// hands each row to fn. Spawns alternate raider/medic and cluster within
+// ±6 of the side/2 gridlines — half along the vertical line x = side/2,
+// half along the horizontal line y = side/2 — so for every shard count
+// whose partition cuts those lines (2, 4, 8 over a square map) a dense
+// mixed crowd straddles the borders. Four rng draws per entity keep the
+// stream identical for every shard count.
+func ForEachBorderSpawn(units int, side float64, seed int64, speed float64, fn func(arch string, pos spatial.Vec2, vx, vy float64) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	const jitter = 6.0
+	for i := 0; i < units; i++ {
+		arch := "raider"
+		if i%2 == 1 {
+			arch = "medic"
+		}
+		var pos spatial.Vec2
+		if (i/2)%2 == 0 {
+			pos = spatial.Vec2{X: side/2 + (rng.Float64()*2-1)*jitter, Y: rng.Float64() * side}
+		} else {
+			pos = spatial.Vec2{X: rng.Float64() * side, Y: side/2 + (rng.Float64()*2-1)*jitter}
+		}
+		vx := (rng.Float64()*2 - 1) * speed
+		vy := (rng.Float64()*2 - 1) * speed
+		if err := fn(arch, pos, vx, vy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedBorderCrowd loads BorderWritePackXML into every shard and spawns
+// the ForEachBorderSpawn stream through the coordinator, then syncs
+// initial ghosts (and their owner routes). Pair with
+// GhostFields: BorderGhostFields() and a GhostBand covering the 9.0
+// interaction radius for exact cross-shard semantics.
+func SeedBorderCrowd(rt *Runtime, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(BorderWritePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: border pack rejected: %v", errs[0])
+	}
+	if err := rt.LoadPack(c); err != nil {
+		return err
+	}
+	return seedBorderSpawns(units, side, seed, speed,
+		func(arch string, pos spatial.Vec2) (entity.ID, *world.World, error) {
+			id, err := rt.Spawn(arch, pos)
+			if err != nil {
+				return 0, nil, err
+			}
+			return id, rt.ShardWorld(rt.Partitioner().Locate(pos)), nil
+		}, rt.Sync)
+}
+
+// SeedBorderWorld is the single-world twin of SeedBorderCrowd: the same
+// pack, the same spawn stream, one world.World — the baseline every
+// sharded border run must hash-match, and the worldsim border scenario.
+func SeedBorderWorld(w *world.World, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(BorderWritePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: border pack rejected: %v", errs[0])
+	}
+	if err := w.LoadPack(c); err != nil {
+		return err
+	}
+	return seedBorderSpawns(units, side, seed, speed,
+		func(arch string, pos spatial.Vec2) (entity.ID, *world.World, error) {
+			id, err := w.Spawn(arch, pos)
+			return id, w, err
+		}, func() error { return nil })
+}
+
+// seedBorderSpawns routes the ForEachBorderSpawn stream through a spawn
+// hook shared by the sharded and single-world seeders, so both always
+// simulate the identical workload.
+func seedBorderSpawns(units int, side float64, seed int64, speed float64,
+	spawn func(arch string, pos spatial.Vec2) (entity.ID, *world.World, error), sync func() error) error {
+	err := ForEachBorderSpawn(units, side, seed, speed, func(arch string, pos spatial.Vec2, vx, vy float64) error {
+		id, w, err := spawn(arch, pos)
+		if err != nil {
+			return err
+		}
+		if err := w.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		return w.Set(id, "vy", entity.Float(vy))
+	})
+	if err != nil {
+		return err
+	}
+	return sync()
 }
 
 // SeedDriftingCrowd creates the "units" table on every shard and spawns

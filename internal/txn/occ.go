@@ -71,6 +71,27 @@ func Invalidated[C comparable, O comparable](self O, reads []C, ws *WriteSet[C, 
 	return false
 }
 
+// InvalidatedByCommits is the cross-shard companion of Invalidated: it
+// reports whether any cell in reads is present in committed — a set of
+// writes that have already been applied and can no longer lose to the
+// reader under any merge order. The shard runtime's effect-forwarding
+// exchange uses it at the owning shard: a foreign invocation that read
+// a ghost mirror of a cell the owner's own tick committed a write to
+// computed against a stale mirror and must re-run on its origin shard.
+// Unlike Invalidated there is no self exemption — the committed side is
+// the owner's tick, never the foreign reader itself.
+func InvalidatedByCommits[C comparable](reads []C, committed map[C]struct{}) bool {
+	if len(committed) == 0 {
+		return false
+	}
+	for _, c := range reads {
+		if _, ok := committed[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // RetryLoop drives a bounded optimistic retry loop. attempt executes
 // one optimistic round and reports whether the work validated (true
 // ends the loop). maxRounds bounds the number of attempts; maxRounds

@@ -405,6 +405,9 @@ func (b *EffectBuffer) physDelta(id entity.ID, seq int32, col string, delta floa
 // loop built on the internal/txn OCC core.
 func (w *World) applyEffects(bufs []*EffectBuffer, effects, conflicts *int) {
 	merged := w.collectMerge(bufs)
+	if w.forwardingOn() {
+		merged = w.partitionRemote(merged)
+	}
 	if len(merged) == 0 {
 		return
 	}
@@ -447,6 +450,17 @@ func sortEffects(merged []Effect) {
 // applyMerged runs the five apply passes over one sorted merged
 // sequence (see applyEffects).
 func (w *World) applyMerged(merged []Effect, conflicts *int) {
+	// Owner-side cross-shard validation needs this tick's committed
+	// assignments (remote.go); barrier exchange applies are excluded —
+	// their writers were validated against this set, they don't feed it.
+	if w.tickWrites != nil && !w.inExchange {
+		for i := range merged {
+			e := &merged[i]
+			if e.Kind == EffectSet && e.Target < provBase {
+				w.tickWrites[readCell{id: e.Target, col: e.Col}] = struct{}{}
+			}
+		}
+	}
 	// Spawns: allocate real ids in deterministic order.
 	var prov map[entity.ID]entity.ID
 	for i := range merged {

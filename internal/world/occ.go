@@ -66,6 +66,14 @@ func (w *World) applyEffectsOCC(bufs []*EffectBuffer, effects, conflicts *int, s
 		b.closeInvoc()
 	}
 	merged := w.collectMerge(bufs)
+	if w.forwardingOn() {
+		// Border invocations (any remote record) are withheld whole and
+		// excluded from local validation: their remote half ships with
+		// read-set metadata when the phase can re-run them cross-barrier
+		// (the behavior phase), without it otherwise (trigger rounds).
+		merged = w.partitionRemoteInvocs(merged, bufs, w.applyRemoteRerun,
+			func(entity.ID) (int64, int) { return w.tick, 0 })
+	}
 	if len(merged) == 0 {
 		return
 	}
@@ -104,6 +112,10 @@ func (w *World) applyEffectsOCC(bufs []*EffectBuffer, effects, conflicts *int, s
 		// sequence; no second collectMerge (whose scratch still backs
 		// the outer merged slice) is needed.
 		roundMerged := buf.effects
+		if w.forwardingOn() {
+			roundMerged = w.partitionRemoteInvocs(roundMerged, w.workerBufs[:1], w.applyRemoteRerun,
+				func(entity.ID) (int64, int) { return w.tick, 0 })
+		}
 		invalid = w.occInvalidate(roundMerged, w.workerBufs[:1])
 		roundApplied := roundMerged
 		if len(invalid) > 0 {

@@ -131,6 +131,7 @@ func (w *World) ResetState() {
 	w.tick = 0
 	w.nextID = 0
 	w.trig.Reset()
+	w.resetForwarding()
 	// The per-worker emission caches hold (table, schema) pointers from
 	// the pre-reset epoch; drop them so the replaced tables are not
 	// pinned (entries would otherwise only refresh on a same-name

@@ -45,6 +45,7 @@ type workerStats struct {
 func (w *World) Step() (TickStats, error) {
 	w.tick++
 	st := TickStats{Tick: w.tick, Entities: len(w.tableOf)}
+	w.foldPending(&st)
 
 	t0 := time.Now()
 	workers := w.cfg.Workers
@@ -127,11 +128,15 @@ func (w *World) Step() (TickStats, error) {
 	if w.prof != nil {
 		w.profOf = w.behaviorProf
 	}
+	// Only the behavior phase can re-run a border invocation across the
+	// barrier, so only its partition ships OCC metadata (remote.go).
+	w.applyRemoteRerun = true
 	if w.occEnabled() {
 		w.applyEffectsOCC(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts, &st, w.rerunBehavior)
 	} else {
 		w.applyEffects(w.workerBufs[:workers], &st.Effects, &st.EffectConflicts)
 	}
+	w.applyRemoteRerun = false
 	w.profOf = nil
 	st.ApplyNS = time.Since(t1).Nanoseconds()
 	w.trace.Span(obs.SpanApply, w.tick, -1, t1)
@@ -141,6 +146,10 @@ func (w *World) Step() (TickStats, error) {
 	st.TriggerNS = time.Since(t2).Nanoseconds()
 	w.trace.Span(obs.SpanTrigger, w.tick, -1, t2)
 	w.trace.Span(obs.SpanTick, w.tick, -1, t0)
+	// statForwarded resets here, not at tick start: barrier re-runs
+	// forward records between ticks and count into the next tick.
+	st.EffectsForwarded = w.statForwarded
+	w.statForwarded = 0
 	if err != nil {
 		return st, err
 	}

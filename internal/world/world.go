@@ -252,6 +252,40 @@ type World struct {
 	occInvalid   []entity.ID
 	occFilterBuf []Effect
 
+	// Cross-shard effect-forwarding state (remote.go). ghostOwner routes
+	// ghost-targeted records to their owning shard; a nil/empty map makes
+	// every forwarding hook inert. outbound accumulates the per-owner
+	// batches of one tick; inRecs/inInvocs queue the foreign records and
+	// OCC metadata delivered for the current barrier; heldLocal withholds
+	// the local halves of border invocations until the barrier commit.
+	// tickWrites is the owner-side committed-write set validation reads
+	// (maintained only under occ with routes installed); pendWrites
+	// carries barrier re-run writes into the next tick's set. The pend*
+	// counters fold barrier-time accounting into the next tick's
+	// TickStats; statForwarded tallies records sealed outbound.
+	shardIdx         int
+	ghostOwner       map[entity.ID]int
+	outbound         map[int]*RemoteEffectBatch
+	inRecs           []foreignRec
+	inInvocs         []foreignInvoc
+	heldLocal        []heldInvoc
+	tickWrites       map[readCell]struct{}
+	pendWrites       []readCell
+	fwdWrites        txn.WriteSet[readCell, fwdOwner]
+	fwdOwnerSet      map[int]struct{}
+	exRecs           []foreignRec
+	exEffects        []Effect
+	applyRemoteRerun bool
+	inExchange       bool
+	statForwarded    int
+	pendRemoteMerged int
+	pendRemoteInval  int
+	pendEffects      int
+	pendConflicts    int
+	pendRetries      int
+	pendAborts       int
+	pendFuel         int64
+
 	// LastScriptError keeps the most recent behavior error for
 	// diagnostics; the tick itself continues (one bad designer script
 	// must not stop the shard).
@@ -308,6 +342,19 @@ type TickStats struct {
 	// re-run. Both stay zero under ConflictLastWrite.
 	EffectRetries int
 	EffectAborts  int
+	// EffectsForwarded counts effect records this tick sealed into
+	// outbound RemoteEffectBatches instead of applying locally — writes
+	// targeting ghost mirrors, routed to their owning shards at the next
+	// barrier (plus any records a barrier re-run forwarded since the
+	// last tick). EffectsRemoteMerged counts foreign records merged into
+	// this world at the preceding barrier's exchange; RemoteInvalidations
+	// counts foreign invocations this world invalidated there (occ only:
+	// their reads overlapped the owner's committed or surviving writes,
+	// and a re-run was requested back to the originating shard). All
+	// three stay zero until the shard runtime installs ghost routes.
+	EffectsForwarded    int
+	EffectsRemoteMerged int
+	RemoteInvalidations int
 	// QueryNS, ApplyNS and TriggerNS split the tick's wall time between
 	// the parallel read-only query phase, the sequential effect apply,
 	// and the trigger drain, so the merge overhead and cascade cost are
@@ -680,6 +727,7 @@ func (w *World) Despawn(id entity.ID) error {
 	delete(w.tableOf, id)
 	delete(w.behaviors, id)
 	delete(w.ghosts, id)
+	delete(w.ghostOwner, id)
 	return nil
 }
 
