@@ -889,6 +889,86 @@ func BenchmarkE22CrossShardEffects(b *testing.B) {
 	}
 }
 
+// BenchmarkE19ReplicaFanout: the two change-feed consumers. reconcile
+// compares the barrier's ghost-refresh strategies on the border crowd
+// at 4 shards — the legacy full band sweep vs the dirty-set driven
+// incremental path — with reconcile-ns/op isolating the phase the feed
+// rebuilt (TestIncrementalReconcileShipEquivalence pins both strategies
+// ship-for-ship identical, so the delta is pure evaluation cost).
+// fanout pumps the sealed feeds through the replica hub into 1k/10k
+// delta-encoded client windows and prices the outward bytes per tick.
+func BenchmarkE19ReplicaFanout(b *testing.B) {
+	const units, side = 1500, 800.0
+	newRuntime := func(b *testing.B, mode string, feed bool) *shard.Runtime {
+		rt, err := shard.New(shard.Config{
+			Seed: 42, Shards: 4, World: spatial.NewRect(0, 0, side, side),
+			TickDT: 0.5, GhostBand: 20, Workers: 4, ScriptFuel: 1 << 40,
+			GhostFields: shard.BorderGhostFields(), Reconcile: mode, ChangeFeed: feed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(rt.Close)
+		if err := shard.SeedBorderCrowd(rt, units, side, 7, 6); err != nil {
+			b.Fatal(err)
+		}
+		return rt
+	}
+	for _, mode := range []string{shard.ReconcileFullScan, shard.ReconcileIncremental} {
+		b.Run("reconcile/"+mode, func(b *testing.B) {
+			rt := newRuntime(b, mode, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var recNS int64
+			for i := 0; i < b.N; i++ {
+				st, err := rt.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				recNS += st.ReconcileNS
+			}
+			b.ReportMetric(float64(recNS)/float64(b.N), "reconcile-ns/op")
+			b.ReportMetric(float64(rt.GhostShipTotal.Load())/float64(b.N), "ships/tick")
+		})
+	}
+	for _, clients := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("fanout/%dclients", clients), func(b *testing.B) {
+			rt := newRuntime(b, shard.ReconcileFullScan, true)
+			hub := replica.NewHub(replica.HubConfig{
+				Specs: []replica.FieldSpec{
+					{Name: "x", Class: replica.Coarse, Epsilon: 0.5, MaxAge: 10},
+					{Name: "y", Class: replica.Coarse, Epsilon: 0.5, MaxAge: 10},
+					{Name: "hp", Class: replica.Exact},
+				},
+				Cell: 32, ByteBudget: 1500,
+			})
+			rng := rand.New(rand.NewSource(2009))
+			for i := 0; i < clients; i++ {
+				budget := 0
+				if rng.Float64() < 0.05 {
+					budget = 1500 / 8
+				}
+				hub.AddClient(i, spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}, 64, budget)
+			}
+			pump := shard.NewFeedPump(rt, hub)
+			pump.Pump()
+			hub.FlushTick()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Step(); err != nil {
+					b.Fatal(err)
+				}
+				pump.Pump()
+				rep := hub.FlushTick()
+				bytes += rep.Bytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N), "bytes/tick")
+		})
+	}
+}
+
 // BenchmarkE12NavMesh: pathfinding per representation plus BSP sight.
 func BenchmarkE12NavMesh(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

@@ -52,6 +52,9 @@ type raceResult struct {
 	handoffsPerTik float64
 	ghosts         int
 	ghostShips     int64
+	ghostSkips     int64
+	reconcileNS    int64
+	feedCells      int64
 	forwarded      int64
 	remoteMerged   int64
 	remoteInval    int64
@@ -73,7 +76,7 @@ type raceObs struct {
 	report int           // print per-tick stats every N ticks (0 = off)
 }
 
-func runRace(scenario string, shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile string, ro raceObs) (raceResult, error) {
+func runRace(scenario string, shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile, reconcile string, ro raceObs) (raceResult, error) {
 	cfg := shard.Config{
 		Seed:           seed,
 		Shards:         shards,
@@ -85,6 +88,7 @@ func runRace(scenario string, shards, workers, entities, ticks int, seed int64, 
 		RebalanceEvery: rebalance,
 		RowApply:       rowApply,
 		ConflictPolicy: conflict,
+		Reconcile:      reconcile,
 		Tracer:         ro.tracer,
 		Profile:        ro.prof,
 
@@ -162,6 +166,9 @@ func runRace(scenario string, shards, workers, entities, ticks int, seed int64, 
 		handoffsPerTik: float64(rt.HandoffTotal.Load()) / float64(ticks),
 		ghosts:         rt.Ghosts(),
 		ghostShips:     rt.GhostShipTotal.Load(),
+		ghostSkips:     rt.GhostFieldSkipTotal.Load(),
+		reconcileNS:    rt.ReconcileNSTotal.Load(),
+		feedCells:      rt.FeedCellTotal.Load(),
 		forwarded:      rt.ForwardTotal.Load(),
 		remoteMerged:   rt.RemoteMergeTotal.Load(),
 		remoteInval:    rt.RemoteInvalidationTotal.Load(),
@@ -186,6 +193,7 @@ func main() {
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (hash is identical either way)")
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ (hash is identical across shard counts under either)")
 	compile := flag.String("compile", world.CompileOff, "behavior execution on every shard world: off (interpret) | on (compile to set-at-a-time query plans, hash identical either way)")
+	reconcile := flag.String("reconcile", shard.ReconcileIncremental, "ghost refresh at the barrier: incremental (dirty-set driven off per-tick change feeds) | fullscan (legacy band sweep; ship-for-ship and hash identical either way)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
 	report := flag.Int("report", 0, "print per-tick stats every N ticks during each race (0 = off; the final tick of a race always prints)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the LAST raced shard count's tick spans to this file")
@@ -199,6 +207,10 @@ func main() {
 	}
 	if *compile != world.CompileOff && *compile != world.CompileOn {
 		fmt.Fprintf(os.Stderr, "shardsim: unknown -compile %q (want on or off)\n", *compile)
+		os.Exit(2)
+	}
+	if *reconcile != shard.ReconcileIncremental && *reconcile != shard.ReconcileFullScan {
+		fmt.Fprintf(os.Stderr, "shardsim: unknown -reconcile %q (want incremental or fullscan)\n", *reconcile)
 		os.Exit(2)
 	}
 	if *scenario != "drift" && *scenario != "border" {
@@ -254,7 +266,7 @@ func main() {
 		if i == len(counts)-1 {
 			ro.tracer, ro.prof = tracer, prof
 		}
-		res, err := runRace(*scenario, n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, ro)
+		res, err := runRace(*scenario, n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, *reconcile, ro)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -282,6 +294,10 @@ func main() {
 				"handoffs_per_tick":     res.handoffsPerTik,
 				"ghosts":                res.ghosts,
 				"ghost_ships":           res.ghostShips,
+				"ghost_field_skips":     res.ghostSkips,
+				"reconcile":             *reconcile,
+				"reconcile_ns_per_tick": float64(res.reconcileNS) / float64(*ticks),
+				"feed_cells":            res.feedCells,
 				"effects_forwarded":     res.forwarded,
 				"effects_remote_merged": res.remoteMerged,
 				"remote_invalidations":  res.remoteInval,

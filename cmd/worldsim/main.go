@@ -86,6 +86,7 @@ func main() {
 	rowApply := flag.Bool("row-apply", false, "use the legacy row-at-a-time effect apply (state is identical either way)")
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ")
 	compile := flag.String("compile", world.CompileOff, "behavior execution: off (interpret) | on (compile to set-at-a-time query plans, state identical either way)")
+	feed := flag.Bool("feed", false, "record a per-tick change feed (dirty (table, column, id) cells; state identical either way)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run's tick spans to this file")
 	profileOn := flag.Bool("profile", false, "collect and print the per-behavior / per-rule profile")
@@ -147,7 +148,7 @@ func main() {
 	w := world.New(world.Config{
 		Seed: *seed, Workers: *workers, DirectTriggers: *directTriggers,
 		RowApply: *rowApply, ConflictPolicy: *conflict, CompileBehaviors: *compile,
-		Trace: tracer.Context(0), Profile: prof,
+		ChangeFeed: *feed, Trace: tracer.Context(0), Profile: prof,
 	})
 	if *scenario == "border" {
 		// The same pack and spawn stream SeedBorderCrowd drives through
@@ -190,6 +191,7 @@ func main() {
 	var effects, conflicts, retries, aborts, queryNS, applyNS, triggerNS int64
 	var trigFired, trigRounds, trigEffects, trigConflicts int64
 	var fwd, remoteMerged, remoteInval int64
+	var feedCells int64
 	scriptErrors, scriptSkips := 0, 0
 	scriptCalls, compiledCalls := 0, 0
 	entityTicks := 0
@@ -221,6 +223,11 @@ func main() {
 		fwd += int64(st.EffectsForwarded)
 		remoteMerged += int64(st.EffectsRemoteMerged)
 		remoteInval += int64(st.RemoteInvalidations)
+		if *feed {
+			// Rotate after each Step the way the shard barrier does; the
+			// sealed window holds exactly this tick's dirty cells.
+			feedCells += int64(w.RotateFeed().CellCount())
+		}
 		scriptErrors += st.ScriptErrors
 		scriptSkips += st.ScriptSkips
 		scriptCalls += st.ScriptCalls
@@ -294,6 +301,8 @@ func main() {
 				"compiled_calls":        compiledCalls,
 				"compiled_coverage":     coverage(compiledCalls, scriptCalls),
 				"effects_per_tick":      float64(effects) / float64(*ticks),
+				"change_feed":           *feed,
+				"feed_cells_per_tick":   float64(feedCells) / float64(*ticks),
 				"effect_conflicts":      conflicts,
 				"effect_retries":        retries,
 				"effect_aborts":         aborts,

@@ -69,6 +69,16 @@ type ShardedOptions struct {
 	// RebalanceEvery enables load-driven boundary rebalancing every
 	// that many ticks (0 = static partition).
 	RebalanceEvery int64
+
+	// Reconcile selects the ghost-refresh strategy at the tick barrier:
+	// shard.ReconcileIncremental (default — dirty-set driven off each
+	// world's change feed) or shard.ReconcileFullScan (the legacy
+	// per-field band sweep). Ship-for-ship identical either way.
+	Reconcile string
+	// ChangeFeed forces per-tick change-feed recording on every shard
+	// world even under full-scan reconcile, for external consumers such
+	// as the replica fan-out hub.
+	ChangeFeed bool
 }
 
 // ShardedEngine is a sharded world runtime behind the same content and
@@ -101,6 +111,8 @@ func NewSharded(opts ShardedOptions) (*ShardedEngine, error) {
 		GhostBand:      opts.GhostBand,
 		GhostFields:    opts.GhostFields,
 		RebalanceEvery: opts.RebalanceEvery,
+		Reconcile:      opts.Reconcile,
+		ChangeFeed:     opts.ChangeFeed,
 
 		CompileBehaviors: opts.CompileBehaviors,
 	})

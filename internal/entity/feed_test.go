@@ -1,0 +1,93 @@
+package entity
+
+import "testing"
+
+func TestChangeFeedMarksAndCounts(t *testing.T) {
+	f := NewChangeFeed()
+	if !f.Empty() {
+		t.Fatal("new feed not empty")
+	}
+	f.MarkCell("units", "hp", 1)
+	f.MarkCell("units", "hp", 1) // duplicate: same cell
+	f.MarkCell("units", "hp", 2)
+	f.MarkCol("units", "x", []ID{1, 2, 2, 3})
+	if got := f.CellCount(); got != 5 {
+		t.Fatalf("CellCount = %d, want 5 (duplicates are one mark)", got)
+	}
+	if set := f.Dirty("units", "hp"); len(set) != 2 {
+		t.Fatalf("dirty hp = %d ids, want 2", len(set))
+	}
+	if set := f.Dirty("units", "x"); len(set) != 3 {
+		t.Fatalf("dirty x = %d ids, want 3", len(set))
+	}
+	if f.Dirty("units", "missing") != nil {
+		t.Fatal("unmarked column reported dirty ids")
+	}
+	if f.Dirty("ghosts", "hp") != nil {
+		t.Fatal("unmarked table reported dirty ids")
+	}
+	if f.Empty() {
+		t.Fatal("marked feed reported empty")
+	}
+}
+
+func TestChangeFeedLifecycleAndNote(t *testing.T) {
+	f := NewChangeFeed()
+	f.Note(Change{Kind: ChangeInsert, Table: "units", ID: 7})
+	f.Note(Change{Kind: ChangeUpdate, Table: "units", Col: "hp", ID: 7})
+	f.Note(Change{Kind: ChangeDelete, Table: "units", ID: 7})
+	tc := f.Table("units")
+	if tc == nil {
+		t.Fatal("no table changes recorded")
+	}
+	if len(tc.Spawned) != 1 || tc.Spawned[0] != 7 {
+		t.Fatalf("Spawned = %v, want [7]", tc.Spawned)
+	}
+	if len(tc.Despawned) != 1 || tc.Despawned[0] != 7 {
+		t.Fatalf("Despawned = %v, want [7]", tc.Despawned)
+	}
+	if _, ok := tc.Cols["hp"][7]; !ok {
+		t.Fatal("update note did not mark the cell")
+	}
+	// Lifecycle marks alone (no cell marks) must still defeat Empty: a
+	// churned row is a change consumers have to see.
+	g := NewChangeFeed()
+	g.MarkSpawn("units", 9)
+	if g.Empty() {
+		t.Fatal("feed with a spawn reported empty")
+	}
+}
+
+func TestChangeFeedResetKeepsCapacityClearsTaint(t *testing.T) {
+	f := NewChangeFeed()
+	f.MarkCol("units", "x", []ID{1, 2, 3})
+	f.MarkSpawn("units", 4)
+	f.Taint()
+	if !f.Tainted() || f.Empty() {
+		t.Fatal("taint not observable")
+	}
+	f.Reset()
+	if f.Tainted() {
+		t.Fatal("Reset did not clear taint")
+	}
+	if !f.Empty() || f.CellCount() != 0 {
+		t.Fatal("Reset did not empty the feed")
+	}
+	// The table shells survive reset for capacity reuse; their sets are
+	// empty.
+	if tc := f.Table("units"); tc == nil || len(tc.Cols["x"]) != 0 || len(tc.Spawned) != 0 {
+		t.Fatal("Reset left stale marks behind")
+	}
+	f.MarkCell("units", "x", 5)
+	if f.CellCount() != 1 {
+		t.Fatalf("post-Reset CellCount = %d, want 1", f.CellCount())
+	}
+}
+
+func TestChangeFeedTaintDefeatsEmpty(t *testing.T) {
+	f := NewChangeFeed()
+	f.Taint()
+	if f.Empty() {
+		t.Fatal("tainted feed reported empty — consumers would skip the full-sweep fallback")
+	}
+}

@@ -269,12 +269,26 @@ func (t *Table) Set(id ID, col string, v Value) error {
 // number of skipped rows, or an error when the column itself is unknown
 // or the slice lengths differ.
 func (t *Table) SetColumnBatch(col string, ids []ID, vals []Value) (int, error) {
+	skipped, _, err := t.setColumnBatch(col, ids, vals, nil, false)
+	return skipped, err
+}
+
+// SetColumnBatchRows is SetColumnBatch that additionally appends each
+// id's row index to rows (-1 when the write was skipped), so callers
+// chaining a row-addressed pass — e.g. a spatial reindex of the same
+// ids — can reuse the resolution this batch already paid for. The
+// indices are valid only until the next insert or delete on the table.
+func (t *Table) SetColumnBatchRows(col string, ids []ID, vals []Value, rows []int) (int, []int, error) {
+	return t.setColumnBatch(col, ids, vals, rows, true)
+}
+
+func (t *Table) setColumnBatch(col string, ids []ID, vals []Value, rows []int, trackRows bool) (int, []int, error) {
 	if len(ids) != len(vals) {
-		return 0, fmt.Errorf("entity: batch length mismatch: %d ids, %d values", len(ids), len(vals))
+		return 0, rows, fmt.Errorf("entity: batch length mismatch: %d ids, %d values", len(ids), len(vals))
 	}
 	ci, ok := t.schema.Col(col)
 	if !ok {
-		return 0, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
+		return 0, rows, fmt.Errorf("%w: %q in %q", ErrNoColumn, col, t.name)
 	}
 	kind := t.schema.ColAt(ci).Kind
 	column := t.cols[ci]
@@ -285,12 +299,21 @@ func (t *Table) SetColumnBatch(col string, ids []ID, vals []Value) (int, error) 
 		r, has := t.rowOf[id]
 		if !has {
 			skipped++
+			if trackRows {
+				rows = append(rows, -1)
+			}
 			continue
 		}
 		v := vals[i]
 		if v.Kind() != kind {
 			skipped++
+			if trackRows {
+				rows = append(rows, -1)
+			}
 			continue
+		}
+		if trackRows {
+			rows = append(rows, r)
 		}
 		old := column[r]
 		if old == v {
@@ -306,7 +329,7 @@ func (t *Table) SetColumnBatch(col string, ids []ID, vals []Value) (int, error) 
 			orderedIx.Insert(v, id)
 		}
 	}
-	return skipped, nil
+	return skipped, rows, nil
 }
 
 // AddColumnBatch adds deltas[i] to column col of entity ids[i] in one
@@ -382,6 +405,20 @@ func (t *Table) Row(id ID) ([]Value, error) {
 		out[c] = t.cols[c][r]
 	}
 	return out, nil
+}
+
+// AppendRow appends the entity's row (schema column order) to dst and
+// returns the extended slice — the allocation-free variant of Row for
+// callers that snapshot rows in a loop and reuse their buffers.
+func (t *Table) AppendRow(id ID, dst []Value) ([]Value, error) {
+	r, ok := t.rowOf[id]
+	if !ok {
+		return dst, fmt.Errorf("%w: %d in %q", ErrNoRow, id, t.name)
+	}
+	for c := range t.cols {
+		dst = append(dst, t.cols[c][r])
+	}
+	return dst, nil
 }
 
 // IDs returns a copy of all entity IDs in storage order.

@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gamedb/internal/metrics"
+	"gamedb/internal/replica"
+	"gamedb/internal/shard"
+	"gamedb/internal/spatial"
+)
+
+// E19ChangeFeedReplication measures the two consumers of the per-tick
+// change feed.
+//
+// Reconcile rows: the border crowd at 1/2/4 shards under the legacy
+// full band sweep (every ghost × every field, every barrier) vs the
+// dirty-set-driven incremental path (feed candidates plus the due-tick
+// index). Identical hashes down each shard row are the exactness claim;
+// the reconcile/tick column is the perf claim — the incremental path
+// prices evaluation at O(dirty + due) instead of O(band × fields).
+//
+// Fan-out rows: the same feed pumped into the replica hub and fanned to
+// 1k/10k/100k synthetic clients with per-client interest windows, delta
+// encoding and tier degradation; bytes/tick and staleness percentiles
+// size the outward bandwidth the paper's consistency tiers buy.
+func E19ChangeFeedReplication(quick bool) *metrics.Table {
+	t := metrics.NewTable("E19 — change-feed replication: incremental ghost refresh + client fan-out",
+		"phase", "config", "tick", "reconcile p50", "ships/tick", "bytes/tick", "stale p50/p99", "hash")
+	t.Note = "reconcile: identical hashes per shard count = feed-driven refresh is exact; reconcile p50 is the median over ticks of the element-wise minimum across alternating repetitions per mode (same seed => identical per-tick workload, so the per-tick min strips scheduler noise on shared hosts; mass-snapshot barriers cost both strategies the same and would mask the steady-state gap); fan-out: bytes/tick grows sublinearly in clients (interest windows)"
+
+	units := pick(quick, 300, 1500)
+	side := pick(quick, 400.0, 800.0)
+	ticks := pick(quick, 12, 60)
+	reps := pick(quick, 1, 5)
+	modes := []string{shard.ReconcileFullScan, shard.ReconcileIncremental}
+	for _, shards := range []int{1, 2, 4} {
+		type modeRun struct {
+			minNS  []float64 // element-wise min across reps, per tick
+			wallNS float64   // fastest rep's wall time for the tick loop
+			hash   uint64
+			ships  int64
+		}
+		runs := map[string]*modeRun{}
+		// Alternate modes within each rep so slow stretches of the host
+		// (GC on a neighbor tenant, scheduler churn) hit both modes
+		// equally rather than biasing whichever ran during the stretch.
+		for rep := 0; rep < reps; rep++ {
+			for _, mode := range modes {
+				rt, err := shard.New(shard.Config{
+					Seed: 42, Shards: shards, World: spatial.NewRect(0, 0, side, side),
+					TickDT: 0.5, GhostBand: 20, Workers: 4, ScriptFuel: 1 << 40,
+					GhostFields: shard.BorderGhostFields(), Reconcile: mode,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("E19: %v", err))
+				}
+				if err := shard.SeedBorderCrowd(rt, units, side, 7, 6); err != nil {
+					panic(fmt.Sprintf("E19: %v", err))
+				}
+				recNS := make([]float64, 0, ticks)
+				elapsed := timeOp(func() {
+					for i := 0; i < ticks; i++ {
+						st, err := rt.Step()
+						if err != nil {
+							panic(fmt.Sprintf("E19: tick %d: %v", i, err))
+						}
+						recNS = append(recNS, float64(st.ReconcileNS))
+					}
+				})
+				hash := rt.Hash()
+				ships := rt.GhostShipTotal.Load()
+				rt.Close()
+				mr := runs[mode]
+				if mr == nil {
+					runs[mode] = &modeRun{
+						minNS: recNS, wallNS: float64(elapsed.Nanoseconds()),
+						hash: hash, ships: ships,
+					}
+					continue
+				}
+				if hash != mr.hash || ships != mr.ships {
+					panic(fmt.Sprintf("E19: %s/%dsh rep %d diverged: hash %016x vs %016x, ships %d vs %d",
+						mode, shards, rep, hash, mr.hash, ships, mr.ships))
+				}
+				for i, ns := range recNS {
+					if ns < mr.minNS[i] {
+						mr.minNS[i] = ns
+					}
+				}
+				if w := float64(elapsed.Nanoseconds()); w < mr.wallNS {
+					mr.wallNS = w
+				}
+			}
+		}
+		for _, mode := range modes {
+			mr := runs[mode]
+			sort.Float64s(mr.minNS)
+			t.AddRow(
+				"reconcile",
+				fmt.Sprintf("%s/%dsh", mode, shards),
+				metrics.Fdur(mr.wallNS/float64(ticks)),
+				metrics.Fdur(mr.minNS[len(mr.minNS)/2]),
+				metrics.Fnum(float64(mr.ships)/float64(ticks)),
+				"—",
+				"—",
+				fmt.Sprintf("%016x", mr.hash),
+			)
+		}
+	}
+
+	clientScales := pick(quick, []int{200, 1000}, []int{1000, 10000, 100000})
+	fanUnits := pick(quick, 300, 2000)
+	fanSide := pick(quick, 400.0, 1000.0)
+	fanTicks := pick(quick, 10, 40)
+	for _, clients := range clientScales {
+		rt, err := shard.New(shard.Config{
+			Seed: 42, Shards: 4, World: spatial.NewRect(0, 0, fanSide, fanSide),
+			TickDT: 0.5, GhostBand: 20, Workers: 4, ScriptFuel: 1 << 40,
+			GhostFields: shard.BorderGhostFields(), ChangeFeed: true,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("E19: %v", err))
+		}
+		if err := shard.SeedBorderCrowd(rt, fanUnits, fanSide, 7, 6); err != nil {
+			panic(fmt.Sprintf("E19: %v", err))
+		}
+		hub := replica.NewHub(replica.HubConfig{
+			Specs: []replica.FieldSpec{
+				{Name: "x", Class: replica.Coarse, Epsilon: 0.5, MaxAge: 10},
+				{Name: "y", Class: replica.Coarse, Epsilon: 0.5, MaxAge: 10},
+				{Name: "hp", Class: replica.Exact},
+				{Name: "kb", Class: replica.Cosmetic, Period: 4},
+			},
+			Cell: 32, ByteBudget: 1500,
+		})
+		rng := rand.New(rand.NewSource(2009))
+		for i := 0; i < clients; i++ {
+			budget := 0
+			if rng.Float64() < 0.05 {
+				budget = 1500 / 8 // throttled tail: induces tier degradation
+			}
+			hub.AddClient(i, spatial.Vec2{X: rng.Float64() * fanSide, Y: rng.Float64() * fanSide}, 64, budget)
+		}
+		pump := shard.NewFeedPump(rt, hub)
+		pump.Pump()
+		hub.FlushTick()
+		var bytes int64
+		elapsed := timeOp(func() {
+			for i := 0; i < fanTicks; i++ {
+				if _, err := rt.Step(); err != nil {
+					panic(fmt.Sprintf("E19: tick %d: %v", i, err))
+				}
+				pump.Pump()
+				rep := hub.FlushTick()
+				bytes += rep.Bytes
+			}
+		})
+		hash := rt.Hash()
+		rt.Close()
+		label := fmt.Sprintf("%d clients", clients)
+		if clients >= 1000 {
+			label = fmt.Sprintf("%dk clients", clients/1000)
+		}
+		t.AddRow(
+			"fanout",
+			label,
+			metrics.Fdur(float64(elapsed.Nanoseconds())/float64(fanTicks)),
+			"—",
+			"—",
+			metrics.Fnum(float64(bytes)/float64(fanTicks)),
+			fmt.Sprintf("%.0f/%.0f", hub.Staleness.Quantile(0.50), hub.Staleness.Quantile(0.99)),
+			fmt.Sprintf("%016x", hash),
+		)
+	}
+	return t
+}

@@ -87,6 +87,47 @@ func (f FieldSpec) ShouldShip(cur, sent float64, tick, sentTick int64) bool {
 	}
 }
 
+// NextDue returns the future tick at which a diverged-but-declined
+// value becomes due to ship with no further writes, and whether such a
+// tick exists. It is the time-driven complement of ShouldShip that
+// makes dirty-set-driven replication exact: if ShouldShip(cur, sent,
+// tick, sentTick) returned false with cur != sent, then for every
+// t' in (tick, due) ShouldShip stays false and at t' == due it turns
+// true — so a consumer that re-evaluates dirty rows immediately and
+// due rows at their due tick ships exactly what a full per-tick scan
+// would.
+//
+//   - Exact fields ship on any divergence, so a declined Exact
+//     evaluation means cur == sent: nothing pends.
+//   - Coarse fields under epsilon become due when the staleness
+//     deadline passes: sentTick + MaxAge (never, when MaxAge <= 0).
+//   - Cosmetic fields become due at the next schedule tick: the first
+//     multiple of Period after tick.
+func (f FieldSpec) NextDue(tick, sentTick int64) (int64, bool) {
+	switch f.Class {
+	case Coarse:
+		if f.MaxAge <= 0 {
+			return 0, false
+		}
+		due := sentTick + f.MaxAge
+		if due <= tick {
+			// Already past the deadline: ShouldShip would have shipped,
+			// so a declined evaluation can only land here when cur moved
+			// back to sent. Nothing pends.
+			return 0, false
+		}
+		return due, true
+	case Cosmetic:
+		period := f.Period
+		if period <= 0 {
+			period = 1
+		}
+		return (tick/period + 1) * period, true
+	default:
+		return 0, false
+	}
+}
+
 // Route names the authoritative home of a replicated row: the shard
 // that owns the entity a mirror reflects. Ghost-band replication
 // attaches a Route to every mirror's bookkeeping so writes landing on

@@ -1,0 +1,183 @@
+package shard
+
+// FeedPump bridges a sharded runtime's sealed change feeds into a
+// replica fan-out hub: the feed's dirty sets name exactly the rows that
+// could need client shipping this tick, so the hub's per-tick input is
+// O(dirty), not O(entities). Ghost mirrors are derived state and are
+// skipped — every entity reaches the hub exactly once, from the shard
+// that owns it.
+
+import (
+	"sort"
+
+	"gamedb/internal/entity"
+	"gamedb/internal/replica"
+	"gamedb/internal/spatial"
+)
+
+// FeedPump feeds one Runtime's change feeds to one Hub. Construct with
+// NewFeedPump, then call Pump after every Runtime.Step (and once after
+// the initial Sync, to publish the seeded population); FlushTick on the
+// hub remains the caller's, so it can interleave client movement.
+type FeedPump struct {
+	rt  *Runtime
+	hub *replica.Hub
+
+	ids  []entity.ID
+	vals []float64
+	seen map[entity.ID]struct{}
+}
+
+// NewFeedPump wires rt (whose worlds must record change feeds — build
+// the runtime with Config.ChangeFeed or incremental reconcile) to hub.
+func NewFeedPump(rt *Runtime, hub *replica.Hub) *FeedPump {
+	return &FeedPump{
+		rt:   rt,
+		hub:  hub,
+		vals: make([]float64, len(hub.Specs())),
+		seen: make(map[entity.ID]struct{}),
+	}
+}
+
+// relevant reports whether a dirty column can change what clients see:
+// a replicated field, or a position column (which moves the entity
+// across interest cells even when position itself is not replicated).
+func (p *FeedPump) relevant(col string) bool {
+	if col == "x" || col == "y" {
+		return true
+	}
+	for _, sp := range p.hub.Specs() {
+		if sp.Name == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Pump opens the hub tick at the runtime's current tick and forwards
+// the sealed windows: despawns first across all shards (skipping ids
+// that merely migrated — still owned somewhere), then per shard the
+// spawned ∪ dirtied rows in sorted id order. A tainted window (post-
+// Restore) falls back to pushing every owned row.
+func (p *FeedPump) Pump() {
+	rt, hub := p.rt, p.hub
+	hub.BeginTick(rt.Tick())
+	n := rt.Shards()
+	tainted := false
+	for i := 0; i < n; i++ {
+		f := rt.ShardWorld(i).SealedFeed()
+		if f == nil {
+			continue
+		}
+		if f.Tainted() {
+			tainted = true
+		}
+		for _, tc := range f.Tables() {
+			for _, id := range tc.Despawned {
+				if rt.Owner(id) >= 0 {
+					continue // handoff: the new owner's spawn mark carries it
+				}
+				hub.DespawnEntity(replica.ID(id))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := rt.ShardWorld(i)
+		f := w.SealedFeed()
+		if f == nil {
+			continue
+		}
+		names := make([]string, 0, len(f.Tables()))
+		for name := range f.Tables() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tc := f.Table(name)
+			ids := p.ids[:0]
+			for _, id := range tc.Spawned {
+				if _, dup := p.seen[id]; dup {
+					continue
+				}
+				p.seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+			if tainted {
+				// Cannot trust the dirty sets: push the whole table.
+				t, _ := w.Table(name)
+				for _, id := range t.IDs() {
+					if _, dup := p.seen[id]; dup {
+						continue
+					}
+					p.seen[id] = struct{}{}
+					ids = append(ids, id)
+				}
+			} else {
+				for col, set := range tc.Cols {
+					if !p.relevant(col) {
+						continue
+					}
+					for id := range set {
+						if _, dup := p.seen[id]; dup {
+							continue
+						}
+						p.seen[id] = struct{}{}
+						ids = append(ids, id)
+					}
+				}
+			}
+			clear(p.seen)
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			p.ids = ids
+			t, _ := w.Table(name)
+			p.pushRows(t, w, ids)
+		}
+	}
+}
+
+// pushRows reads each owned row's position and replicated fields and
+// hands them to the hub.
+func (p *FeedPump) pushRows(t *entity.Table, w worldRef, ids []entity.ID) {
+	if t == nil {
+		return
+	}
+	specs := p.hub.Specs()
+	s := t.Schema()
+	cols := make([]int, len(specs))
+	for fi, sp := range specs {
+		ci, ok := s.Col(sp.Name)
+		if !ok {
+			ci = -1
+		}
+		cols[fi] = ci
+	}
+	for _, id := range ids {
+		if w.IsGhost(id) {
+			continue
+		}
+		r, ok := t.RowIndex(id)
+		if !ok {
+			continue // dirtied then despawned within the tick
+		}
+		pos, ok := w.Pos(id)
+		if !ok {
+			continue
+		}
+		for fi, ci := range cols {
+			if ci < 0 {
+				p.vals[fi] = 0
+				continue
+			}
+			v, _ := t.ValueAt(ci, r).AsFloat()
+			p.vals[fi] = v
+		}
+		p.hub.UpdateEntity(replica.ID(id), pos, p.vals)
+	}
+}
+
+// worldRef is the slice of the world API pushRows needs (keeps the
+// helper testable without a full world).
+type worldRef interface {
+	IsGhost(id entity.ID) bool
+	Pos(id entity.ID) (spatial.Vec2, bool)
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -23,6 +24,13 @@ import (
 // starts. Coordinator-assigned ids count up from 1, so the two ranges
 // cannot collide in any realistic run.
 const scriptIDBase = entity.ID(1) << 32
+
+// Config.Reconcile values. Incremental is the default: anything other
+// than ReconcileFullScan (including "") selects it.
+const (
+	ReconcileIncremental = "incremental"
+	ReconcileFullScan    = "fullscan"
+)
 
 // Config parameterizes a sharded runtime.
 type Config struct {
@@ -86,6 +94,25 @@ type Config struct {
 	// ships. Defaults to x and y as Coarse fields (epsilon = 1% of a
 	// cell, MaxAge 20 ticks). Ghost creation always ships the full row.
 	GhostFields []replica.FieldSpec
+	// Reconcile selects the barrier's ghost-refresh strategy.
+	// ReconcileIncremental (the default; "" and unknown values behave
+	// identically) turns on per-tick change feeds in every shard world
+	// and evaluates GhostFields ship policies only for (id, field)
+	// pairs the tick actually dirtied, plus a due-tick index covering
+	// the time-driven ships (Coarse MaxAge deadlines, Cosmetic
+	// schedules) — O(dirty + due) instead of O(band × fields).
+	// ReconcileFullScan is the legacy per-(id, field) sweep of the
+	// whole border band, kept as the equivalence baseline. Both
+	// strategies ship the identical (ships, snapshots) sequence and
+	// keep the runtime hash invariant across any Shards × Workers
+	// combination (the feed tests pin both).
+	Reconcile string
+	// ChangeFeed forces change-feed recording on every shard world even
+	// under ReconcileFullScan (incremental reconcile enables feeds on
+	// its own). The replica fan-out layer consumes the sealed feeds
+	// after each Step, so hosts serving clients from a full-scan
+	// runtime set this.
+	ChangeFeed bool
 
 	// Tracer records span-based tick traces (nil = tracing off): each
 	// shard world gets its own per-shard span context (query / apply /
@@ -134,19 +161,86 @@ type StepStats struct {
 	// Shards[i].Entities double-counts the border bands.
 	Shards []world.TickStats
 	// ParallelNS is the wall time of the parallel tick phase;
-	// BarrierNS the wall time of handoff + ghost maintenance.
-	ParallelNS int64
-	BarrierNS  int64
+	// BarrierNS the wall time of handoff + ghost maintenance;
+	// ReconcileNS the ghost-refresh slice of BarrierNS (the phase the
+	// incremental reconcile strategy targets).
+	ParallelNS  int64
+	BarrierNS   int64
+	ReconcileNS int64
+	// GhostFieldSkips counts (ghost, field) evaluations this barrier
+	// declined because the field's value kind supports no drift metric
+	// (non-numeric Coarse/Cosmetic). Non-numeric Exact fields DO ship
+	// (by equality), so a nonzero count flags a spec/schema mismatch
+	// worth fixing rather than silent data loss. The count is per
+	// evaluation opportunity, so full-scan and incremental runs report
+	// different (both nonzero) values for the same misconfiguration.
+	GhostFieldSkips int
 }
 
 // ghostRec tracks one ghost mirror's last-shipped field values, plus
 // the owner routing that makes the mirror a first-class write target:
 // effect records against it forward to route.Owner at the barrier.
 type ghostRec struct {
-	sent     []float64
+	sent     []float64      // last-shipped value, numeric fields
+	sentVal  []entity.Value // last-shipped value, non-numeric fields
 	sentTick []int64
 	present  []bool // field exists in the entity's table schema
 	route    replica.Route
+}
+
+// specCol is one GhostField resolved against a concrete table schema:
+// column index, whether the column exists, and whether its kind is
+// numeric (KindInt/KindFloat — kinds AsFloat always coerces, so
+// numeric-ness is schema-static, never per-value).
+type specCol struct {
+	ci      int
+	present bool
+	numeric bool
+}
+
+// tableSpecInfo caches the GhostField column resolution for one table,
+// keyed by schema pointer so a migration-evolved schema invalidates it.
+// Hoisting this out of the per-ghost loop is what lets refresh pay per
+// field a ValueAt instead of a MustGet (row lookup + column lookup).
+type tableSpecInfo struct {
+	schema *entity.Schema
+	cols   []specCol
+}
+
+// shipBatch accumulates one (destination table, field) group of ghost
+// field ships so the incremental refresh applies columnar, mirroring
+// the world's own apply path. Grouping key is (tab, fi); a spec name is
+// unique so (tab, fi) ≡ (tab, col).
+type shipBatch struct {
+	tab  *entity.Table
+	col  string
+	fi   int
+	pos  bool
+	ids  []entity.ID
+	vals []entity.Value
+	// rows holds the mirror-row index the columnar flush resolved for
+	// each id (-1 when skipped), reused by the spatial reindex so it
+	// never re-probes the row map.
+	rows []int
+}
+
+// evalRes memoizes per-(owner, table) resolution — source table, spec
+// columns, destination table — across one shard's candidate loop.
+type evalRes struct {
+	owner int
+	table string
+	src   *entity.Table
+	si    *tableSpecInfo
+	dstT  *entity.Table
+}
+
+// colRes memoizes one (owner, table)'s spec-column dirty sets for the
+// band-side candidate walk. cs is nil when the owner's feed has no
+// window for the table (nothing dirtied it).
+type colRes struct {
+	owner int
+	table string
+	cs    []map[entity.ID]struct{}
 }
 
 // Runtime runs N region shards under a tick-barrier coordinator.
@@ -167,6 +261,63 @@ type Runtime struct {
 
 	// ghostRecs[i] holds shard i's ghost mirrors keyed by entity id.
 	ghostRecs []map[entity.ID]*ghostRec
+
+	// Reconcile scratch, reused across barriers (maps cleared, slices
+	// truncated in place) so ghost maintenance stops allocating per
+	// shard per barrier.
+	goneSet map[entity.ID]bool
+	goneBuf []entity.ID
+	idsBuf  []entity.ID
+	feedBuf []*entity.ChangeFeed
+	shipBuf []shipBatch
+	// mirrorMask[id] is the bitmask of shards currently hosting a ghost
+	// mirror of id (bit di set ⇔ ghostRecs[di] has id; maintained by
+	// snapshotGhost/sweepGone). Candidate collection walks each sealed
+	// feed once per barrier and routes every dirty id straight to the
+	// shards that mirror it — O(dirty) instead of O(shards × dirty).
+	// Bits exist only for di < 64; incremental reconcile degrades to the
+	// full scan above 64 shards (see reconcileGhosts).
+	mirrorMask map[entity.ID]uint64
+	// candLists[di] is shard di's accumulated candidate list, reused
+	// across barriers. Collection may append an id more than once (an id
+	// dirty in several columns, or spawn-routed and band-probed); the
+	// eval loop sorts and skips adjacent duplicates, so no per-id seen
+	// set is needed during collection.
+	candLists [][]entity.ID
+	// colBuf memoizes per-(owner, table) spec-column dirty sets for the
+	// band-side candidate walk; truncated after each use.
+	colBuf []colRes
+	// rowBuf is snapshotGhost's row-copy scratch.
+	rowBuf []entity.Value
+	// posBuf/posBuf2 merge per-axis position ship batches into the
+	// single per-table reindex list; posRowBuf/posRowBuf2 carry the
+	// matching mirror-row indices alongside.
+	posBuf, posBuf2       []entity.ID
+	posRowBuf, posRowBuf2 []int
+	// feedsOn/feedsTainted describe the sealed windows in feedBuf,
+	// set by rotateFeeds at each barrier.
+	feedsOn, feedsTainted bool
+	// routeDirty marks barriers where a handoff moved ownership — the
+	// only event that can change an existing mirror's route.
+	routeDirty bool
+	// resBuf memoizes per-(owner, table) resolution inside one shard's
+	// candidate evaluation.
+	resBuf []evalRes
+	// specInfos caches per-table GhostField column resolution (see
+	// tableSpecInfo). Entries revalidate by schema pointer; the map is
+	// dropped wholesale if Restore churn ever grows it past a cap.
+	specInfos map[*entity.Table]*tableSpecInfo
+	// dueAt[di][tick] lists ghost ids on shard di whose last refresh
+	// declined a diverged field for a purely time-driven reason (Coarse
+	// under MaxAge, Cosmetic off-schedule). The incremental strategy
+	// re-evaluates exactly these at exactly that tick, which together
+	// with the dirty sets makes it ship-for-ship equivalent to the full
+	// scan. Entries are supersets: evaluation re-checks ShouldShip, and
+	// ids whose mirrors expired are dropped at processing.
+	dueAt []map[int64][]entity.ID
+	// onShip observes every ghost field ship in apply order (test hook
+	// pinning full-scan ≡ incremental ship sequences).
+	onShip func(di int, id entity.ID, fi int)
 
 	// coordSpans is the coordinator's span context (parallel phase and
 	// barrier), nil when tracing is off.
@@ -189,6 +340,13 @@ type Runtime struct {
 	ForwardTotal            metrics.Counter
 	RemoteMergeTotal        metrics.Counter
 	RemoteInvalidationTotal metrics.Counter
+	// GhostFieldSkipTotal accumulates StepStats.GhostFieldSkips;
+	// ReconcileNSTotal accumulates the ghost-refresh wall time;
+	// FeedCellTotal counts sealed change-feed (table, column, id) cells
+	// consumed at barriers (0 when feeds are off).
+	GhostFieldSkipTotal metrics.Counter
+	ReconcileNSTotal    metrics.Counter
+	FeedCellTotal       metrics.Counter
 	// StepNS records per-tick wall time (parallel + barrier).
 	StepNS metrics.Histogram
 }
@@ -235,7 +393,17 @@ func New(cfg Config) (*Runtime, error) {
 		ghostRecs:  make([]map[entity.ID]*ghostRec, n),
 		LocalCount: make([]metrics.Counter, n),
 		coordSpans: cfg.Tracer.Context(obs.CoordShard),
+		goneSet:    make(map[entity.ID]bool),
+		mirrorMask: make(map[entity.ID]uint64),
+		candLists:  make([][]entity.ID, n),
+		specInfos:  make(map[*entity.Table]*tableSpecInfo),
+		dueAt:      make([]map[int64][]entity.ID, n),
 	}
+	// Incremental reconcile needs the shard worlds recording change
+	// feeds; cfg.ChangeFeed forces them on for external consumers (the
+	// replica fan-out hub) even when reconcile itself doesn't need them.
+	feeds := cfg.ChangeFeed ||
+		(cfg.Reconcile != ReconcileFullScan && cfg.GhostBand > 0 && n > 1)
 	for i := 0; i < n; i++ {
 		w := world.New(world.Config{
 			// Shard worlds share the seed lineage but must not share a
@@ -254,6 +422,7 @@ func New(cfg Config) (*Runtime, error) {
 			Profile:        cfg.Profile,
 
 			CompileBehaviors: cfg.CompileBehaviors,
+			ChangeFeed:       feeds,
 		})
 		// Script-driven spawns allocate from disjoint residue classes so
 		// ids never collide across shards (or with coordinator ids).
@@ -419,11 +588,17 @@ func (rt *Runtime) Step() (StepStats, error) {
 		return st, err
 	}
 	st.Handoffs = len(migs)
-	ships, snaps, err := rt.reconcileGhosts(desired)
+	rt.rotateFeeds()
+	t2 := time.Now()
+	rec, err := rt.reconcileGhosts(desired)
+	st.ReconcileNS = time.Since(t2).Nanoseconds()
+	rt.ReconcileNSTotal.Add(st.ReconcileNS)
+	rt.coordSpans.Span(obs.SpanReconcile, rt.tick, -1, t2)
 	if err != nil {
 		return st, err
 	}
-	st.GhostShips, st.GhostSnapshots = ships, snaps
+	st.GhostShips, st.GhostSnapshots = rec.ships, rec.snaps
+	st.GhostFieldSkips = rec.skips
 	rt.rerunForeign(reruns)
 	st.BarrierNS = time.Since(t1).Nanoseconds()
 	rt.coordSpans.Span(obs.SpanBarrier, rt.tick, -1, t1)
@@ -448,7 +623,8 @@ func (rt *Runtime) Sync() error {
 	if err := rt.applyHandoff(migs); err != nil {
 		return err
 	}
-	if _, _, err = rt.reconcileGhosts(desired); err != nil {
+	rt.rotateFeeds()
+	if _, err = rt.reconcileGhosts(desired); err != nil {
 		return err
 	}
 	rt.rerunForeign(reruns)
@@ -630,6 +806,7 @@ func (rt *Runtime) collectBarrier() ([]migration, []map[entity.ID]ghostCandidate
 // failed insert (e.g. a schema missing on one shard) leaves the entity
 // intact on its source.
 func (rt *Runtime) applyHandoff(migs []migration) error {
+	rt.routeDirty = len(migs) > 0
 	sort.Slice(migs, func(i, j int) bool { return migs[i].id < migs[j].id })
 	for _, m := range migs {
 		dst := rt.worlds[m.dst]
@@ -640,6 +817,13 @@ func (rt *Runtime) applyHandoff(migs []migration) error {
 				return err
 			}
 			delete(rt.ghostRecs[m.dst], m.id)
+			if m.dst < 64 {
+				if mm := rt.mirrorMask[m.id] &^ (1 << uint(m.dst)); mm == 0 {
+					delete(rt.mirrorMask, m.id)
+				} else {
+					rt.mirrorMask[m.id] = mm
+				}
+			}
 		}
 		if err := dst.InsertRow(m.id, m.table, m.row); err != nil {
 			return err
@@ -655,138 +839,751 @@ func (rt *Runtime) applyHandoff(migs []migration) error {
 	return nil
 }
 
+// recStats is one barrier's ghost-maintenance tally.
+type recStats struct {
+	ships, snaps, skips int
+}
+
+// incremental reports whether the config selects the dirty-set driven
+// reconcile strategy (the default).
+func (rt *Runtime) incremental() bool { return rt.cfg.Reconcile != ReconcileFullScan }
+
+// rotateFeeds seals every shard world's change window exactly once per
+// barrier, whether or not refresh consumes it: the sealed window then
+// covers [previous barrier, this barrier) and the accumulating one
+// starts fresh for the next tick. Rotation runs with the apply/handoff
+// phase that produced the window's writes, so reconcile timing
+// measures refresh strategy rather than feed bookkeeping.
+func (rt *Runtime) rotateFeeds() {
+	rt.feedsOn = len(rt.worlds) > 0 && rt.worlds[0].FeedEnabled()
+	rt.feedsTainted = false
+	if !rt.feedsOn {
+		return
+	}
+	feeds := rt.feedBuf[:0]
+	cells := int64(0)
+	for _, w := range rt.worlds {
+		f := w.RotateFeed()
+		feeds = append(feeds, f)
+		cells += int64(f.CellCount())
+		if f.Tainted() {
+			rt.feedsTainted = true
+		}
+	}
+	rt.feedBuf = feeds
+	rt.FeedCellTotal.Add(cells)
+}
+
 // reconcileGhosts updates every shard's ghost set against the desired
 // border-band candidates. New ghosts ship their full row; existing
 // ghosts re-ship only GhostFields, each under its replica consistency
 // class (Coarse position updates ship when drift exceeds epsilon or the
-// mirror grows stale). Returns (field ships, full snapshots).
-func (rt *Runtime) reconcileGhosts(desired []map[entity.ID]ghostCandidate) (int, int, error) {
+// mirror grows stale).
+//
+// Two refresh strategies produce the identical ship sequence (the
+// equivalence test pins this): the legacy full scan evaluates every
+// (ghost, field) pair in the band, while the incremental path consumes
+// the per-tick change feeds rotated here and evaluates only dirty
+// pairs plus the due-tick index (see dueAt). A tainted window (a
+// Restore replaced state wholesale) forces one full sweep before
+// incremental resumes.
+func (rt *Runtime) reconcileGhosts(desired []map[entity.ID]ghostCandidate) (recStats, error) {
 	n := rt.part.N()
-	ships, snaps := 0, 0
+	var st recStats
+	feedsOn, tainted, feeds := rt.feedsOn, rt.feedsTainted, rt.feedBuf
+	// mirrorMask routes dirty ids by bit index, so incremental collection
+	// caps at 64 shards; beyond that the full scan takes over.
+	useInc := rt.incremental() && feedsOn && !tainted && n <= 64
+	if useInc {
+		rt.collectCandidates(feeds, desired, n)
+	}
 	for di := 0; di < n; di++ {
-		dst := rt.worlds[di]
-		recs := rt.ghostRecs[di]
-		// Expire mirrors that left the band (or whose owner despawned).
-		// Sweep the world's ghost set as well as our recs: a snapshot
-		// Restore can resurrect mirror rows this runtime has no rec for.
-		goneSet := make(map[entity.ID]bool)
-		for id := range recs {
-			if _, still := desired[di][id]; !still {
-				goneSet[id] = true
+		if err := rt.sweepGone(di, desired[di], useInc); err != nil {
+			return st, err
+		}
+		if useInc {
+			if err := rt.refreshIncremental(di, desired[di], rt.candLists[di], &st); err != nil {
+				return st, err
+			}
+			continue
+		}
+		// registerDue keeps the due index warm while a tainted window
+		// forces full sweeps in incremental mode, so the switch back is
+		// seamless; pure full-scan configs never consult it.
+		if err := rt.refreshFull(di, desired[di], rt.incremental() && feedsOn, &st); err != nil {
+			return st, err
+		}
+		if rt.dueAt[di] != nil {
+			delete(rt.dueAt[di], rt.tick)
+		}
+	}
+	rt.GhostShipTotal.Add(int64(st.ships))
+	rt.GhostSnapshotTotal.Add(int64(st.snaps))
+	rt.GhostFieldSkipTotal.Add(int64(st.skips))
+	return st, nil
+}
+
+// collectCandidates builds every shard's re-evaluation candidate list
+// for this barrier, then appends each shard's due-this-tick ids. Two
+// walks produce the same candidate set and the cheaper one runs each
+// barrier: collectFromFeeds iterates the owners' dirty sets and routes
+// each id through mirrorMask (O(dirty cells in spec'd columns)), while
+// collectFromBand iterates the mirror bands and probes each id against
+// its owner's dirty set (O(band × fields) map probes). Write-heavy
+// crowds — every position dirty, band a sliver of the population —
+// want the band walk; sparse write loads want the feed walk. Dirty
+// sets are supersets (unchanged-value writes mark too) and a mirror
+// host's own feed may mark last barrier's mirror snapshots — spurious
+// candidates re-evaluate to the same declined verdict the full scan
+// reaches, costing evaluation, never correctness. Lists come out in
+// map-iteration order; refreshIncremental sorts before evaluating.
+func (rt *Runtime) collectCandidates(feeds []*entity.ChangeFeed, desired []map[entity.ID]ghostCandidate, n int) {
+	for di := 0; di < n; di++ {
+		rt.candLists[di] = rt.candLists[di][:0]
+	}
+	dirtyCells := 0
+	spawnedAny := false
+	for _, f := range feeds {
+		if f == nil {
+			continue
+		}
+		for _, tc := range f.Tables() {
+			if len(tc.Spawned) > 0 {
+				spawnedAny = true
+			}
+			for fi := range rt.specs {
+				dirtyCells += len(tc.Cols[rt.specs[fi].Name])
 			}
 		}
-		for _, id := range dst.GhostIDs() {
-			if _, still := desired[di][id]; !still {
-				goneSet[id] = true
+	}
+	bandProbes := 0
+	for di := 0; di < n; di++ {
+		bandProbes += len(desired[di]) * (len(rt.specs) + 1)
+	}
+	if bandProbes < dirtyCells {
+		rt.collectFromBand(feeds, desired, n, spawnedAny)
+	} else {
+		rt.collectFromFeeds(feeds, desired)
+	}
+	for di := 0; di < n; di++ {
+		due, ok := rt.dueAt[di][rt.tick]
+		if !ok {
+			continue
+		}
+		bit := uint64(1) << uint(di)
+		for _, id := range due {
+			if rt.mirrorMask[id]&bit == 0 {
+				continue
 			}
+			if _, still := desired[di][id]; !still {
+				continue
+			}
+			rt.candLists[di] = append(rt.candLists[di], id)
 		}
-		gone := make([]entity.ID, 0, len(goneSet))
-		for id := range goneSet {
-			gone = append(gone, id)
+		delete(rt.dueAt[di], rt.tick)
+	}
+}
+
+// collectFromFeeds walks the sealed feeds' dirty sets: each id an owner
+// dirtied in a spec'd column routes via mirrorMask straight to the
+// shards mirroring it. Ids no longer desired at a destination (their
+// mirror expires this barrier) drop here rather than at eval.
+func (rt *Runtime) collectFromFeeds(feeds []*entity.ChangeFeed, desired []map[entity.ID]ghostCandidate) {
+	for ow, f := range feeds {
+		if f == nil {
+			continue
 		}
-		sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
-		for _, id := range gone {
-			if dst.IsGhost(id) {
-				if err := dst.Despawn(id); err != nil {
-					return ships, snaps, err
+		ownBit := uint64(1) << uint(ow)
+		for _, tc := range f.Tables() {
+			for fi := range rt.specs {
+				for id := range tc.Cols[rt.specs[fi].Name] {
+					// A shard never re-evaluates off its own feed: its
+					// marks for id are mirror maintenance, not owner
+					// writes.
+					mask := rt.mirrorMask[id] &^ ownBit
+					for di := 0; mask != 0; di++ {
+						bit := uint64(1) << uint(di)
+						if mask&bit != 0 {
+							mask &^= bit
+							if _, still := desired[di][id]; !still {
+								continue
+							}
+							rt.candLists[di] = append(rt.candLists[di], id)
+						}
+					}
 				}
 			}
+		}
+	}
+}
+
+// collectFromBand walks each shard's desired band and probes every id
+// against its owner's dirty set. A handed-off row's tick writes live in
+// the OLD owner's feed — which the band walk never probes, since the
+// band candidate names the new owner — so spawn marks (InsertRow marks
+// Spawned, not columns) route through mirrorMask first, exactly as the
+// feed walk routes dirty columns. Spawn routing can list an id the
+// band walk also hits; the eval-side adjacent-duplicate skip absorbs
+// it.
+func (rt *Runtime) collectFromBand(feeds []*entity.ChangeFeed, desired []map[entity.ID]ghostCandidate, n int, spawned bool) {
+	if spawned {
+		for ow, f := range feeds {
+			if f == nil {
+				continue
+			}
+			ownBit := uint64(1) << uint(ow)
+			for _, tc := range f.Tables() {
+				for _, id := range tc.Spawned {
+					mask := rt.mirrorMask[id] &^ ownBit
+					for di := 0; mask != 0; di++ {
+						bit := uint64(1) << uint(di)
+						if mask&bit != 0 {
+							mask &^= bit
+							if _, still := desired[di][id]; !still {
+								continue
+							}
+							rt.candLists[di] = append(rt.candLists[di], id)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Hoist the per-spec column sets once per (owner, table); the band
+	// walk probes them per id. A linear scan over the handful of
+	// distinct pairs a band touches beats a map keyed on the table
+	// pointer.
+	cols := rt.colBuf[:0]
+	for di := 0; di < n; di++ {
+		for id, cand := range desired[di] {
+			if cand.owner < 0 || cand.owner >= len(feeds) || cand.owner == di {
+				continue
+			}
+			var cs []map[entity.ID]struct{}
+			found := false
+			for ci := range cols {
+				if cols[ci].owner == cand.owner && cols[ci].table == cand.table {
+					cs = cols[ci].cs
+					found = true
+					break
+				}
+			}
+			if !found {
+				f := feeds[cand.owner]
+				if f != nil {
+					if tc := f.Table(cand.table); tc != nil {
+						cs = make([]map[entity.ID]struct{}, 0, len(rt.specs))
+						for fi := range rt.specs {
+							cs = append(cs, tc.Cols[rt.specs[fi].Name])
+						}
+					}
+				}
+				cols = append(cols, colRes{owner: cand.owner, table: cand.table, cs: cs})
+			}
+			hit := false
+			for fi := range cs {
+				if _, dirty := cs[fi][id]; dirty {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			rt.candLists[di] = append(rt.candLists[di], id)
+		}
+	}
+	rt.colBuf = cols[:0]
+}
+
+// sweepGone expires shard di's mirrors that left the band (or whose
+// owner despawned). It sweeps the world's ghost set as well as the
+// recs: a snapshot Restore can resurrect mirror rows this runtime has
+// no rec for. trustRecs skips that world sweep when the caller can
+// prove the world's ghost set equals the recs — on a non-tainted
+// incremental barrier every resurrection path taints the window, so
+// world ghosts ⊆ recs, and matching counts mean matching sets.
+func (rt *Runtime) sweepGone(di int, desired map[entity.ID]ghostCandidate, trustRecs bool) error {
+	dst := rt.worlds[di]
+	recs := rt.ghostRecs[di]
+	for id := range recs {
+		if _, still := desired[id]; !still {
+			rt.goneSet[id] = true
+		}
+	}
+	ghosts := rt.goneBuf[:0]
+	if !trustRecs || dst.GhostCount() != len(recs) {
+		ghosts = dst.AppendGhostIDs(ghosts)
+		for _, id := range ghosts {
+			if _, still := desired[id]; !still {
+				rt.goneSet[id] = true
+			}
+		}
+	}
+	gone := ghosts[:0]
+	for id := range rt.goneSet {
+		gone = append(gone, id)
+	}
+	slices.Sort(gone)
+	rt.goneBuf = gone
+	clear(rt.goneSet)
+	for _, id := range gone {
+		if dst.IsGhost(id) {
+			if err := dst.Despawn(id); err != nil {
+				return err
+			}
+		}
+		delete(recs, id)
+		if di < 64 {
+			if m := rt.mirrorMask[id] &^ (1 << uint(di)); m == 0 {
+				delete(rt.mirrorMask, id)
+			} else {
+				rt.mirrorMask[id] = m
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotGhost materializes one new mirror on dst: drop any orphan row
+// (a Restore can resurrect mirrors without our bookkeeping), insert the
+// owner's full row, mark + route it, and record last-shipped values.
+func (rt *Runtime) snapshotGhost(di int, id entity.ID, cand ghostCandidate) error {
+	dst := rt.worlds[di]
+	src := rt.worlds[cand.owner]
+	t, _ := src.Table(cand.table)
+	if dst.IsGhost(id) {
+		if err := dst.Despawn(id); err != nil {
+			return err
+		}
+	}
+	row, err := t.AppendRow(id, rt.rowBuf[:0])
+	rt.rowBuf = row
+	if err != nil {
+		return err
+	}
+	if err := dst.InsertRow(id, cand.table, row); err != nil {
+		return err
+	}
+	dst.SetGhost(id, true)
+	rec := rt.newGhostRec(t, row)
+	rec.route = replica.Route{Owner: cand.owner}
+	dst.SetGhostRoute(id, cand.owner)
+	rt.ghostRecs[di][id] = rec
+	if di < 64 {
+		rt.mirrorMask[id] |= 1 << uint(di)
+	}
+	return nil
+}
+
+// fieldShip evaluates one (ghost, field) pair against the owner's
+// current raw value: ship now, become due at a future tick (declined
+// but diverged for a purely time-driven reason), or skip (the value
+// kind supports no drift metric). Numeric fields compare as float but
+// ship the raw value, preserving the column's native kind (int hp
+// mirrors as int); non-numeric fields ship under Exact by equality,
+// while non-numeric Coarse/Cosmetic report skip — there is no epsilon
+// or staleness metric over strings and bools.
+func (rt *Runtime) fieldShip(fi int, numeric bool, rec *ghostRec, raw entity.Value) (ship bool, due int64, hasDue bool, skip bool) {
+	spec := rt.specs[fi]
+	if numeric {
+		cur, _ := raw.AsFloat()
+		if spec.ShouldShip(cur, rec.sent[fi], rt.tick, rec.sentTick[fi]) {
+			return true, 0, false, false
+		}
+		if cur != rec.sent[fi] {
+			if d, ok := spec.NextDue(rt.tick, rec.sentTick[fi]); ok {
+				return false, d, true, false
+			}
+		}
+		return false, 0, false, false
+	}
+	if spec.Class == replica.Exact {
+		return raw != rec.sentVal[fi], 0, false, false
+	}
+	return false, 0, false, true
+}
+
+// markShipped updates a rec's last-shipped bookkeeping for field fi.
+func (rt *Runtime) markShipped(rec *ghostRec, fi int, numeric bool, raw entity.Value) {
+	if numeric {
+		rec.sent[fi], _ = raw.AsFloat()
+	} else {
+		rec.sentVal[fi] = raw
+	}
+	rec.sentTick[fi] = rt.tick
+}
+
+// registerDue queues id for re-evaluation on shard di at a future tick.
+func (rt *Runtime) registerDue(di int, tick int64, id entity.ID) {
+	m := rt.dueAt[di]
+	if m == nil {
+		m = make(map[int64][]entity.ID)
+		rt.dueAt[di] = m
+	}
+	m[tick] = append(m[tick], id)
+}
+
+// refreshFull is the legacy O(band × fields) refresh: create or
+// re-evaluate every desired mirror in id order. Per-spec column
+// resolution is hoisted to the specInfo cache and the id scratch is
+// reused across shards, so the baseline got cheaper too; ships still go
+// through per-row World.Set (preserving change-notification semantics
+// for feed consumers watching mirror writes).
+func (rt *Runtime) refreshFull(di int, desired map[entity.ID]ghostCandidate, registerDue bool, st *recStats) error {
+	dst := rt.worlds[di]
+	recs := rt.ghostRecs[di]
+	ids := rt.idsBuf[:0]
+	for id := range desired {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	rt.idsBuf = ids
+	for _, id := range ids {
+		cand := desired[id]
+		src := rt.worlds[cand.owner]
+		t, _ := src.Table(cand.table)
+		rec, known := recs[id]
+		// A known rec whose row is gone means something on the hosting
+		// shard despawned the mirror (scripts can despawn any id Nearby
+		// returns). The mirror is derived state, so self-heal by
+		// re-snapshotting instead of wedging the barrier on a Set
+		// against a missing row.
+		if known && !dst.IsGhost(id) {
 			delete(recs, id)
+			known = false
 		}
-		// Create or refresh the rest, in id order for determinism.
-		ids := make([]entity.ID, 0, len(desired[di]))
-		for id := range desired[di] {
-			ids = append(ids, id)
+		if !known {
+			if err := rt.snapshotGhost(di, id, cand); err != nil {
+				return err
+			}
+			st.snaps++
+			continue
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			cand := desired[di][id]
-			src := rt.worlds[cand.owner]
-			t, _ := src.Table(cand.table)
+		// Refresh the owner route every barrier, unconditionally: it is
+		// cheap, handoff can move ownership, and a snapshot Restore
+		// wipes the world-side route map without touching our recs.
+		rec.route = replica.Route{Owner: cand.owner}
+		dst.SetGhostRoute(id, cand.owner)
+		si := rt.specInfo(t)
+		r, okR := t.RowIndex(id)
+		if !okR {
+			continue
+		}
+		for fi := range rt.specs {
+			sc := si.cols[fi]
+			if !rec.present[fi] || !sc.present {
+				continue
+			}
+			raw := t.ValueAt(sc.ci, r)
+			ship, due, hasDue, skip := rt.fieldShip(fi, sc.numeric, rec, raw)
+			if skip {
+				st.skips++
+				continue
+			}
+			if hasDue {
+				if registerDue {
+					rt.registerDue(di, due, id)
+				}
+				continue
+			}
+			if !ship {
+				continue
+			}
+			if err := dst.Set(id, rt.specs[fi].Name, raw); err != nil {
+				return err
+			}
+			rt.markShipped(rec, fi, sc.numeric, raw)
+			st.ships++
+			if rt.onShip != nil {
+				rt.onShip(di, id, fi)
+			}
+		}
+	}
+	return nil
+}
+
+// refreshIncremental is the dirty-set driven refresh. One pass over the
+// desired map handles the per-barrier obligations that cannot be
+// event-driven (route refresh, self-heal detection, new-mirror
+// discovery); field evaluation then touches only the candidate set —
+// ids some owner feed dirtied in a spec'd column, plus ids due this
+// tick (prebuilt by collectCandidates) — instead of the whole band.
+// Ships accumulate into per-(table, field) batches applied columnar,
+// with one spatial reindex per position batch; candidates evaluate in
+// sorted id order and fields in spec order, so the ship sequence is
+// bit-identical to refreshFull's.
+func (rt *Runtime) refreshIncremental(di int, desired map[entity.ID]ghostCandidate, cands []entity.ID, st *recStats) error {
+	dst := rt.worlds[di]
+	recs := rt.ghostRecs[di]
+	// After sweepGone, recs ⊆ desired, so the per-barrier desired walk
+	// has work only when mirrors are missing (len differs ⇒ new ids), a
+	// script despawned a mirror row out from under its rec (world ghost
+	// count diverges from recs ⇒ self-heal), or a handoff moved
+	// ownership (routeDirty ⇒ route refresh). Quiet barriers skip the
+	// walk entirely.
+	healNeeded := dst.GhostCount() != len(recs)
+	if healNeeded || rt.routeDirty || len(desired) != len(recs) {
+		newIDs := rt.idsBuf[:0]
+		for id, cand := range desired {
 			rec, known := recs[id]
-			// A known rec whose row is gone means something on the
-			// hosting shard despawned the mirror (scripts can despawn
-			// any id Nearby returns). The mirror is derived state, so
-			// self-heal by re-snapshotting instead of wedging the
-			// barrier on a Set against a missing row.
-			if known && !dst.IsGhost(id) {
+			if known && healNeeded && !dst.IsGhost(id) {
 				delete(recs, id)
 				known = false
 			}
 			if !known {
-				// An unknown in-band mirror may still have a row (a
-				// Restore resurrected it without our bookkeeping);
-				// drop the orphan and re-snapshot from the owner.
-				if dst.IsGhost(id) {
-					if err := dst.Despawn(id); err != nil {
-						return ships, snaps, err
-					}
-				}
-				row, err := t.Row(id)
-				if err != nil {
-					return ships, snaps, err
-				}
-				if err := dst.InsertRow(id, cand.table, row); err != nil {
-					return ships, snaps, err
-				}
-				dst.SetGhost(id, true)
-				rec = rt.newGhostRec(t, id)
-				rec.route = replica.Route{Owner: cand.owner}
-				dst.SetGhostRoute(id, cand.owner)
-				recs[id] = rec
-				snaps++
+				newIDs = append(newIDs, id)
 				continue
 			}
-			// Refresh the owner route every barrier, unconditionally: it
-			// is cheap, handoff can move ownership, and a snapshot Restore
-			// wipes the world-side route map without touching our recs.
-			rec.route = replica.Route{Owner: cand.owner}
-			dst.SetGhostRoute(id, cand.owner)
-			for fi, spec := range rt.specs {
-				if !rec.present[fi] {
-					continue
+			// Route refresh only on ownership change: handoff flips the
+			// rec's recorded owner, and the one case that silently desyncs
+			// the world-side route map from the recs — a snapshot Restore
+			// wiping it — taints the window, forcing the full sweep whose
+			// unconditional refresh repairs every route.
+			if rec.route.Owner != cand.owner {
+				rec.route = replica.Route{Owner: cand.owner}
+				dst.SetGhostRoute(id, cand.owner)
+			}
+		}
+		slices.Sort(newIDs)
+		rt.idsBuf = newIDs
+		for _, id := range newIDs {
+			if err := rt.snapshotGhost(di, id, desired[id]); err != nil {
+				return err
+			}
+			st.snaps++
+		}
+	}
+	slices.Sort(cands)
+
+	res := rt.resBuf[:0]
+	ships := rt.shipBuf[:0]
+	for i, id := range cands {
+		// Collection may route one id twice (dirty in several columns, or
+		// spawn-routed and band-probed); sorted order makes duplicates
+		// adjacent, so one comparison dedupes.
+		if i > 0 && cands[i-1] == id {
+			continue
+		}
+		// Candidates were collected against this barrier's desired map
+		// before the sweep: an id whose mirror just expired was deleted
+		// from recs by sweepGone, and one whose mirror was created this
+		// barrier has a fresh rec (sent == cur, nothing re-evaluates to a
+		// ship).
+		rec, known := recs[id]
+		if !known {
+			continue
+		}
+		cand, still := desired[id]
+		if !still {
+			continue
+		}
+		var rs *evalRes
+		for k := range res {
+			if res[k].owner == cand.owner && res[k].table == cand.table {
+				rs = &res[k]
+				break
+			}
+		}
+		if rs == nil {
+			var r evalRes
+			r.owner, r.table = cand.owner, cand.table
+			if t, ok := rt.worlds[cand.owner].Table(cand.table); ok {
+				if dstT, ok := dst.Table(cand.table); ok {
+					r.src, r.si, r.dstT = t, rt.specInfo(t), dstT
 				}
-				// Compare as float but ship the raw value, preserving
-				// the column's native kind (int hp mirrors as int).
-				raw := t.MustGet(id, spec.Name)
-				cur, okF := raw.AsFloat()
-				if !okF {
-					continue
-				}
-				if !spec.ShouldShip(cur, rec.sent[fi], rt.tick, rec.sentTick[fi]) {
-					continue
-				}
-				if err := dst.Set(id, spec.Name, raw); err != nil {
-					return ships, snaps, err
-				}
-				rec.sent[fi] = cur
-				rec.sentTick[fi] = rt.tick
-				ships++
+			}
+			res = append(res, r)
+			rs = &res[len(res)-1]
+		}
+		if rs.src == nil {
+			continue
+		}
+		r, okR := rs.src.RowIndex(id)
+		if !okR {
+			continue
+		}
+		for fi := range rt.specs {
+			sc := rs.si.cols[fi]
+			if !rec.present[fi] || !sc.present {
+				continue
+			}
+			raw := rs.src.ValueAt(sc.ci, r)
+			ship, due, hasDue, skip := rt.fieldShip(fi, sc.numeric, rec, raw)
+			if skip {
+				st.skips++
+				continue
+			}
+			if hasDue {
+				rt.registerDue(di, due, id)
+				continue
+			}
+			if !ship {
+				continue
+			}
+			b := shipBatchFor(&ships, rs.dstT, rt.specs[fi].Name, fi)
+			b.ids = append(b.ids, id)
+			b.vals = append(b.vals, raw)
+			rt.markShipped(rec, fi, sc.numeric, raw)
+			st.ships++
+			if rt.onShip != nil {
+				rt.onShip(di, id, fi)
 			}
 		}
 	}
-	rt.GhostShipTotal.Add(int64(ships))
-	rt.GhostSnapshotTotal.Add(int64(snaps))
-	return ships, snaps, nil
+	rt.resBuf = res[:0]
+	// Columnar flush: one SetColumnBatch per (table, field) group — the
+	// ghost counterpart of the world's own apply path. Batch writes skip
+	// change listeners; mirrors are derived state, so feed consumers
+	// never want them.
+	for i := range ships {
+		b := &ships[i]
+		if len(b.ids) == 0 {
+			continue
+		}
+		var err error
+		if _, b.rows, err = b.tab.SetColumnBatchRows(b.col, b.ids, b.vals, b.rows[:0]); err != nil {
+			return err
+		}
+	}
+	// One spatial reindex per position table: x and y ship for largely
+	// the same ids, so merge their (sorted) batches instead of
+	// grid-moving each ghost once per axis. The flush above already
+	// resolved each id's mirror row, so the reindex reads rows directly.
+	for i := range ships {
+		b := &ships[i]
+		if !b.pos || len(b.ids) == 0 {
+			continue
+		}
+		cur := append(rt.posBuf[:0], b.ids...)
+		curR := append(rt.posRowBuf[:0], b.rows...)
+		spare, spareR := rt.posBuf2[:0], rt.posRowBuf2[:0]
+		for j := i + 1; j < len(ships); j++ {
+			c := &ships[j]
+			if !c.pos || c.tab != b.tab || len(c.ids) == 0 {
+				continue
+			}
+			c.pos = false
+			spare, spareR = mergeSortedIDRows(spare[:0], spareR[:0], cur, curR, c.ids, c.rows)
+			cur, spare = spare, cur
+			curR, spareR = spareR, curR
+		}
+		dst.ReindexPositionsRows(b.tab, cur, curR)
+		rt.posBuf, rt.posBuf2 = cur[:0], spare[:0]
+		rt.posRowBuf, rt.posRowBuf2 = curR[:0], spareR[:0]
+	}
+	for i := range ships {
+		ships[i].tab = nil
+		ships[i].ids = ships[i].ids[:0]
+		ships[i].vals = ships[i].vals[:0]
+		ships[i].rows = ships[i].rows[:0]
+	}
+	rt.shipBuf = ships[:0]
+	return nil
 }
 
-// newGhostRec snapshots the spec'd fields of a freshly mirrored entity.
-func (rt *Runtime) newGhostRec(t *entity.Table, id entity.ID) *ghostRec {
+// mergeSortedIDRows merges two ascending id slices into dst, dropping
+// duplicates, carrying each id's row index alongside (a duplicate id
+// names the same mirror row, so either side's index works).
+func mergeSortedIDRows(dst []entity.ID, dstR []int, a []entity.ID, aR []int, b []entity.ID, bR []int) ([]entity.ID, []int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			dstR = append(dstR, aR[i])
+			i++
+		case b[j] < a[i]:
+			dst = append(dst, b[j])
+			dstR = append(dstR, bR[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			dstR = append(dstR, aR[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dstR = append(dstR, aR[i:]...)
+	return append(dst, b[j:]...), append(dstR, bR[j:]...)
+}
+
+// shipBatchFor returns the ship group for (tab, fi), appending a new
+// one in first-seen order (sorted-candidate order keeps it stable).
+func shipBatchFor(bs *[]shipBatch, tab *entity.Table, col string, fi int) *shipBatch {
+	b := *bs
+	for i := range b {
+		if b[i].tab == tab && b[i].fi == fi {
+			return &b[i]
+		}
+	}
+	if len(b) < cap(b) {
+		b = b[:len(b)+1]
+	} else {
+		b = append(b, shipBatch{})
+	}
+	g := &b[len(b)-1]
+	g.tab, g.col, g.fi = tab, col, fi
+	xci, okX := tab.Schema().Col("x")
+	yci, okY := tab.Schema().Col("y")
+	g.pos = (col == "x" || col == "y") && okX && okY &&
+		tab.Schema().ColAt(xci).Kind == entity.KindFloat &&
+		tab.Schema().ColAt(yci).Kind == entity.KindFloat
+	g.ids, g.vals = g.ids[:0], g.vals[:0]
+	*bs = b
+	return g
+}
+
+// specInfo returns the GhostField column resolution for t, rebuilding
+// it when the table's schema pointer changed (migrations swap schemas;
+// Restore swaps tables).
+func (rt *Runtime) specInfo(t *entity.Table) *tableSpecInfo {
+	s := t.Schema()
+	if si := rt.specInfos[t]; si != nil && si.schema == s {
+		return si
+	}
+	if len(rt.specInfos) > 128 {
+		clear(rt.specInfos) // Restore churn: drop stale table pointers
+	}
+	si := &tableSpecInfo{schema: s, cols: make([]specCol, len(rt.specs))}
+	for fi, spec := range rt.specs {
+		ci, ok := s.Col(spec.Name)
+		if !ok {
+			continue
+		}
+		k := s.ColAt(ci).Kind
+		si.cols[fi] = specCol{ci: ci, present: true, numeric: k == entity.KindInt || k == entity.KindFloat}
+	}
+	rt.specInfos[t] = si
+	return si
+}
+
+// newGhostRec snapshots the spec'd fields of a freshly mirrored entity
+// from its just-read row (schema column order). Non-numeric fields are
+// present too (their Exact class ships by equality); presence is
+// schema-driven, not value-coercion-driven.
+func (rt *Runtime) newGhostRec(t *entity.Table, row []entity.Value) *ghostRec {
 	rec := &ghostRec{
 		sent:     make([]float64, len(rt.specs)),
+		sentVal:  make([]entity.Value, len(rt.specs)),
 		sentTick: make([]int64, len(rt.specs)),
 		present:  make([]bool, len(rt.specs)),
 	}
-	s := t.Schema()
-	for fi, spec := range rt.specs {
-		if _, ok := s.Col(spec.Name); !ok {
+	si := rt.specInfo(t)
+	for fi := range rt.specs {
+		sc := si.cols[fi]
+		if !sc.present {
 			continue
 		}
-		if v, okF := t.MustGet(id, spec.Name).AsFloat(); okF {
-			rec.present[fi] = true
-			rec.sent[fi] = v
-			rec.sentTick[fi] = rt.tick
+		rec.present[fi] = true
+		raw := row[sc.ci]
+		if sc.numeric {
+			rec.sent[fi], _ = raw.AsFloat()
+		} else {
+			rec.sentVal[fi] = raw
 		}
+		rec.sentTick[fi] = rt.tick
 	}
 	return rec
 }

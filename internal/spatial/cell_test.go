@@ -1,0 +1,127 @@
+package spatial
+
+import "testing"
+
+func TestCellAtAndRectRoundTrip(t *testing.T) {
+	const cell = 32.0
+	cases := []struct {
+		p    Vec2
+		want CellKey
+	}{
+		{Vec2{X: 0, Y: 0}, CellKey{0, 0}},
+		{Vec2{X: 31.999, Y: 31.999}, CellKey{0, 0}},
+		{Vec2{X: 32, Y: 32}, CellKey{1, 1}},
+		{Vec2{X: -0.001, Y: 0}, CellKey{-1, 0}},
+		{Vec2{X: -32, Y: -1}, CellKey{-1, -1}},
+		{Vec2{X: 100, Y: -100}, CellKey{3, -4}},
+	}
+	for _, tc := range cases {
+		k := CellAt(tc.p, cell)
+		if k != tc.want {
+			t.Errorf("CellAt(%v) = %v, want %v", tc.p, k, tc.want)
+		}
+		// Each point lies inside its own cell's rectangle (half-open on
+		// the max edge: Contains is inclusive, so check via key identity
+		// of the rect corners instead).
+		r := k.Rect(cell)
+		if CellAt(r.Min, cell) != k {
+			t.Errorf("cell %v: Rect.Min %v maps to %v", k, r.Min, CellAt(r.Min, cell))
+		}
+		if !r.Contains(tc.p) {
+			t.Errorf("cell %v rect %v does not contain %v", k, r, tc.p)
+		}
+	}
+}
+
+// TestCellCoverMatchesPredicate pins the cover to the subscription
+// predicate the fan-out hub uses: a cell is in the cover exactly when
+// its rectangle's distance to the focus is within the radius — so
+// cover membership and per-event subscription checks always agree.
+func TestCellCoverMatchesPredicate(t *testing.T) {
+	const cellSz = 32.0
+	focus := Vec2{X: 100, Y: 70}
+	radius := 80.0
+	cover := CellCover(focus, radius, cellSz, nil)
+	if len(cover) == 0 {
+		t.Fatal("empty cover")
+	}
+	inCover := make(map[CellKey]bool, len(cover))
+	for i, k := range cover {
+		inCover[k] = true
+		if i > 0 {
+			prev := cover[i-1]
+			if !(prev.Y < k.Y || (prev.Y == k.Y && prev.X < k.X)) {
+				t.Fatalf("cover not row-major sorted at %d: %v then %v", i, prev, k)
+			}
+		}
+	}
+	// Exhaustive check over a generous bounding window.
+	lo := CellAt(Vec2{X: focus.X - radius - 2*cellSz, Y: focus.Y - radius - 2*cellSz}, cellSz)
+	hi := CellAt(Vec2{X: focus.X + radius + 2*cellSz, Y: focus.Y + radius + 2*cellSz}, cellSz)
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			k := CellKey{X: cx, Y: cy}
+			want := k.Rect(cellSz).Dist2(focus) <= radius*radius
+			if inCover[k] != want {
+				t.Fatalf("cell %v: cover=%v predicate=%v", k, inCover[k], want)
+			}
+		}
+	}
+}
+
+func TestCellCoverCorners(t *testing.T) {
+	// A radius shorter than the diagonal reach excludes the corner
+	// cells a plain bounding-box cover would include.
+	cover := CellCover(Vec2{X: 16, Y: 16}, 20, 32, nil)
+	// Bounding box spans cells [-1..1]² = 9 cells; the focus sits at
+	// the center of cell (0,0), 16+ away from every diagonal cell's
+	// nearest corner (distance to corner (32,32) etc. is √(16²+16²) ≈
+	// 22.6 > 20), so corners drop and 5 cells remain (a plus shape).
+	if len(cover) != 5 {
+		t.Fatalf("cover = %v (%d cells), want the 5-cell plus", cover, len(cover))
+	}
+	for _, k := range cover {
+		if k.X != 0 && k.Y != 0 {
+			t.Fatalf("corner cell %v in cover", k)
+		}
+	}
+	// Negative radius: empty. Zero radius: exactly the focus cell.
+	if got := CellCover(Vec2{X: 16, Y: 16}, -1, 32, nil); len(got) != 0 {
+		t.Fatalf("negative radius cover = %v", got)
+	}
+	if got := CellCover(Vec2{X: 16, Y: 16}, 0, 32, nil); len(got) != 1 || got[0] != (CellKey{0, 0}) {
+		t.Fatalf("zero radius cover = %v, want [{0 0}]", got)
+	}
+}
+
+func TestGridForEachInCell(t *testing.T) {
+	g := NewGrid(32)
+	g.Insert(1, Vec2{X: 10, Y: 10})
+	g.Insert(2, Vec2{X: 20, Y: 20})
+	g.Insert(3, Vec2{X: 40, Y: 10})
+	if k := g.CellOf(Vec2{X: 10, Y: 10}); k != (CellKey{0, 0}) {
+		t.Fatalf("CellOf = %v", k)
+	}
+	seen := map[ID]bool{}
+	g.ForEachInCell(CellKey{0, 0}, func(id ID, _ Vec2) bool {
+		seen[id] = true
+		return true
+	})
+	if !seen[1] || !seen[2] || seen[3] {
+		t.Fatalf("cell (0,0) visit = %v, want {1,2}", seen)
+	}
+	// Early stop.
+	visits := 0
+	g.ForEachInCell(CellKey{0, 0}, func(ID, Vec2) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("early stop visited %d, want 1", visits)
+	}
+	// Empty cell: no visits, no panic.
+	g.ForEachInCell(CellKey{9, 9}, func(ID, Vec2) bool {
+		t.Fatal("visited an empty cell")
+		return false
+	})
+}

@@ -9,11 +9,59 @@ import "math"
 // on it.
 type Grid struct {
 	cell  float64
-	cells map[cellKey][]Point
+	cells map[CellKey][]Point
 	pos   map[ID]Vec2
 }
 
-type cellKey struct{ X, Y int32 }
+// CellKey identifies one cell of a uniform grid in cell coordinates.
+// It is exported so interest management (per-client subscription
+// windows in the replica fan-out) can address grid cells directly —
+// the pub/sub key space of spatial subscriptions.
+type CellKey struct{ X, Y int32 }
+
+// CellAt returns the key of the cell containing p on a grid with the
+// given cell size. It is a pure function of (p, cell), so any component
+// using the same cell size addresses the same key space.
+func CellAt(p Vec2, cell float64) CellKey {
+	return CellKey{
+		X: int32(math.Floor(p.X / cell)),
+		Y: int32(math.Floor(p.Y / cell)),
+	}
+}
+
+// Rect returns the cell's world-space rectangle on a grid with the
+// given cell size.
+func (k CellKey) Rect(cell float64) Rect {
+	return Rect{
+		Min: Vec2{X: float64(k.X) * cell, Y: float64(k.Y) * cell},
+		Max: Vec2{X: float64(k.X+1) * cell, Y: float64(k.Y+1) * cell},
+	}
+}
+
+// CellCover appends to dst the keys of every cell intersecting the
+// circle (c, radius) on a grid with the given cell size, in row-major
+// (Y, then X) order, and returns the extended slice. Interest
+// management uses it to derive a client's subscription window from its
+// focus and area-of-interest radius; the per-cell Rect distance test
+// trims the corners a plain bounding-box cover would include.
+func CellCover(c Vec2, radius, cell float64, dst []CellKey) []CellKey {
+	if radius < 0 {
+		return dst
+	}
+	r2 := radius * radius
+	bound := RectAround(c, radius)
+	lo := CellAt(bound.Min, cell)
+	hi := CellAt(bound.Max, cell)
+	for cy := lo.Y; cy <= hi.Y; cy++ {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			k := CellKey{X: cx, Y: cy}
+			if k.Rect(cell).Dist2(c) <= r2 {
+				dst = append(dst, k)
+			}
+		}
+	}
+	return dst
+}
 
 // NewGrid returns a grid with the given cell size. Cell size should be on
 // the order of the dominant query radius.
@@ -23,7 +71,7 @@ func NewGrid(cellSize float64) *Grid {
 	}
 	return &Grid{
 		cell:  cellSize,
-		cells: make(map[cellKey][]Point),
+		cells: make(map[CellKey][]Point),
 		pos:   make(map[ID]Vec2),
 	}
 }
@@ -31,10 +79,19 @@ func NewGrid(cellSize float64) *Grid {
 // CellSize returns the configured cell size.
 func (g *Grid) CellSize() float64 { return g.cell }
 
-func (g *Grid) keyFor(p Vec2) cellKey {
-	return cellKey{
-		X: int32(math.Floor(p.X / g.cell)),
-		Y: int32(math.Floor(p.Y / g.cell)),
+func (g *Grid) keyFor(p Vec2) CellKey { return CellAt(p, g.cell) }
+
+// CellOf returns the key of the cell containing p under this grid's
+// cell size.
+func (g *Grid) CellOf(p Vec2) CellKey { return g.keyFor(p) }
+
+// ForEachInCell visits every point stored in cell k (unspecified
+// order). Iteration stops early if fn returns false.
+func (g *Grid) ForEachInCell(k CellKey, fn func(id ID, p Vec2) bool) {
+	for _, pt := range g.cells[k] {
+		if !fn(pt.ID, pt.Pos) {
+			return
+		}
 	}
 }
 
@@ -49,7 +106,7 @@ func (g *Grid) Insert(id ID, p Vec2) {
 	g.pos[id] = p
 }
 
-func (g *Grid) removeFromCell(k cellKey, id ID) bool {
+func (g *Grid) removeFromCell(k CellKey, id ID) bool {
 	pts := g.cells[k]
 	for i := range pts {
 		if pts[i].ID == id {
@@ -131,7 +188,7 @@ func (g *Grid) QueryRect(r Rect, fn func(id ID, p Vec2) bool) {
 	hi := g.keyFor(r.Max)
 	for cy := lo.Y; cy <= hi.Y; cy++ {
 		for cx := lo.X; cx <= hi.X; cx++ {
-			for _, pt := range g.cells[cellKey{cx, cy}] {
+			for _, pt := range g.cells[CellKey{cx, cy}] {
 				if r.Contains(pt.Pos) {
 					if !fn(pt.ID, pt.Pos) {
 						return
@@ -150,7 +207,7 @@ func (g *Grid) QueryCircle(c Vec2, radius float64, fn func(id ID, p Vec2) bool) 
 	hi := g.keyFor(bound.Max)
 	for cy := lo.Y; cy <= hi.Y; cy++ {
 		for cx := lo.X; cx <= hi.X; cx++ {
-			for _, pt := range g.cells[cellKey{cx, cy}] {
+			for _, pt := range g.cells[CellKey{cx, cy}] {
 				if pt.Pos.Dist2(c) <= r2 {
 					if !fn(pt.ID, pt.Pos) {
 						return
@@ -170,7 +227,7 @@ func (g *Grid) KNN(c Vec2, k int) []Neighbor {
 		return nil
 	}
 	center := g.keyFor(c)
-	scanCell := func(ck cellKey) {
+	scanCell := func(ck CellKey) {
 		for _, pt := range g.cells[ck] {
 			acc.offer(pt.ID, pt.Pos, pt.Pos.Dist2(c))
 		}
@@ -204,12 +261,12 @@ func (g *Grid) KNN(c Vec2, k int) []Neighbor {
 		x0, x1 := center.X-ring, center.X+ring
 		y0, y1 := center.Y-ring, center.Y+ring
 		for cx := x0; cx <= x1; cx++ {
-			scanCell(cellKey{cx, y0})
-			scanCell(cellKey{cx, y1})
+			scanCell(CellKey{cx, y0})
+			scanCell(CellKey{cx, y1})
 		}
 		for cy := y0 + 1; cy <= y1-1; cy++ {
-			scanCell(cellKey{x0, cy})
-			scanCell(cellKey{x1, cy})
+			scanCell(CellKey{x0, cy})
+			scanCell(CellKey{x1, cy})
 		}
 	}
 	return acc.results()

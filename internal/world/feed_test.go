@@ -1,0 +1,167 @@
+package world
+
+import (
+	"bytes"
+	"testing"
+
+	"gamedb/internal/entity"
+)
+
+// runChaosFeed drives the chaos workload with change-feed recording
+// toggled and returns the final snapshot plus per-tick feed cell counts.
+func runChaosFeed(t *testing.T, feed bool, ticks int) ([]byte, []int) {
+	t.Helper()
+	w := loadPack(t, Config{Seed: 9, CellSize: 8, Workers: 2, ChangeFeed: feed}, chaosPack)
+	var cells []int
+	for i := 0; i < ticks; i++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if feed {
+			cells = append(cells, w.RotateFeed().CellCount())
+		}
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, cells
+}
+
+// TestChangeFeedInert pins the tentpole's first invariant: recording a
+// change feed must not move world state by a single bit — the feed is
+// an index over the apply phase, never a participant in it.
+func TestChangeFeedInert(t *testing.T) {
+	const ticks = 25
+	off, _ := runChaosFeed(t, false, ticks)
+	on, cells := runChaosFeed(t, true, ticks)
+	if !bytes.Equal(off, on) {
+		t.Fatal("world state diverged between feed-off and feed-on")
+	}
+	total := 0
+	for _, c := range cells {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("chaos workload recorded no dirty cells — feed not observing the apply phase")
+	}
+}
+
+// TestChangeFeedObservesWritePaths checks each mutation family lands in
+// the feed: scripted column writes, physics position integration, spawns
+// and despawns.
+func TestChangeFeedObservesWritePaths(t *testing.T) {
+	w := loadPack(t, Config{Seed: 9, CellSize: 8, ChangeFeed: true}, chaosPack)
+	sawHP, sawX, sawSpawn, sawDespawn := false, false, false, false
+	for i := 0; i < 30; i++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+		f := w.RotateFeed()
+		tc := f.Table("units")
+		if tc == nil {
+			continue
+		}
+		if len(tc.Cols["hp"]) > 0 {
+			sawHP = true
+		}
+		if len(tc.Cols["x"]) > 0 {
+			sawX = true
+		}
+		if len(tc.Spawned) > 0 {
+			sawSpawn = true
+		}
+		if len(tc.Despawned) > 0 {
+			sawDespawn = true
+		}
+	}
+	if !sawHP || !sawX || !sawSpawn || !sawDespawn {
+		t.Fatalf("write paths unobserved: hp=%v x=%v spawn=%v despawn=%v",
+			sawHP, sawX, sawSpawn, sawDespawn)
+	}
+}
+
+// TestChangeFeedRotation: RotateFeed seals the accumulating window and
+// opens an empty one; marks land in the new window afterwards.
+func TestChangeFeedRotation(t *testing.T) {
+	w := New(Config{Seed: 1, ChangeFeed: true})
+	s := entity.MustSchema(
+		entity.Column{Name: "x", Kind: entity.KindFloat},
+		entity.Column{Name: "y", Kind: entity.KindFloat},
+		entity.Column{Name: "v", Kind: entity.KindInt},
+	)
+	if _, err := w.CreateTable("units", s); err != nil {
+		t.Fatal(err)
+	}
+	if !w.FeedEnabled() {
+		t.Fatal("FeedEnabled = false with ChangeFeed on")
+	}
+	if err := w.SpawnRawAt(1, "units", map[string]entity.Value{"x": entity.Float(3), "y": entity.Float(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set(1, "v", entity.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	f := w.RotateFeed()
+	if f == nil || f.Table("units") == nil {
+		t.Fatal("sealed window missing the writes")
+	}
+	if len(f.Table("units").Spawned) != 1 {
+		t.Fatalf("sealed Spawned = %v, want one insert", f.Table("units").Spawned)
+	}
+	if _, ok := f.Dirty("units", "v")[1]; !ok {
+		t.Fatal("sealed window missing the v write")
+	}
+	if got := w.SealedFeed(); got != f {
+		t.Fatal("SealedFeed does not return the last sealed window")
+	}
+	// Post-rotation writes land in the new accumulating window only.
+	if err := w.Set(1, "v", entity.Int(8)); err != nil {
+		t.Fatal(err)
+	}
+	g := w.RotateFeed()
+	if g == f {
+		t.Fatal("rotation did not swap windows")
+	}
+	if _, ok := g.Dirty("units", "v")[1]; !ok {
+		t.Fatal("post-rotation write missing from the next window")
+	}
+	if len(g.Table("units").Spawned) != 0 {
+		t.Fatal("next window inherited the previous window's spawn")
+	}
+}
+
+// TestChangeFeedTaintOnRestore: a snapshot Restore replaces state
+// wholesale, so the accumulating window must come back tainted — the
+// signal consumers use to fall back to a full sweep.
+func TestChangeFeedTaintOnRestore(t *testing.T) {
+	w := loadPack(t, Config{Seed: 9, CellSize: 8, ChangeFeed: true}, chaosPack)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+		w.RotateFeed()
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	f := w.RotateFeed()
+	if f == nil || !f.Tainted() {
+		t.Fatal("window observing a Restore is not tainted")
+	}
+	// The next window is clean again, and keeps recording.
+	if _, err := w.Step(); err != nil {
+		t.Fatal(err)
+	}
+	g := w.RotateFeed()
+	if g.Tainted() {
+		t.Fatal("taint leaked into the post-restore window")
+	}
+	if g.Empty() {
+		t.Fatal("feed stopped recording after Restore")
+	}
+}

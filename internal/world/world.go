@@ -136,6 +136,17 @@ type Config struct {
 	// conflicts attributed back to the responsible unit. Like Trace,
 	// profiling is inert with respect to world state.
 	Profile *obs.Profiler
+	// ChangeFeed enables per-tick change-feed recording: every apply
+	// path marks the (table, column, id) cells it touches — row writes
+	// via change listeners, columnar batches via explicit marks, spawns
+	// and despawns via row lifecycle events — into a double-buffered
+	// entity.ChangeFeed the host rotates once per tick (RotateFeed).
+	// The feed is pure observation: recording never touches tables,
+	// effect ordering or RNG streams, so feed-on worlds stay
+	// hash-identical to feed-off worlds (the inertness tests pin this).
+	// The shard runtime's incremental ghost reconcile and the replica
+	// fan-out consume the sealed feed; default off.
+	ChangeFeed bool
 	// CompileBehaviors selects the behavior execution engine for the
 	// query phase: CompileOn lowers compilable on_tick bodies onto
 	// set-at-a-time query plans with per-entity interpreter fallback,
@@ -286,6 +297,13 @@ type World struct {
 	pendAborts       int
 	pendFuel         int64
 
+	// Change-feed double buffer (feed.go): feed accumulates the current
+	// window's dirty marks, sealedFeed holds the previous window for
+	// consumers. Both nil when Config.ChangeFeed is off, which keeps
+	// every marking site behind one nil check.
+	feed       *entity.ChangeFeed
+	sealedFeed *entity.ChangeFeed
+
 	// LastScriptError keeps the most recent behavior error for
 	// diagnostics; the tick itself continues (one bad designer script
 	// must not stop the shard).
@@ -399,6 +417,10 @@ func New(cfg Config) *World {
 	if w.prof != nil {
 		w.otherProf = w.prof.Entry("(physics)")
 	}
+	if cfg.ChangeFeed {
+		w.feed = entity.NewChangeFeed()
+		w.sealedFeed = entity.NewChangeFeed()
+	}
 	return w
 }
 
@@ -461,6 +483,12 @@ func (w *World) CreateTable(name string, s *entity.Schema) (*entity.Table, error
 	}
 	w.tableList = nil
 	t := entity.NewTable(name, s)
+	if w.feed != nil {
+		// The closure reads w.feed at notify time, not registration
+		// time, so listeners keep marking the accumulating buffer as
+		// RotateFeed swaps the pair underneath them.
+		t.OnChange(func(c entity.Change) { w.feed.Note(c) })
+	}
 	if isSpatial(s) {
 		t.OnChange(func(c entity.Change) {
 			switch c.Kind {
@@ -838,3 +866,100 @@ func (w *World) Entities() int { return len(w.tableOf) }
 // LocalEntities returns the count of entities this world owns (total
 // minus ghost mirrors).
 func (w *World) LocalEntities() int { return len(w.tableOf) - len(w.ghosts) }
+
+// FeedEnabled reports whether per-tick change-feed recording is on.
+func (w *World) FeedEnabled() bool { return w.feed != nil }
+
+// RotateFeed seals the accumulating change window and starts a fresh
+// one, returning the sealed feed (nil when Config.ChangeFeed is off).
+// The two windows double-buffer: the previous sealed feed is reset and
+// becomes the new accumulator, so steady-state rotation allocates
+// nothing. The caller decides the window boundary — the shard runtime
+// rotates at each tick barrier, just before ghost reconcile, so one
+// window covers exactly the writes since the previous reconcile.
+func (w *World) RotateFeed() *entity.ChangeFeed {
+	if w.feed == nil {
+		return nil
+	}
+	sealed := w.feed
+	w.feed = w.sealedFeed
+	w.feed.Reset()
+	w.sealedFeed = sealed
+	return sealed
+}
+
+// SealedFeed returns the change window most recently sealed by
+// RotateFeed (nil when Config.ChangeFeed is off). The fan-out layer
+// reads it after a Step to encode per-client deltas.
+func (w *World) SealedFeed() *entity.ChangeFeed { return w.sealedFeed }
+
+// AppendGhostIDs appends the ids of all ghost mirrors to dst, unsorted
+// — the allocation-free variant of GhostIDs for per-barrier sweeps
+// that reuse their buffers and order the result themselves.
+func (w *World) AppendGhostIDs(dst []entity.ID) []entity.ID {
+	for id := range w.ghosts {
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// ReindexPositions re-syncs the spatial index for ids whose x/y may
+// have been written through a batch entry point (which skips change
+// listeners), reading each id's final position from t. Ids without a
+// row are skipped. It is the ghost-reconcile counterpart of the apply
+// phase's flushMoves.
+func (w *World) ReindexPositions(t *entity.Table, ids []entity.ID) {
+	if len(ids) == 0 || !isSpatial(t.Schema()) {
+		return
+	}
+	s := t.Schema()
+	xci, _ := s.Col("x")
+	yci, _ := s.Col("y")
+	moves := w.moveBuf[:0]
+	for _, id := range ids {
+		r, ok := t.RowIndex(id)
+		if !ok {
+			continue
+		}
+		moves = append(moves, spatial.Point{
+			ID: spatial.ID(id),
+			Pos: spatial.Vec2{
+				X: t.ValueAt(xci, r).Float(),
+				Y: t.ValueAt(yci, r).Float(),
+			},
+		})
+	}
+	w.moveBuf = moves
+	w.index.MoveBatch(moves)
+}
+
+// ReindexPositionsRows is ReindexPositions with the row indices already
+// in hand — as returned by entity.Table.SetColumnBatchRows for the same
+// ids — skipping the per-id row-map lookup. rows[i] < 0 marks an id
+// whose batch write was skipped; it is skipped here too. The indices
+// must still be valid: no insert or delete may land between the batch
+// write and this call.
+func (w *World) ReindexPositionsRows(t *entity.Table, ids []entity.ID, rows []int) {
+	if len(ids) == 0 || len(ids) != len(rows) || !isSpatial(t.Schema()) {
+		return
+	}
+	s := t.Schema()
+	xci, _ := s.Col("x")
+	yci, _ := s.Col("y")
+	moves := w.moveBuf[:0]
+	for i, id := range ids {
+		r := rows[i]
+		if r < 0 {
+			continue
+		}
+		moves = append(moves, spatial.Point{
+			ID: spatial.ID(id),
+			Pos: spatial.Vec2{
+				X: t.ValueAt(xci, r).Float(),
+				Y: t.ValueAt(yci, r).Float(),
+			},
+		})
+	}
+	w.moveBuf = moves
+	w.index.MoveBatch(moves)
+}
