@@ -65,6 +65,7 @@ func main() {
 	slowFrac := flag.Float64("slow-frac", 0.05, "fraction of clients throttled to budget/8 (induces backpressure and tier degradation)")
 	drift := flag.Float64("drift", 0.02, "fraction of clients whose focus moves each tick")
 	reconcile := flag.String("reconcile", shard.ReconcileIncremental, "ghost refresh strategy: incremental | fullscan (fan-out works under both; hash identical)")
+	wireSizing := flag.Bool("wire", false, "price fan-out messages by wire-encoding them (internal/wire codec) instead of modeled byte constants")
 	report := flag.Int("report", 0, "print per-tick fan-out stats every N ticks (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark record on stdout")
 	flag.Parse()
@@ -113,6 +114,7 @@ func main() {
 		Specs:      scenarioSpecs(*scenario),
 		Cell:       *cell,
 		ByteBudget: *budget,
+		WireSizing: *wireSizing,
 	})
 	// Client placement and drift draw from their own stream so the
 	// world evolution stays bit-identical to shardsim's at equal seeds.
@@ -186,6 +188,7 @@ func main() {
 			Extra: map[string]any{
 				"scenario":          *scenario,
 				"reconcile":         *reconcile,
+				"wire_sizing":       *wireSizing,
 				"clients":           *clients,
 				"units":             *units,
 				"shards":            *shards,

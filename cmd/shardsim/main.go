@@ -6,20 +6,34 @@
 // preserve physics-driven state bit-exactly, and writes targeting ghost
 // mirrors forward to their owning shard through the tick barrier).
 //
+// The same race can run over the wire: -wire pipe swaps the in-process
+// barrier for frame-exchanging Peers on an in-process pipe mesh, -wire
+// tcp for loopback sockets, and -net N launches N actual OS processes —
+// one shard each, meshed over TCP — and asserts their world hash equals
+// the in-process run's bit for bit.
+//
 //	shardsim                          # race 1,2,4,8 shards
 //	shardsim -shards 1,4 -ticks 500   # custom race
 //	shardsim -scenario border         # cross-shard-write crowd: raiders
 //	                                  # and medics writing each other
 //	                                  # across region boundaries
+//	shardsim -scenario mingle         # apply-heavy neighborhood crowd
+//	shardsim -wire pipe               # shards as wire peers, pipe mesh
+//	shardsim -net 2 -ticks 50         # 2 shard processes over TCP vs
+//	                                  # the in-process barrier
 //	shardsim -workers 4               # W query-phase workers per shard;
 //	                                  # the hash must still agree
 //	shardsim -json > BENCH_shard.json # machine-readable results
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -30,6 +44,7 @@ import (
 	"gamedb/internal/obs"
 	"gamedb/internal/shard"
 	"gamedb/internal/spatial"
+	"gamedb/internal/wire"
 	"gamedb/internal/world"
 )
 
@@ -43,6 +58,58 @@ func parseShardList(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// raceConfig builds the shard config one (scenario, shard count) race
+// runs under. It is the single source of scenario-forced settings —
+// the in-process race, the wire clusters and the -net worker processes
+// all call it, which is what makes their hashes comparable.
+func raceConfig(scenario string, shards, workers int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile, reconcile string) shard.Config {
+	cfg := shard.Config{
+		Seed:           seed,
+		Shards:         shards,
+		Workers:        workers,
+		World:          spatial.NewRect(0, 0, side, side),
+		CellSize:       16,
+		TickDT:         0.5,
+		GhostBand:      band,
+		RebalanceEvery: rebalance,
+		RowApply:       rowApply,
+		ConflictPolicy: conflict,
+		Reconcile:      reconcile,
+
+		CompileBehaviors: compile,
+	}
+	switch scenario {
+	case "border":
+		// Border writes are exact only when the read fields mirror
+		// Exactly and the band covers the 9.0 interaction radius.
+		cfg.GhostFields = shard.BorderGhostFields()
+		if cfg.GhostBand < 9 {
+			cfg.GhostBand = 20
+		}
+	case "mingle":
+		// Mingle reads neighbors' positions through mirrors (8.0
+		// radius), so x/y must ship Exact and the band must cover it.
+		cfg.GhostFields = shard.MingleGhostFields()
+		if cfg.GhostBand < 8 {
+			cfg.GhostBand = 20
+		}
+	}
+	return cfg
+}
+
+// scenarioSpeed is each scenario's drift speed (part of the workload
+// identity; parent and -net workers must agree).
+func scenarioSpeed(scenario string) float64 {
+	switch scenario {
+	case "border":
+		return 6
+	case "mingle":
+		return 30
+	default:
+		return 40
+	}
 }
 
 type raceResult struct {
@@ -61,6 +128,9 @@ type raceResult struct {
 	stepP99NS      float64
 	scriptCalls    int64
 	compiledCalls  int64
+	wireBytesOut   int64
+	wireBytesIn    int64
+	wireFrames     int64
 	hash           uint64
 	elapsed        time.Duration
 }
@@ -76,44 +146,70 @@ type raceObs struct {
 	report int           // print per-tick stats every N ticks (0 = off)
 }
 
-func runRace(scenario string, shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile, reconcile string, ro raceObs) (raceResult, error) {
-	cfg := shard.Config{
-		Seed:           seed,
-		Shards:         shards,
-		Workers:        workers,
-		World:          spatial.NewRect(0, 0, side, side),
-		CellSize:       16,
-		TickDT:         0.5,
-		GhostBand:      band,
-		RebalanceEvery: rebalance,
-		RowApply:       rowApply,
-		ConflictPolicy: conflict,
-		Reconcile:      reconcile,
-		Tracer:         ro.tracer,
-		Profile:        ro.prof,
+// grid abstracts the two barrier implementations a race can drive: the
+// in-process Runtime and the wire Cluster.
+type grid interface {
+	Step() (shard.StepStats, error)
+	Hash() (uint64, error)
+	Close() error
+}
 
-		CompileBehaviors: compile,
-	}
-	if scenario == "border" {
-		// Border writes are exact only when the read fields mirror
-		// Exactly and the band covers the 9.0 interaction radius.
-		cfg.GhostFields = shard.BorderGhostFields()
-		if cfg.GhostBand < 9 {
-			cfg.GhostBand = 20
+// runtimeGrid adapts *shard.Runtime to the grid interface.
+type runtimeGrid struct{ rt *shard.Runtime }
+
+func (g runtimeGrid) Step() (shard.StepStats, error) { return g.rt.Step() }
+func (g runtimeGrid) Hash() (uint64, error)          { return g.rt.Hash(), nil }
+func (g runtimeGrid) Close() error                   { g.rt.Close(); return nil }
+
+func seedScenario(g grid, scenario string, entities int, side float64, seed int64) error {
+	speed := scenarioSpeed(scenario)
+	switch t := g.(type) {
+	case runtimeGrid:
+		switch scenario {
+		case "border":
+			return shard.SeedBorderCrowd(t.rt, entities, side, seed, speed)
+		case "mingle":
+			return shard.SeedMingleCrowd(t.rt, entities, side, seed, speed)
+		default:
+			return shard.SeedDriftingCrowd(t.rt, entities, side, seed, speed)
+		}
+	case *shard.Cluster:
+		switch scenario {
+		case "border":
+			return shard.SeedBorderCluster(t, entities, side, seed, speed)
+		case "mingle":
+			return shard.SeedMingleCluster(t, entities, side, seed, speed)
+		default:
+			return shard.SeedDriftingCluster(t, entities, side, seed, speed)
 		}
 	}
-	rt, err := shard.New(cfg)
+	return fmt.Errorf("shardsim: unknown grid type %T", g)
+}
+
+func runRace(scenario, wireMode string, shards, workers, entities, ticks int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile, reconcile string, ro raceObs) (raceResult, error) {
+	cfg := raceConfig(scenario, shards, workers, seed, side, band, rebalance, rowApply, conflict, compile, reconcile)
+	cfg.Tracer = ro.tracer
+	cfg.Profile = ro.prof
+	var g grid
+	var rt *shard.Runtime
+	var err error
+	switch wireMode {
+	case "pipe":
+		g, err = shard.NewPipeCluster(cfg)
+	case "tcp":
+		g, err = shard.NewTCPCluster(cfg)
+	default:
+		rt, err = shard.New(cfg)
+		if err == nil {
+			g = runtimeGrid{rt}
+		}
+	}
 	if err != nil {
 		return raceResult{}, err
 	}
-	defer rt.Close()
+	defer g.Close()
 
-	if scenario == "border" {
-		err = shard.SeedBorderCrowd(rt, entities, side, seed, 6)
-	} else {
-		err = shard.SeedDriftingCrowd(rt, entities, side, seed, 40)
-	}
-	if err != nil {
+	if err := seedScenario(g, scenario, entities, side, seed); err != nil {
 		return raceResult{}, err
 	}
 
@@ -122,18 +218,30 @@ func runRace(scenario string, shards, workers, entities, ticks int, seed int64, 
 			shards, st.Tick, st.Entities, st.Ghosts, st.Handoffs, st.GhostShips)
 	}
 	lastPrinted := false
-	var scriptCalls, compiledCalls int64
+	var res raceResult
+	res.shards = shards
 	start := time.Now()
 	for i := 0; i < ticks; i++ {
 		tickStart := time.Now()
-		st, err := rt.Step()
+		st, err := g.Step()
 		if err != nil {
 			return raceResult{}, err
 		}
 		for _, ws := range st.Shards {
-			scriptCalls += int64(ws.ScriptCalls)
-			compiledCalls += int64(ws.CompiledCalls)
+			res.scriptCalls += int64(ws.ScriptCalls)
+			res.compiledCalls += int64(ws.CompiledCalls)
 		}
+		res.handoffsPerTik += float64(st.Handoffs)
+		res.ghostShips += int64(st.GhostShips)
+		res.ghostSkips += int64(st.GhostFieldSkips)
+		res.reconcileNS += st.ReconcileNS
+		res.forwarded += int64(st.EffectsForwarded)
+		res.remoteMerged += int64(st.EffectsRemoteMerged)
+		res.remoteInval += int64(st.RemoteInvalidations)
+		res.wireBytesOut += st.WireBytesOut
+		res.wireBytesIn += st.WireBytesIn
+		res.wireFrames += st.WireFrames
+		res.ghosts = st.Ghosts
 		if ro.reg != nil {
 			ro.live.Store(int64(st.Entities))
 			ro.reg.Counter("shardsim_ticks_total").Inc()
@@ -142,6 +250,9 @@ func runRace(scenario string, shards, workers, entities, ticks int, seed int64, 
 			ro.reg.Counter("shardsim_effects_forwarded_total").Add(int64(st.EffectsForwarded))
 			ro.reg.Counter("shardsim_effects_remote_merged_total").Add(int64(st.EffectsRemoteMerged))
 			ro.reg.Counter("shardsim_remote_invalidations_total").Add(int64(st.RemoteInvalidations))
+			ro.reg.Counter("shardsim_wire_bytes_out_total").Add(st.WireBytesOut)
+			ro.reg.Counter("shardsim_wire_bytes_in_total").Add(st.WireBytesIn)
+			ro.reg.Counter("shardsim_wire_frames_total").Add(st.WireFrames)
 			ro.reg.Histogram("shardsim_tick_ns").Record(float64(time.Since(tickStart).Nanoseconds()))
 		}
 		lastPrinted = false
@@ -156,33 +267,214 @@ func runRace(scenario string, shards, workers, entities, ticks int, seed int64, 
 			printTick(st)
 		}
 	}
-	elapsed := time.Since(start)
+	res.elapsed = time.Since(start)
+	res.handoffsPerTik /= float64(ticks)
 
-	secs := elapsed.Seconds()
-	return raceResult{
-		shards:         shards,
-		ticksPerSec:    float64(ticks) / secs,
-		entitiesPerSec: float64(ticks) * float64(entities) / secs,
-		handoffsPerTik: float64(rt.HandoffTotal.Load()) / float64(ticks),
-		ghosts:         rt.Ghosts(),
-		ghostShips:     rt.GhostShipTotal.Load(),
-		ghostSkips:     rt.GhostFieldSkipTotal.Load(),
-		reconcileNS:    rt.ReconcileNSTotal.Load(),
-		feedCells:      rt.FeedCellTotal.Load(),
-		forwarded:      rt.ForwardTotal.Load(),
-		remoteMerged:   rt.RemoteMergeTotal.Load(),
-		remoteInval:    rt.RemoteInvalidationTotal.Load(),
-		stepP99NS:      rt.StepNS.Quantile(0.99),
-		scriptCalls:    scriptCalls,
-		compiledCalls:  compiledCalls,
-		hash:           rt.Hash(),
-		elapsed:        elapsed,
-	}, nil
+	secs := res.elapsed.Seconds()
+	res.ticksPerSec = float64(ticks) / secs
+	res.entitiesPerSec = float64(ticks) * float64(entities) / secs
+	if rt != nil {
+		// Runtime-only tallies: feed bookkeeping and the step-latency
+		// sketch live on the in-process coordinator.
+		res.feedCells = rt.FeedCellTotal.Load()
+		res.stepP99NS = rt.StepNS.Quantile(0.99)
+	}
+	res.hash, err = g.Hash()
+	if err != nil {
+		return raceResult{}, err
+	}
+	return res, nil
+}
+
+// freeLoopbackAddrs reserves n distinct loopback TCP addresses by
+// listening and immediately closing. The usual bind race applies; the
+// mesh's dial retry plus the short window make it reliable in practice
+// (this is the standard test-port pattern).
+func freeLoopbackAddrs(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			break
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	var err error
+	for _, ln := range lns {
+		if cerr := ln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err == nil && len(addrs) != n {
+		err = fmt.Errorf("reserved %d of %d loopback ports", len(addrs), n)
+	}
+	return addrs, err
+}
+
+// netWorkerReport is what worker 0 prints on stdout for the parent.
+type netWorkerReport struct {
+	Hash         string `json:"hash"`
+	Entities     int    `json:"entities"`
+	WireBytesOut int64  `json:"wire_bytes_out"`
+	WireBytesIn  int64  `json:"wire_bytes_in"`
+	WireFrames   int64  `json:"wire_frames"`
+}
+
+// runNetWorker is one shard process of a -net grid: build the TCP mesh
+// endpoint, seed the shared scenario in lockstep, run the ticks, and
+// (worker 0 only) print the gathered world hash as JSON.
+func runNetWorker(self int, addrs []string, scenario string, entities, ticks, workers int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile, reconcile string) error {
+	cfg := raceConfig(scenario, len(addrs), workers, seed, side, band, rebalance, rowApply, conflict, compile, reconcile)
+	mesh, err := wire.NewTCPMesh(self, addrs)
+	if err != nil {
+		return err
+	}
+	p, err := shard.NewPeer(cfg, mesh)
+	if err != nil {
+		mesh.Close()
+		return err
+	}
+	defer p.Close()
+	speed := scenarioSpeed(scenario)
+	switch scenario {
+	case "border":
+		err = shard.SeedBorderPeer(p, entities, side, seed, speed)
+	case "mingle":
+		err = shard.SeedMinglePeer(p, entities, side, seed, speed)
+	default:
+		err = shard.SeedDriftingPeer(p, entities, side, seed, speed)
+	}
+	if err != nil {
+		return err
+	}
+	var rep netWorkerReport
+	for i := 0; i < ticks; i++ {
+		st, err := p.Step()
+		if err != nil {
+			return err
+		}
+		rep.WireBytesOut += st.WireBytesOut
+		rep.WireBytesIn += st.WireBytesIn
+		rep.WireFrames += st.WireFrames
+		rep.Entities = st.Entities
+	}
+	h, err := p.Hash()
+	if err != nil {
+		return err
+	}
+	if self == 0 {
+		rep.Hash = fmt.Sprintf("%016x", h)
+		return json.NewEncoder(os.Stdout).Encode(rep)
+	}
+	return nil
+}
+
+// runNetRace is the -net parent: run the reference in-process race,
+// then launch one OS process per shard meshed over loopback TCP, and
+// compare hashes. Exits the process on mismatch.
+func runNetRace(netShards int, scenario string, entities, ticks, workers int, seed int64, side, band float64, rebalance int64, rowApply bool, conflict, compile, reconcile string, jsonOut bool) {
+	ref, err := runRace(scenario, "", netShards, workers, entities, ticks, seed, side, band, rebalance, rowApply, conflict, compile, reconcile, raceObs{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardsim: -net reference run: %v\n", err)
+		os.Exit(1)
+	}
+	addrs, err := freeLoopbackAddrs(netShards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardsim: -net: %v\n", err)
+		os.Exit(1)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shardsim: -net: %v\n", err)
+		os.Exit(1)
+	}
+	args := []string{
+		"-net-worker",
+		"-net-addrs", strings.Join(addrs, ","),
+		"-scenario", scenario,
+		"-entities", strconv.Itoa(entities),
+		"-ticks", strconv.Itoa(ticks),
+		"-workers", strconv.Itoa(workers),
+		"-seed", strconv.FormatInt(seed, 10),
+		"-side", strconv.FormatFloat(side, 'g', -1, 64),
+		"-band", strconv.FormatFloat(band, 'g', -1, 64),
+		"-rebalance", strconv.FormatInt(rebalance, 10),
+		"-row-apply=" + strconv.FormatBool(rowApply),
+		"-conflict", conflict,
+		"-compile", compile,
+		"-reconcile", reconcile,
+	}
+	start := time.Now()
+	cmds := make([]*exec.Cmd, netShards)
+	var out0 bytes.Buffer
+	for i := 0; i < netShards; i++ {
+		cmd := exec.Command(exe, append([]string{"-net-self", strconv.Itoa(i)}, args...)...)
+		cmd.Stderr = os.Stderr
+		if i == 0 {
+			cmd.Stdout = &out0
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: -net: start worker %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		cmds[i] = cmd
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: -net: worker %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+	var rep netWorkerReport
+	if err := json.Unmarshal(out0.Bytes(), &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "shardsim: -net: worker 0 report: %v (got %q)\n", err, out0.String())
+		os.Exit(1)
+	}
+	refHash := fmt.Sprintf("%016x", ref.hash)
+	match := rep.Hash == refHash
+	if jsonOut {
+		out := metrics.BenchReport{Suite: "shardsim-net", Records: []metrics.BenchRecord{{
+			Name:    fmt.Sprintf("shardsim/net/%s/shards-%d", scenario, netShards),
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(ticks),
+			Extra: map[string]any{
+				"scenario":         scenario,
+				"shards":           netShards,
+				"conflict_policy":  conflict,
+				"hash":             rep.Hash,
+				"hash_inprocess":   refHash,
+				"match":            match,
+				"entities":         rep.Entities,
+				"wire_bytes_out":   rep.WireBytesOut,
+				"wire_bytes_in":    rep.WireBytesIn,
+				"wire_frames":      rep.WireFrames,
+				"net_ticks_per_s":  float64(ticks) / elapsed.Seconds(),
+				"proc_ticks_per_s": ref.ticksPerSec,
+			},
+		}}}
+		if err := metrics.WriteBenchJSON(os.Stdout, out); err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("shardsim -net: %d shard processes over TCP, %s scenario, %d ticks\n", netShards, scenario, ticks)
+		fmt.Printf("  in-process hash: %s\n  processes hash:  %s\n", refHash, rep.Hash)
+		fmt.Printf("  wire: %d frames, %d bytes out, %d bytes in (worker 0)\n", rep.WireFrames, rep.WireBytesOut, rep.WireBytesIn)
+	}
+	if !match {
+		fmt.Fprintln(os.Stderr, "shardsim: FAIL — separate-process hash diverged from in-process run")
+		os.Exit(1)
+	}
+	if !jsonOut {
+		fmt.Println("  separate-process grid matches the in-process barrier bit for bit ✓")
+	}
 }
 
 func main() {
 	shardList := flag.String("shards", "1,2,4,8", "comma-separated shard counts to race")
-	scenario := flag.String("scenario", "drift", "workload: drift (velocity crowd, no cross-shard writes) | border (raiders/medics writing each other across region boundaries through the barrier's effect-forwarding exchange)")
+	scenario := flag.String("scenario", "drift", "workload: drift (velocity crowd, no cross-shard writes) | border (raiders/medics writing each other across region boundaries through the barrier's effect-forwarding exchange) | mingle (apply-heavy neighborhood crowd, x/y mirrored Exact)")
 	entities := flag.Int("entities", 4000, "entities in the scenario")
 	ticks := flag.Int("ticks", 200, "ticks to simulate per race")
 	seed := flag.Int64("seed", 2009, "scenario seed")
@@ -194,12 +486,17 @@ func main() {
 	conflict := flag.String("conflict", world.ConflictLastWrite, "conflict policy for conflicting assignments: lastwrite | occ (hash is identical across shard counts under either)")
 	compile := flag.String("compile", world.CompileOff, "behavior execution on every shard world: off (interpret) | on (compile to set-at-a-time query plans, hash identical either way)")
 	reconcile := flag.String("reconcile", shard.ReconcileIncremental, "ghost refresh at the barrier: incremental (dirty-set driven off per-tick change feeds) | fullscan (legacy band sweep; ship-for-ship and hash identical either way)")
+	wireMode := flag.String("wire", "inprocess", "barrier transport: inprocess (coordinator runtime) | pipe (wire peers on an in-process pipe mesh) | tcp (wire peers over loopback sockets); hash is identical across all three")
+	netShards := flag.Int("net", 0, "launch N separate shard PROCESSES meshed over loopback TCP and assert their hash equals the in-process run (ignores -shards/-wire)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable benchmark JSON on stdout")
 	report := flag.Int("report", 0, "print per-tick stats every N ticks during each race (0 = off; the final tick of a race always prints)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the LAST raced shard count's tick spans to this file")
 	profileOn := flag.Bool("profile", false, "print the per-behavior / per-rule profile of the LAST raced shard count")
 	listen := flag.String("listen", "", "serve /metrics, /trace, /profile and /debug/pprof on this address (operators only; bind a trusted interface such as 127.0.0.1:8080)")
 	linger := flag.Duration("linger", 0, "keep the -listen endpoint serving this long after the races finish")
+	netWorker := flag.Bool("net-worker", false, "internal: run as one shard process of a -net grid")
+	netSelf := flag.Int("net-self", 0, "internal: this -net worker's shard index")
+	netAddrs := flag.String("net-addrs", "", "internal: comma-separated mesh addresses of the -net grid")
 	flag.Parse()
 	if *conflict != world.ConflictLastWrite && *conflict != world.ConflictOCC {
 		fmt.Fprintf(os.Stderr, "shardsim: unknown -conflict %q (want lastwrite or occ)\n", *conflict)
@@ -213,9 +510,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "shardsim: unknown -reconcile %q (want incremental or fullscan)\n", *reconcile)
 		os.Exit(2)
 	}
-	if *scenario != "drift" && *scenario != "border" {
-		fmt.Fprintf(os.Stderr, "shardsim: unknown -scenario %q (want drift or border)\n", *scenario)
+	if *scenario != "drift" && *scenario != "border" && *scenario != "mingle" {
+		fmt.Fprintf(os.Stderr, "shardsim: unknown -scenario %q (want drift, border or mingle)\n", *scenario)
 		os.Exit(2)
+	}
+	if *wireMode != "inprocess" && *wireMode != "pipe" && *wireMode != "tcp" {
+		fmt.Fprintf(os.Stderr, "shardsim: unknown -wire %q (want inprocess, pipe or tcp)\n", *wireMode)
+		os.Exit(2)
+	}
+
+	if *netWorker {
+		addrs := strings.Split(*netAddrs, ",")
+		if err := runNetWorker(*netSelf, addrs, *scenario, *entities, *ticks, *workers, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, *reconcile); err != nil {
+			fmt.Fprintf(os.Stderr, "shardsim: net worker %d: %v\n", *netSelf, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *netShards > 0 {
+		runNetRace(*netShards, *scenario, *entities, *ticks, *workers, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, *reconcile, *jsonOut)
+		return
 	}
 
 	counts, err := parseShardList(*shardList)
@@ -250,10 +564,10 @@ func main() {
 	}
 
 	if !*jsonOut {
-		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d workers/shard, %d cores\n\n",
-			*entities, *side, *side, *ticks, *workers, runtime.GOMAXPROCS(0))
+		fmt.Printf("shardsim: %d entities on a %.0f×%.0f map, %d ticks, %d workers/shard, %s barrier, %d cores\n\n",
+			*entities, *side, *side, *ticks, *workers, *wireMode, runtime.GOMAXPROCS(0))
 	}
-	tbl := metrics.NewTable(fmt.Sprintf("sharded world runtime race (%s scenario)", *scenario),
+	tbl := metrics.NewTable(fmt.Sprintf("sharded world runtime race (%s scenario, %s barrier)", *scenario, *wireMode),
 		"shards", "ticks/sec", "entities/sec", "handoffs/tick", "ghosts", "ghost-ships", "fwd", "hash")
 	rep := metrics.BenchReport{Suite: "shardsim"}
 	var firstHash uint64
@@ -266,7 +580,7 @@ func main() {
 		if i == len(counts)-1 {
 			ro.tracer, ro.prof = tracer, prof
 		}
-		res, err := runRace(*scenario, n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, *reconcile, ro)
+		res, err := runRace(*scenario, *wireMode, n, *workers, *entities, *ticks, *seed, *side, *band, *rebalance, *rowApply, *conflict, *compile, *reconcile, ro)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "shardsim: %d shards: %v\n", n, err)
 			os.Exit(1)
@@ -286,6 +600,7 @@ func main() {
 			Extra: map[string]any{
 				"scenario":              *scenario,
 				"workers":               *workers,
+				"wire":                  *wireMode,
 				"conflict_policy":       *conflict,
 				"compile_behaviors":     *compile,
 				"compiled_calls":        res.compiledCalls,
@@ -301,6 +616,9 @@ func main() {
 				"effects_forwarded":     res.forwarded,
 				"effects_remote_merged": res.remoteMerged,
 				"remote_invalidations":  res.remoteInval,
+				"wire_bytes_out":        res.wireBytesOut,
+				"wire_bytes_in":         res.wireBytesIn,
+				"wire_frames":           res.wireFrames,
 				"step_p99_ns":           res.stepP99NS,
 				"hash":                  fmt.Sprintf("%016x", res.hash),
 			},

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gamedb/internal/metrics"
+	"gamedb/internal/shard"
+	"gamedb/internal/spatial"
+)
+
+// E23WireTransport prices the serialized tick barrier: the same
+// border-write crowd stepped by the in-process Runtime (barriers are
+// function calls, zero serialization), by a Cluster of lockstep peers
+// over the in-process pipe transport (every exchange wire-encoded into
+// per-peer coalesced frames), and by the same peers over real loopback
+// TCP. The hash column is the exactness claim — all three transports
+// must agree bit-for-bit at every shard count — and the wire columns
+// size what the barrier actually ships: with one coalesced frame per
+// (peer, phase) the per-tick frame count is a small constant, so the
+// transport tax is latency and copy cost, not message storms.
+func E23WireTransport(quick bool) *metrics.Table {
+	t := metrics.NewTable("E23 — wire-protocol tick barrier: in-process vs pipe vs TCP transport",
+		"transport", "shards", "tick", "entities/sec", "wire KB/tick", "frames/tick", "hash")
+	t.Note = "identical hashes within a shard count = the wire barrier is bit-exact; frames/tick ~ constant = coalesced per-peer frames, no message storms"
+	units := pick(quick, 200, 1200)
+	side := pick(quick, 400.0, 800.0)
+	ticks := pick(quick, 8, 40)
+	for _, shards := range []int{2, 4} {
+		cfg := shard.Config{
+			Seed: 42, Shards: shards, World: spatial.NewRect(0, 0, side, side),
+			TickDT: 0.5, GhostBand: 20, Workers: 4, ScriptFuel: 1 << 40,
+			GhostFields: shard.BorderGhostFields(),
+		}
+
+		// In-process reference: the barrier is a slice swap.
+		rt, err := shard.New(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("E23: %v", err))
+		}
+		if err := shard.SeedBorderCrowd(rt, units, side, 7, 6); err != nil {
+			panic(fmt.Sprintf("E23: %v", err))
+		}
+		elapsed := timeOp(func() {
+			for i := 0; i < ticks; i++ {
+				if _, err := rt.Step(); err != nil {
+					panic(fmt.Sprintf("E23: tick %d: %v", i, err))
+				}
+			}
+		})
+		refHash := rt.Hash()
+		rt.Close()
+		t.AddRow("in-process", fmt.Sprint(shards),
+			metrics.Fdur(float64(elapsed.Nanoseconds())/float64(ticks)),
+			metrics.Fnum(float64(units*ticks)/elapsed.Seconds()),
+			"—", "—", fmt.Sprintf("%016x", refHash))
+
+		for _, mode := range []string{"pipe", "tcp"} {
+			var cl *shard.Cluster
+			if mode == "pipe" {
+				cl, err = shard.NewPipeCluster(cfg)
+			} else {
+				cl, err = shard.NewTCPCluster(cfg)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("E23 %s: %v", mode, err))
+			}
+			if err := shard.SeedBorderCluster(cl, units, side, 7, 6); err != nil {
+				panic(fmt.Sprintf("E23 %s: %v", mode, err))
+			}
+			elapsed := timeOp(func() {
+				for i := 0; i < ticks; i++ {
+					if _, err := cl.Step(); err != nil {
+						panic(fmt.Sprintf("E23 %s: tick %d: %v", mode, i, err))
+					}
+				}
+			})
+			hash, err := cl.Hash()
+			if err != nil {
+				panic(fmt.Sprintf("E23 %s: %v", mode, err))
+			}
+			ws := cl.WireStats()
+			cl.Close()
+			if hash != refHash {
+				panic(fmt.Sprintf("E23 %s shards=%d: wire hash %016x diverged from in-process %016x",
+					mode, shards, hash, refHash))
+			}
+			t.AddRow(mode, fmt.Sprint(shards),
+				metrics.Fdur(float64(elapsed.Nanoseconds())/float64(ticks)),
+				metrics.Fnum(float64(units*ticks)/elapsed.Seconds()),
+				metrics.Fnum(float64(ws.BytesOut)/1024/float64(ticks)),
+				metrics.Fnum(float64(ws.FramesOut)/float64(ticks)),
+				fmt.Sprintf("%016x", hash))
+		}
+	}
+	return t
+}

@@ -44,6 +44,12 @@ const (
 	// the replica hub's per-tick client fan-out (outside the barrier).
 	SpanReconcile = "reconcile"
 	SpanFanout    = "fanout"
+	// Wire-transport phases of a peer barrier: SpanWire is the pipelined
+	// encode+send of outbound barrier frames, launched concurrently so it
+	// lands inside (not after) SpanReconcile; SpanWireRecv is the
+	// blocking wait for inbound frames.
+	SpanWire     = "wire"
+	SpanWireRecv = "wire.recv"
 )
 
 // CoordShard is the shard index spans recorded by the coordinator (the

@@ -37,6 +37,7 @@ import (
 	"gamedb/internal/metrics"
 	"gamedb/internal/sched"
 	"gamedb/internal/spatial"
+	"gamedb/internal/wire"
 )
 
 // Tier is a client's current service level. TierExact receives every
@@ -94,6 +95,14 @@ type HubConfig struct {
 	// StalenessSample records 1 in N delivered messages into the
 	// staleness histogram (default 16).
 	StalenessSample int
+	// WireSizing prices every queued message by wire-encoding it with
+	// the internal/wire codec (the shard barrier's frame codec) instead
+	// of the fixed modeled constants: varint-length ids and real float
+	// payloads, so byte budgets and tier watermarks respond to actual
+	// encoded sizes. Totals are deterministic (sizes depend only on
+	// message content); which specific messages drop past MaxQueue can
+	// vary with cell-map iteration order, as in the modeled sizing.
+	WireSizing bool
 	// Pool runs the per-client flush fan-out (default sched.Shared()).
 	Pool *sched.Pool
 }
@@ -138,10 +147,14 @@ type entState struct {
 }
 
 // update is one shipped field delta, fanned to the cell's subscribers.
+// bytes is the wire-encoded size, computed once at creation (on the
+// single-threaded intake path) when WireSizing is on; 0 means "use the
+// modeled constant".
 type update struct {
 	id    ID
 	fi    int32
 	class Class
+	bytes int32
 }
 
 type eventKind uint8
@@ -153,11 +166,13 @@ const (
 	evLeave // entity moved out of this cell; other = the cell it entered
 )
 
-// event is one membership change in a cell's per-tick list.
+// event is one membership change in a cell's per-tick list. bytes as
+// in update: creation-time wire-encoded size, 0 = modeled constant.
 type event struct {
 	kind  eventKind
 	id    ID
 	other spatial.CellKey
+	bytes int32
 }
 
 // cellTick accumulates one cell's current-tick traffic.
@@ -240,6 +255,49 @@ type Hub struct {
 	DegradeTotal  metrics.Counter
 	UpgradeTotal  metrics.Counter
 	Staleness     metrics.Histogram
+
+	// sizeEnc is the intake-path encoder scratch for WireSizing; flush
+	// workers use their own (the intake is single-threaded, flush is
+	// not).
+	sizeEnc wire.Enc
+}
+
+// updateSize prices one field-update message at creation time.
+func (h *Hub) updateSize(id ID, fi int32, val float64) int32 {
+	if !h.cfg.WireSizing {
+		return 0
+	}
+	h.sizeEnc.Reset()
+	AppendUpdateMsg(&h.sizeEnc, id, fi, val)
+	return int32(h.sizeEnc.Len())
+}
+
+// removeSize prices one removal message at creation time.
+func (h *Hub) removeSize(id ID) int32 {
+	return h.removeSizeInto(&h.sizeEnc, id)
+}
+
+// removeSizeInto is removeSize with the caller's encoder scratch, for
+// the parallel flush workers.
+func (h *Hub) removeSizeInto(e *wire.Enc, id ID) int32 {
+	if !h.cfg.WireSizing {
+		return 0
+	}
+	e.Reset()
+	AppendRemoveMsg(e, id)
+	return int32(e.Len())
+}
+
+// snapSizeInto prices one full-entity snapshot with the caller's
+// encoder scratch (flush workers pass their own; the intake passes
+// h.sizeEnc).
+func (h *Hub) snapSizeInto(e *wire.Enc, id ID, vals []float64) int32 {
+	if !h.cfg.WireSizing {
+		return 0
+	}
+	e.Reset()
+	AppendSnapshotMsg(e, id, vals)
+	return int32(e.Len())
 }
 
 // NewHub builds a hub replicating cfg.Specs.
@@ -324,7 +382,8 @@ func (h *Hub) SpawnEntity(id ID, pos spatial.Vec2, vals []float64) {
 	}
 	h.ents[id] = es
 	h.cellAdd(es.cell, id)
-	h.cellFor(es.cell).events = append(h.cellFor(es.cell).events, event{kind: evSpawn, id: id})
+	h.cellFor(es.cell).events = append(h.cellFor(es.cell).events,
+		event{kind: evSpawn, id: id, bytes: h.snapSizeInto(&h.sizeEnc, id, es.cur)})
 }
 
 // DespawnEntity removes an entity; subscribed clients get a removal.
@@ -333,7 +392,8 @@ func (h *Hub) DespawnEntity(id ID) {
 	if !ok {
 		return
 	}
-	h.cellFor(es.cell).events = append(h.cellFor(es.cell).events, event{kind: evDespawn, id: id})
+	h.cellFor(es.cell).events = append(h.cellFor(es.cell).events,
+		event{kind: evDespawn, id: id, bytes: h.removeSize(id)})
 	h.cellDel(es.cell, id)
 	delete(h.ents, id)
 }
@@ -349,8 +409,10 @@ func (h *Hub) UpdateEntity(id ID, pos spatial.Vec2, vals []float64) {
 	}
 	newCell := spatial.CellAt(pos, h.cfg.Cell)
 	if newCell != es.cell {
-		h.cellFor(es.cell).events = append(h.cellFor(es.cell).events, event{kind: evLeave, id: id, other: newCell})
-		h.cellFor(newCell).events = append(h.cellFor(newCell).events, event{kind: evEnter, id: id, other: es.cell})
+		h.cellFor(es.cell).events = append(h.cellFor(es.cell).events,
+			event{kind: evLeave, id: id, other: newCell, bytes: h.removeSize(id)})
+		h.cellFor(newCell).events = append(h.cellFor(newCell).events,
+			event{kind: evEnter, id: id, other: es.cell, bytes: h.snapSizeInto(&h.sizeEnc, id, es.cur)})
 		h.cellDel(es.cell, id)
 		h.cellAdd(newCell, id)
 		es.cell = newCell
@@ -370,7 +432,8 @@ func (h *Hub) evalFields(id ID, es *entState) {
 		if spec.ShouldShip(cur, es.sent[fi], h.tick, es.sentTick[fi]) {
 			es.sent[fi] = cur
 			es.sentTick[fi] = h.tick
-			ct.updates = append(ct.updates, update{id: id, fi: int32(fi), class: spec.Class})
+			ct.updates = append(ct.updates,
+				update{id: id, fi: int32(fi), class: spec.Class, bytes: h.updateSize(id, int32(fi), cur)})
 			continue
 		}
 		if cur != es.sent[fi] {
@@ -438,8 +501,9 @@ func (h *Hub) FlushTick() TickReport {
 			hi = n
 		}
 		tl := &tallies[wi]
+		var enc wire.Enc // per-worker sizing scratch; h.sizeEnc is intake-only
 		for _, c := range h.conns[lo:hi] {
-			fs := h.flushConn(c, &tl.samples)
+			fs := h.flushConn(c, &tl.samples, &enc)
 			tl.stats.add(fs)
 			tl.tiers[c.tier]++
 		}
@@ -505,10 +569,26 @@ func (h *Hub) enqueue(c *Conn, bytes int32, fs *flushStats) {
 // flushConn runs one client's tick: window maintenance (cover diff →
 // snapshots and removals), traffic collection from covered cells under
 // the tier filter, then a budgeted FIFO drain and the tier watermarks.
-func (h *Hub) flushConn(c *Conn, samples *[]float64) flushStats {
+func (h *Hub) flushConn(c *Conn, samples *[]float64, enc *wire.Enc) flushStats {
 	var fs flushStats
 	cell := h.cfg.Cell
 	snapBytes := int32(len(h.specs) * snapshotBytesPer)
+	// Cover-diff messages are sized here rather than at creation: the
+	// window move invents them, no intake event carries their bytes.
+	// Entities in cells left behind are still alive (still in h.ents) —
+	// only this client's window moved, nothing despawned.
+	snapSize := func(id ID) int32 {
+		if b := h.snapSizeInto(enc, id, h.ents[id].cur); b != 0 {
+			return b
+		}
+		return snapBytes
+	}
+	remSize := func(id ID) int32 {
+		if b := h.removeSizeInto(enc, id); b != 0 {
+			return b
+		}
+		return removeBytes
+	}
 
 	// fresh lists this flush's newly covered cells: their end-of-tick
 	// population snapshots wholesale below, so their per-tick event and
@@ -524,13 +604,13 @@ func (h *Hub) flushConn(c *Conn, samples *[]float64) flushStats {
 		for i < len(c.cover) || j < len(newCover) {
 			switch {
 			case j == len(newCover) || (i < len(c.cover) && cellLess(c.cover[i], newCover[j])):
-				for range h.cellEnts[c.cover[i]] {
-					h.enqueue(c, removeBytes, &fs)
+				for id := range h.cellEnts[c.cover[i]] {
+					h.enqueue(c, remSize(id), &fs)
 				}
 				i++
 			case i == len(c.cover) || cellLess(newCover[j], c.cover[i]):
-				for range h.cellEnts[newCover[j]] {
-					h.enqueue(c, snapBytes, &fs)
+				for id := range h.cellEnts[newCover[j]] {
+					h.enqueue(c, snapSize(id), &fs)
 					fs.snaps++
 				}
 				fresh = append(fresh, newCover[j])
@@ -560,22 +640,37 @@ func (h *Hub) flushConn(c *Conn, samples *[]float64) flushStats {
 			continue
 		}
 		for _, ev := range ct.events {
+			// An event sized at creation carries its bytes; zero means
+			// modeled sizing was in force when it was queued.
+			b := ev.bytes
 			switch ev.kind {
 			case evSpawn:
-				h.enqueue(c, snapBytes, &fs)
+				if b == 0 {
+					b = snapBytes
+				}
+				h.enqueue(c, b, &fs)
 				fs.snaps++
 			case evDespawn:
-				h.enqueue(c, removeBytes, &fs)
+				if b == 0 {
+					b = removeBytes
+				}
+				h.enqueue(c, b, &fs)
 			case evEnter:
 				// Came from a cell this window also covers: already
 				// visible, the deltas carry it.
 				if !subscribed(c.Focus, c.AOI, cell, ev.other) {
-					h.enqueue(c, snapBytes, &fs)
+					if b == 0 {
+						b = snapBytes
+					}
+					h.enqueue(c, b, &fs)
 					fs.snaps++
 				}
 			case evLeave:
 				if !subscribed(c.Focus, c.AOI, cell, ev.other) {
-					h.enqueue(c, removeBytes, &fs)
+					if b == 0 {
+						b = removeBytes
+					}
+					h.enqueue(c, b, &fs)
 				}
 			}
 		}
@@ -590,7 +685,11 @@ func (h *Hub) flushConn(c *Conn, samples *[]float64) flushStats {
 					continue
 				}
 			}
-			h.enqueue(c, msgBytes, &fs)
+			if u.bytes != 0 {
+				h.enqueue(c, u.bytes, &fs)
+			} else {
+				h.enqueue(c, msgBytes, &fs)
+			}
 		}
 	}
 

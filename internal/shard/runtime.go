@@ -175,6 +175,13 @@ type StepStats struct {
 	// evaluation opportunity, so full-scan and incremental runs report
 	// different (both nonzero) values for the same misconfiguration.
 	GhostFieldSkips int
+	// WireBytesOut/WireBytesIn/WireFrames count tick-barrier transport
+	// traffic when the barrier runs over a wire.Transport (Peer/Cluster).
+	// The in-process Runtime exchanges pointers, not frames, and reports
+	// zero.
+	WireBytesOut int64
+	WireBytesIn  int64
+	WireFrames   int64
 }
 
 // ghostRec tracks one ghost mirror's last-shipped field values, plus
@@ -319,6 +326,17 @@ type Runtime struct {
 	// pinning full-scan ≡ incremental ship sequences).
 	onShip func(di int, id entity.ID, fi int)
 
+	// Exchange scratch, reused across barriers so effect forwarding
+	// stops allocating per tick: destination-sort buffer, verdict dedup
+	// set + rerun list, the per-shard rerun routing map with its sorted
+	// key buffer, and the rebalance counts slice.
+	dstsBuf    []int
+	invalidBuf map[world.ForeignKey]struct{}
+	rerunBuf   []world.ForeignInvalidation
+	byShardBuf map[int][]world.ForeignInvalidation
+	shardsBuf  []int
+	countsBuf  []int64
+
 	// coordSpans is the coordinator's span context (parallel phase and
 	// barrier), nil when tracing is off.
 	coordSpans *obs.SpanCtx
@@ -351,9 +369,10 @@ type Runtime struct {
 	StepNS metrics.Histogram
 }
 
-// New builds a sharded runtime. Shard ticks run on the shared worker
-// pool at Step time; the runtime itself owns no goroutines.
-func New(cfg Config) (*Runtime, error) {
+// withDefaults normalizes a Config exactly as New does. The wire Peer
+// applies the same normalization, so a config handed to n peer
+// processes means the same thing it means in-process.
+func withDefaults(cfg Config) Config {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
@@ -373,6 +392,13 @@ func New(cfg Config) (*Runtime, error) {
 			{Name: "y", Class: replica.Coarse, Epsilon: eps, MaxAge: 20},
 		}
 	}
+	return cfg
+}
+
+// New builds a sharded runtime. Shard ticks run on the shared worker
+// pool at Step time; the runtime itself owns no goroutines.
+func New(cfg Config) (*Runtime, error) {
+	cfg = withDefaults(cfg)
 	part, err := NewPartitioner(cfg.World, cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -571,7 +597,10 @@ func (rt *Runtime) Step() (StepStats, error) {
 	// routes are still exact here. Merging before handoff/reconcile means
 	// migrations and re-ships see post-merge state.
 	reruns := rt.exchangeEffects(&st)
-	counts := make([]int64, len(rt.worlds))
+	if rt.countsBuf == nil {
+		rt.countsBuf = make([]int64, len(rt.worlds))
+	}
+	counts := rt.countsBuf
 	for i, w := range rt.worlds {
 		rt.LocalCount[i].Reset()
 		rt.LocalCount[i].Add(int64(w.LocalEntities()))
@@ -648,11 +677,12 @@ func (rt *Runtime) exchangeEffects(st *StepStats) []world.ForeignInvalidation {
 		if len(out) == 0 {
 			continue
 		}
-		dsts := make([]int, 0, len(out))
+		dsts := rt.dstsBuf[:0]
 		for di := range out {
 			dsts = append(dsts, di)
 		}
 		sort.Ints(dsts)
+		rt.dstsBuf = dsts
 		for _, di := range dsts {
 			if di < 0 || di >= n || di == si {
 				continue // defensive: a batch cannot route outside the grid
@@ -671,13 +701,17 @@ func (rt *Runtime) exchangeEffects(st *StepStats) []world.ForeignInvalidation {
 	}
 	t1 := time.Now()
 	// All verdicts collect before any world applies: validation reads
-	// pre-exchange tick state.
+	// pre-exchange tick state. The dedup set and rerun list are
+	// per-barrier scratch: cleared after rerunForeign, reused forever.
 	var invalidSet map[world.ForeignKey]struct{}
-	var reruns []world.ForeignInvalidation
+	reruns := rt.rerunBuf[:0]
 	for di := 0; di < n; di++ {
 		for _, iv := range rt.worlds[di].ValidateForeign() {
 			if invalidSet == nil {
-				invalidSet = make(map[world.ForeignKey]struct{})
+				if rt.invalidBuf == nil {
+					rt.invalidBuf = make(map[world.ForeignKey]struct{})
+				}
+				invalidSet = rt.invalidBuf
 			}
 			if _, dup := invalidSet[iv.Key]; dup {
 				continue
@@ -686,9 +720,13 @@ func (rt *Runtime) exchangeEffects(st *StepStats) []world.ForeignInvalidation {
 			reruns = append(reruns, iv)
 		}
 	}
+	rt.rerunBuf = reruns
 	merged := 0
 	for di := 0; di < n; di++ {
 		merged += rt.worlds[di].ExchangeApply(invalidSet)
+	}
+	if invalidSet != nil {
+		clear(invalidSet)
 	}
 	if st != nil {
 		st.EffectsRemoteMerged = merged
@@ -712,7 +750,10 @@ func (rt *Runtime) rerunForeign(reruns []world.ForeignInvalidation) {
 		return
 	}
 	t0 := time.Now()
-	byShard := make(map[int][]world.ForeignInvalidation)
+	if rt.byShardBuf == nil {
+		rt.byShardBuf = make(map[int][]world.ForeignInvalidation)
+	}
+	byShard := rt.byShardBuf
 	for _, r := range reruns {
 		o := rt.Owner(r.Key.Src)
 		if o < 0 {
@@ -720,13 +761,17 @@ func (rt *Runtime) rerunForeign(reruns []world.ForeignInvalidation) {
 		}
 		byShard[o] = append(byShard[o], r)
 	}
-	shards := make([]int, 0, len(byShard))
+	shards := rt.shardsBuf[:0]
 	for o := range byShard {
 		shards = append(shards, o)
 	}
 	sort.Ints(shards)
+	rt.shardsBuf = shards
 	for _, o := range shards {
 		rt.worlds[o].RerunForeign(byShard[o])
+		// Keep the per-shard slices' capacity but drop the entries, so
+		// the map is empty (not just stale) for the next barrier.
+		byShard[o] = byShard[o][:0]
 	}
 	rt.coordSpans.Span(obs.SpanRemoteMerge, rt.tick, -1, t0)
 }
@@ -1185,14 +1230,20 @@ func (rt *Runtime) snapshotGhost(di int, id entity.ID, cand ghostCandidate) erro
 // while non-numeric Coarse/Cosmetic report skip — there is no epsilon
 // or staleness metric over strings and bools.
 func (rt *Runtime) fieldShip(fi int, numeric bool, rec *ghostRec, raw entity.Value) (ship bool, due int64, hasDue bool, skip bool) {
-	spec := rt.specs[fi]
+	return fieldShipEval(rt.specs[fi], rt.tick, fi, numeric, rec, raw)
+}
+
+// fieldShipEval is the ship-policy core, shared verbatim by the
+// in-process Runtime and the wire Peer — one implementation is what
+// keeps their ship sequences (and therefore hashes) identical.
+func fieldShipEval(spec replica.FieldSpec, tick int64, fi int, numeric bool, rec *ghostRec, raw entity.Value) (ship bool, due int64, hasDue bool, skip bool) {
 	if numeric {
 		cur, _ := raw.AsFloat()
-		if spec.ShouldShip(cur, rec.sent[fi], rt.tick, rec.sentTick[fi]) {
+		if spec.ShouldShip(cur, rec.sent[fi], tick, rec.sentTick[fi]) {
 			return true, 0, false, false
 		}
 		if cur != rec.sent[fi] {
-			if d, ok := spec.NextDue(rt.tick, rec.sentTick[fi]); ok {
+			if d, ok := spec.NextDue(tick, rec.sentTick[fi]); ok {
 				return false, d, true, false
 			}
 		}
@@ -1206,12 +1257,17 @@ func (rt *Runtime) fieldShip(fi int, numeric bool, rec *ghostRec, raw entity.Val
 
 // markShipped updates a rec's last-shipped bookkeeping for field fi.
 func (rt *Runtime) markShipped(rec *ghostRec, fi int, numeric bool, raw entity.Value) {
+	markShippedRec(rec, fi, numeric, raw, rt.tick)
+}
+
+// markShippedRec is the Runtime/Peer-shared bookkeeping core.
+func markShippedRec(rec *ghostRec, fi int, numeric bool, raw entity.Value, tick int64) {
 	if numeric {
 		rec.sent[fi], _ = raw.AsFloat()
 	} else {
 		rec.sentVal[fi] = raw
 	}
-	rec.sentTick[fi] = rt.tick
+	rec.sentTick[fi] = tick
 }
 
 // registerDue queues id for re-evaluation on shard di at a future tick.
@@ -1539,15 +1595,20 @@ func shipBatchFor(bs *[]shipBatch, tab *entity.Table, col string, fi int) *shipB
 // it when the table's schema pointer changed (migrations swap schemas;
 // Restore swaps tables).
 func (rt *Runtime) specInfo(t *entity.Table) *tableSpecInfo {
+	return specInfoFor(rt.specInfos, rt.specs, t)
+}
+
+// specInfoFor is the Runtime/Peer-shared resolution core.
+func specInfoFor(cache map[*entity.Table]*tableSpecInfo, specs []replica.FieldSpec, t *entity.Table) *tableSpecInfo {
 	s := t.Schema()
-	if si := rt.specInfos[t]; si != nil && si.schema == s {
+	if si := cache[t]; si != nil && si.schema == s {
 		return si
 	}
-	if len(rt.specInfos) > 128 {
-		clear(rt.specInfos) // Restore churn: drop stale table pointers
+	if len(cache) > 128 {
+		clear(cache) // Restore churn: drop stale table pointers
 	}
-	si := &tableSpecInfo{schema: s, cols: make([]specCol, len(rt.specs))}
-	for fi, spec := range rt.specs {
+	si := &tableSpecInfo{schema: s, cols: make([]specCol, len(specs))}
+	for fi, spec := range specs {
 		ci, ok := s.Col(spec.Name)
 		if !ok {
 			continue
@@ -1555,7 +1616,7 @@ func (rt *Runtime) specInfo(t *entity.Table) *tableSpecInfo {
 		k := s.ColAt(ci).Kind
 		si.cols[fi] = specCol{ci: ci, present: true, numeric: k == entity.KindInt || k == entity.KindFloat}
 	}
-	rt.specInfos[t] = si
+	cache[t] = si
 	return si
 }
 
@@ -1564,14 +1625,18 @@ func (rt *Runtime) specInfo(t *entity.Table) *tableSpecInfo {
 // present too (their Exact class ships by equality); presence is
 // schema-driven, not value-coercion-driven.
 func (rt *Runtime) newGhostRec(t *entity.Table, row []entity.Value) *ghostRec {
+	return newGhostRecFor(rt.specs, rt.specInfo(t), row, rt.tick)
+}
+
+// newGhostRecFor is the Runtime/Peer-shared snapshot-bookkeeping core.
+func newGhostRecFor(specs []replica.FieldSpec, si *tableSpecInfo, row []entity.Value, tick int64) *ghostRec {
 	rec := &ghostRec{
-		sent:     make([]float64, len(rt.specs)),
-		sentVal:  make([]entity.Value, len(rt.specs)),
-		sentTick: make([]int64, len(rt.specs)),
-		present:  make([]bool, len(rt.specs)),
+		sent:     make([]float64, len(specs)),
+		sentVal:  make([]entity.Value, len(specs)),
+		sentTick: make([]int64, len(specs)),
+		present:  make([]bool, len(specs)),
 	}
-	si := rt.specInfo(t)
-	for fi := range rt.specs {
+	for fi := range specs {
 		sc := si.cols[fi]
 		if !sc.present {
 			continue
@@ -1583,7 +1648,7 @@ func (rt *Runtime) newGhostRec(t *entity.Table, row []entity.Value) *ghostRec {
 		} else {
 			rec.sentVal[fi] = raw
 		}
-		rec.sentTick[fi] = rt.tick
+		rec.sentTick[fi] = tick
 	}
 	return rec
 }
@@ -1602,26 +1667,42 @@ func (rt *Runtime) newGhostRec(t *entity.Table, row []entity.Value) *ghostRec {
 // reading Coarse-mirrored fields still see the weakened view — the
 // paper's "inconsistent, but very similar" tier, traded for bandwidth.
 func (rt *Runtime) Hash() uint64 {
-	type rowRef struct {
-		id    entity.ID
-		table string
-		row   []entity.Value
-	}
-	var rows []rowRef
+	var rows []hashRow
 	for _, w := range rt.worlds {
-		for _, name := range w.TableNames() {
-			t, _ := w.Table(name)
-			t.Scan(func(id entity.ID, row []entity.Value) bool {
-				if w.IsGhost(id) {
-					return true
-				}
-				cp := make([]entity.Value, len(row))
-				copy(cp, row)
-				rows = append(rows, rowRef{id: id, table: name, row: cp})
-				return true
-			})
-		}
+		rows = appendOwnedRows(w, rows)
 	}
+	return hashRows(rows)
+}
+
+// hashRow is one owned row in the global digest: the unit Runtime.Hash
+// collects in-process and the wire frameRows gather ships to peer 0.
+type hashRow struct {
+	id    entity.ID
+	table string
+	row   []entity.Value
+}
+
+// appendOwnedRows copies every non-ghost row of w onto rows.
+func appendOwnedRows(w *world.World, rows []hashRow) []hashRow {
+	for _, name := range w.TableNames() {
+		t, _ := w.Table(name)
+		t.Scan(func(id entity.ID, row []entity.Value) bool {
+			if w.IsGhost(id) {
+				return true
+			}
+			cp := make([]entity.Value, len(row))
+			copy(cp, row)
+			rows = append(rows, hashRow{id: id, table: name, row: cp})
+			return true
+		})
+	}
+	return rows
+}
+
+// hashRows sorts rows by (id, table) and folds them into the FNV-64a
+// digest — the single hash algorithm every topology (one process or
+// many) must agree on bit-for-bit.
+func hashRows(rows []hashRow) uint64 {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].id != rows[j].id {
 			return rows[i].id < rows[j].id

@@ -148,6 +148,23 @@ fn on_tick(self) {
   </script>
 </contentpack>`
 
+// ForEachMingleSpawn draws the seed-fixed mingle spawn stream (four
+// rng draws per entity: position in [0,side)², velocity in
+// [-speed,speed)) and hands each unit to fn — the single stream source
+// shared by the in-process and wire-cluster seeders.
+func ForEachMingleSpawn(units int, side float64, seed int64, speed float64, fn func(pos spatial.Vec2, vx, vy float64) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < units; i++ {
+		pos := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+		vx := (rng.Float64()*2 - 1) * speed
+		vy := (rng.Float64()*2 - 1) * speed
+		if err := fn(pos, vx, vy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SeedMingleCrowd loads MinglePackXML into every shard and spawns
 // `units` drifting minglers from a seed-fixed stream (four rng draws
 // per entity: position in [0,side)², velocity in [-speed,speed)), then
@@ -161,11 +178,7 @@ func SeedMingleCrowd(rt *Runtime, units int, side float64, seed int64, speed flo
 	if err := rt.LoadPack(c); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < units; i++ {
-		pos := spatial.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
-		vx := (rng.Float64()*2 - 1) * speed
-		vy := (rng.Float64()*2 - 1) * speed
+	err := ForEachMingleSpawn(units, side, seed, speed, func(pos spatial.Vec2, vx, vy float64) error {
 		id, err := rt.Spawn("unit", pos)
 		if err != nil {
 			return err
@@ -174,11 +187,40 @@ func SeedMingleCrowd(rt *Runtime, units int, side float64, seed int64, speed flo
 		if err := w.Set(id, "vx", entity.Float(vx)); err != nil {
 			return err
 		}
-		if err := w.Set(id, "vy", entity.Float(vy)); err != nil {
-			return err
-		}
+		return w.Set(id, "vy", entity.Float(vy))
+	})
+	if err != nil {
+		return err
 	}
 	return rt.Sync()
+}
+
+// SeedMingleCluster seeds the identical mingle workload onto a wire
+// cluster: the same pack, the same spawn stream, every peer replaying
+// the coordinator calls — so a Cluster run hash-matches a Runtime run
+// of the same config tick for tick.
+func SeedMingleCluster(cl *Cluster, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(MinglePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: mingle pack rejected: %v", errs[0])
+	}
+	if err := cl.LoadPack(c); err != nil {
+		return err
+	}
+	err := ForEachMingleSpawn(units, side, seed, speed, func(pos spatial.Vec2, vx, vy float64) error {
+		id, err := cl.Spawn("unit", pos)
+		if err != nil {
+			return err
+		}
+		if err := cl.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		return cl.Set(id, "vy", entity.Float(vy))
+	})
+	if err != nil {
+		return err
+	}
+	return cl.Sync()
 }
 
 // ConflictPackXML is the write-write-contention scenario behind
@@ -337,6 +379,18 @@ func BorderGhostFields() []replica.FieldSpec {
 	}
 }
 
+// MingleGhostFields is the replication spec the mingle scenario needs
+// for shard-count-invariant hashes when raced across shard counts: the
+// behavior reads neighbors' x/y through mirrors, so both must ship
+// Exact (Coarse mirrors would let the centroid math see stale
+// positions on some shard counts and not others).
+func MingleGhostFields() []replica.FieldSpec {
+	return []replica.FieldSpec{
+		{Name: "x", Class: replica.Exact},
+		{Name: "y", Class: replica.Exact},
+	}
+}
+
 // ForEachBorderSpawn draws the seed-fixed border-crowd spawn stream and
 // hands each row to fn. Spawns alternate raider/medic and cluster within
 // ±6 of the side/2 gridlines — half along the vertical line x = side/2,
@@ -390,6 +444,105 @@ func SeedBorderCrowd(rt *Runtime, units int, side float64, seed int64, speed flo
 		}, rt.Sync)
 }
 
+// SeedBorderCluster seeds the border-writes workload onto a wire
+// cluster from the identical ForEachBorderSpawn stream — the
+// adversarial cross-shard-write scenario the wire barrier must carry
+// without diverging from the in-process exchange.
+func SeedBorderCluster(cl *Cluster, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(BorderWritePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: border pack rejected: %v", errs[0])
+	}
+	if err := cl.LoadPack(c); err != nil {
+		return err
+	}
+	err := ForEachBorderSpawn(units, side, seed, speed, func(arch string, pos spatial.Vec2, vx, vy float64) error {
+		id, err := cl.Spawn(arch, pos)
+		if err != nil {
+			return err
+		}
+		if err := cl.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		return cl.Set(id, "vy", entity.Float(vy))
+	})
+	if err != nil {
+		return err
+	}
+	return cl.Sync()
+}
+
+// SeedMinglePeer seeds one wire peer of a multi-process mingle grid:
+// the peer replays the full coordinator stream (LoadPack content
+// spawns included) and materializes only its own rows; the trailing
+// Sync is lockstep, so every peer process must call this concurrently.
+func SeedMinglePeer(p *Peer, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(MinglePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: mingle pack rejected: %v", errs[0])
+	}
+	if err := p.LoadPack(c); err != nil {
+		return err
+	}
+	err := ForEachMingleSpawn(units, side, seed, speed, func(pos spatial.Vec2, vx, vy float64) error {
+		id, err := p.Spawn("unit", pos)
+		if err != nil {
+			return err
+		}
+		if err := p.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		return p.Set(id, "vy", entity.Float(vy))
+	})
+	if err != nil {
+		return err
+	}
+	return p.Sync()
+}
+
+// SeedBorderPeer is SeedMinglePeer's border-writes twin.
+func SeedBorderPeer(p *Peer, units int, side float64, seed int64, speed float64) error {
+	c, errs := content.LoadAndCompile(strings.NewReader(BorderWritePackXML))
+	if len(errs) > 0 {
+		return fmt.Errorf("shard: border pack rejected: %v", errs[0])
+	}
+	if err := p.LoadPack(c); err != nil {
+		return err
+	}
+	err := ForEachBorderSpawn(units, side, seed, speed, func(arch string, pos spatial.Vec2, vx, vy float64) error {
+		id, err := p.Spawn(arch, pos)
+		if err != nil {
+			return err
+		}
+		if err := p.Set(id, "vx", entity.Float(vx)); err != nil {
+			return err
+		}
+		return p.Set(id, "vy", entity.Float(vy))
+	})
+	if err != nil {
+		return err
+	}
+	return p.Sync()
+}
+
+// SeedDriftingPeer is the drifting-crowd peer seeder.
+func SeedDriftingPeer(p *Peer, units int, side float64, seed int64, speed float64) error {
+	s, err := DriftingCrowdSchema()
+	if err != nil {
+		return err
+	}
+	if _, err := p.World().CreateTable("units", s); err != nil {
+		return err
+	}
+	if err := ForEachCrowdSpawn(units, side, seed, speed, func(vals map[string]entity.Value) error {
+		_, err := p.SpawnRaw("units", vals)
+		return err
+	}); err != nil {
+		return err
+	}
+	return p.Sync()
+}
+
 // SeedBorderWorld is the single-world twin of SeedBorderCrowd: the same
 // pack, the same spawn stream, one world.World — the baseline every
 // sharded border run must hash-match, and the worldsim border scenario.
@@ -435,6 +588,29 @@ func seedBorderSpawns(units int, side float64, seed int64, speed float64,
 // count, so every shard count simulates the identical world —
 // cmd/shardsim, the E13 benchmarks and examples/mmo-shard all race
 // this one scenario.
+// SeedDriftingCluster seeds the drifting-crowd workload onto a wire
+// cluster from the identical ForEachCrowdSpawn stream: the schema is
+// created on every peer world, raw spawns replay through the
+// replicated coordinator, and the final Sync materializes ghosts.
+func SeedDriftingCluster(cl *Cluster, units int, side float64, seed int64, speed float64) error {
+	s, err := DriftingCrowdSchema()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cl.Shards(); i++ {
+		if _, err := cl.ShardWorld(i).CreateTable("units", s); err != nil {
+			return err
+		}
+	}
+	if err := ForEachCrowdSpawn(units, side, seed, speed, func(vals map[string]entity.Value) error {
+		_, err := cl.SpawnRaw("units", vals)
+		return err
+	}); err != nil {
+		return err
+	}
+	return cl.Sync()
+}
+
 func SeedDriftingCrowd(rt *Runtime, units int, side float64, seed int64, speed float64) error {
 	s, err := DriftingCrowdSchema()
 	if err != nil {
